@@ -1,0 +1,21 @@
+"""A1 — pricing-rule ablation (Dantzig / Bland / hybrid / Devex / steepest)."""
+
+from repro.bench.experiments import a1_pricing
+
+
+def test_a1_pricing(benchmark):
+    report = benchmark.pedantic(a1_pricing, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    table = report.tables[0]
+    rows = list(zip(table.column("instance"), table.column("rule"),
+                    table.column("solver"), table.column("status"),
+                    table.column("iters")))
+    # every configuration terminates successfully on these instances
+    # (including Bland on the GPU in fp32, which requires the solver's
+    # basic-variable-index ratio tie-break for its anti-cycling guarantee)
+    assert all(status == "optimal" for *_s, status, _ in rows)
+    # Bland needs at least as many iterations as Dantzig on Klee-Minty
+    km = {rule: iters for inst, rule, solver, _st, iters in rows
+          if inst == "klee-minty-10" and solver == "revised"}
+    assert km["bland"] >= km["dantzig"] or km["dantzig"] > 100

@@ -1,0 +1,16 @@
+"""A2 — basis-update ablation: explicit inverse vs product form."""
+
+from repro.bench.experiments import a2_basis_update
+
+
+def test_a2_basis_update(benchmark, breakdown_size):
+    report = benchmark.pedantic(
+        a2_basis_update, kwargs={"size": breakdown_size}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    assert all(s == "optimal" for s in table.column("status"))
+    # same pivot path regardless of representation
+    iters = set(table.column("iters"))
+    assert len(iters) == 1

@@ -1,0 +1,26 @@
+"""A3 — GPU tableau simplex vs GPU revised simplex."""
+
+from repro.bench.experiments import a3_tableau_vs_revised
+
+
+def test_a3_tableau_vs_revised(benchmark, sweep_sizes):
+    sizes = tuple(s for s in sweep_sizes if s <= 384)
+    report = benchmark.pedantic(
+        a3_tableau_vs_revised, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    rows = list(zip(table.column("instance"), table.column("method"),
+                    table.column("status"), table.column("us/iter")))
+    assert all(status == "optimal" for _i, _m, status, _ in rows)
+    # Finding (matches the follow-up literature on GT200-class hardware):
+    # at these sizes BOTH formulations are launch/latency-bound (~0.2 ms
+    # per-iteration floor), so the tableau's few large perfectly-parallel
+    # kernels are competitive with revised's many small BLAS-2 launches.
+    per_iter = [us for *_x, us in rows]
+    assert all(50.0 < us < 2000.0 for us in per_iter)
+    # The revised method's structural advantage is *memory traffic*: on the
+    # sparse wide instance it must move far fewer bytes per iteration.
+    bytes_per_iter = report.extra_traffic  # {method: bytes/iter} on sparse
+    assert bytes_per_iter["gpu-revised"] < 0.7 * bytes_per_iter["gpu-tableau"]

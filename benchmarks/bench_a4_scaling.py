@@ -1,0 +1,19 @@
+"""A4 — geometric-mean scaling ablation on badly-conditioned instances."""
+
+from repro.bench.experiments import a4_scaling
+
+
+def test_a4_scaling(benchmark):
+    report = benchmark.pedantic(a4_scaling, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    table = report.tables[0]
+    rows = list(zip(table.column("spread"), table.column("scale"),
+                    table.column("status"), table.column("obj relerr vs oracle")))
+    # scaled solves stay accurate at every spread
+    scaled_errs = [e for _s, sc, st, e in rows if sc and st == "optimal"]
+    assert scaled_errs and all(e < 1e-4 for e in scaled_errs)
+    # the worst-spread unscaled fp32 solve is measurably less accurate
+    worst_unscaled = max(e for _s, sc, _st, e in rows if not sc if e == e)
+    best_scaled = max(scaled_errs)
+    assert worst_unscaled > 10 * best_scaled

@@ -1,0 +1,20 @@
+"""F1 — solve time vs problem size, CPU vs GPU (the headline figure)."""
+
+from repro.bench.experiments import f1_time_vs_size
+
+
+def test_f1_time_vs_size(benchmark, sweep_sizes):
+    report = benchmark.pedantic(
+        f1_time_vs_size, kwargs={"sizes": sweep_sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    gpu_ms = table.column("gpu ms")
+    cpu_ms = table.column("cpu ms")
+    # paper shape: CPU wins the smallest size, GPU wins the largest
+    assert cpu_ms[0] < gpu_ms[0]
+    assert gpu_ms[-1] < cpu_ms[-1]
+    # both grow with size
+    assert gpu_ms[-1] > gpu_ms[0]
+    assert cpu_ms[-1] > cpu_ms[0]

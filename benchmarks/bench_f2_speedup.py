@@ -1,0 +1,17 @@
+"""F2 — GPU speedup vs problem size and the CPU/GPU crossover point."""
+
+from repro.bench.experiments import f2_speedup
+
+
+def test_f2_speedup(benchmark, sweep_sizes):
+    report = benchmark.pedantic(
+        f2_speedup, kwargs={"sizes": sweep_sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    speedups = report.tables[0].column("speedup")
+    # paper shape: below 1 at small sizes, above 1 at the largest
+    assert speedups[0] < 1.0
+    assert speedups[-1] > 1.0
+    # a crossover was found inside the sweep
+    assert any("crossover" in n and "≈" in n for n in report.notes)

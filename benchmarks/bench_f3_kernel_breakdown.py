@@ -1,0 +1,17 @@
+"""F3 — per-iteration GPU kernel/phase time breakdown."""
+
+from repro.bench.experiments import f3_kernel_breakdown
+
+
+def test_f3_kernel_breakdown(benchmark, breakdown_size):
+    report = benchmark.pedantic(
+        f3_kernel_breakdown, kwargs={"size": breakdown_size}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    phases = report.tables[0]
+    fracs = dict(zip(phases.column("phase"), phases.column("% of total")))
+    # pricing (the two GEMVs over the full matrix) dominates the iteration,
+    # as in the paper's revised simplex profile
+    assert fracs["pricing"] == max(fracs.values())
+    assert abs(sum(fracs.values()) - 100.0) < 20.0  # phases cover the solve

@@ -1,0 +1,20 @@
+"""F4 — single vs double precision on the GPU: time and accuracy."""
+
+from repro.bench.experiments import f4_precision
+
+
+def test_f4_precision(benchmark, sweep_sizes):
+    sizes = tuple(s for s in sweep_sizes if s <= 512)
+    report = benchmark.pedantic(
+        f4_precision, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    ratio = table.column("fp64/fp32")
+    err = table.column("fp32 relerr vs oracle")
+    # fp64 always costs more, but far less than the 12x FLOP-rate gap
+    # (BLAS-2 kernels are bandwidth-bound)
+    assert all(1.0 < r < 6.0 for r in ratio)
+    # fp32 still reaches the optimum to engineering accuracy
+    assert all(e < 1e-2 for e in err)

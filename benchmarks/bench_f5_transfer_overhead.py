@@ -1,0 +1,17 @@
+"""F5 — PCIe transfer time as a fraction of GPU solve time."""
+
+from repro.bench.experiments import f5_transfer_overhead
+
+
+def test_f5_transfer_overhead(benchmark, sweep_sizes):
+    report = benchmark.pedantic(
+        f5_transfer_overhead, kwargs={"sizes": sweep_sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    pct = table.column("transfer %")
+    # transfers matter at every size but never dominate completely, and the
+    # one-time upload amortises: fraction shrinks as solves grow
+    assert all(0.0 < p < 80.0 for p in pct)
+    assert pct[-1] < pct[0]

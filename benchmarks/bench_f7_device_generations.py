@@ -1,0 +1,17 @@
+"""F7 — the solver across G80 / GT200 / Tesla C1060 device models."""
+
+from repro.bench.experiments import f7_device_generations
+
+
+def test_f7_device_generations(benchmark, sweep_sizes):
+    sizes = tuple(s for s in sweep_sizes if 128 <= s <= 384)
+    report = benchmark.pedantic(
+        f7_device_generations, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    ratio = table.column("GT200/G80")
+    # GT200 beats G80 at every size (bandwidth + PCIe gen), but by less than
+    # the raw 1.6x bandwidth ratio (launch overhead is generation-invariant)
+    assert all(1.0 < r < 1.7 for r in ratio)

@@ -1,0 +1,17 @@
+"""F8 — B⁻¹ fill-in over iterations (why the paper stores B⁻¹ dense)."""
+
+from repro.bench.experiments import f8_binv_fill
+
+
+def test_f8_binv_fill(benchmark, breakdown_size):
+    report = benchmark.pedantic(
+        f8_binv_fill, kwargs={"size": breakdown_size}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    fill = report.tables[0].column("B⁻¹ fill %")
+    assert len(fill) >= 3
+    # fill grows by an order of magnitude from the near-identity start and
+    # ends far above any density where sparse storage pays
+    assert fill[-1] > 10.0
+    assert fill[-1] > 5 * fill[0]

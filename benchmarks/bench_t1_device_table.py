@@ -1,0 +1,11 @@
+"""T1 — device characteristics table (paper's hardware overview)."""
+
+from repro.bench.experiments import t1_device_table
+
+
+def test_t1_device_table(benchmark):
+    report = benchmark.pedantic(t1_device_table, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    names = report.tables[0].column("device")
+    assert "GeForce GTX 280" in names

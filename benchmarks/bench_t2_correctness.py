@@ -1,0 +1,13 @@
+"""T2 — correctness of every solver on the synthetic NETLIB-like suite."""
+
+from repro.bench.experiments import t2_correctness
+
+
+def test_t2_correctness(benchmark):
+    report = benchmark.pedantic(t2_correctness, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    # the report's worst-case relative error note must certify agreement
+    worst_note = [n for n in report.notes if "worst relative" in n][0]
+    worst = float(worst_note.rsplit(" ", 1)[1])
+    assert worst < 1e-4

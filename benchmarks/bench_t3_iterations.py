@@ -1,0 +1,19 @@
+"""T3 — iteration counts and per-iteration time vs size."""
+
+from repro.bench.experiments import t3_iterations
+
+
+def test_t3_iterations(benchmark, sweep_sizes):
+    report = benchmark.pedantic(
+        t3_iterations, kwargs={"sizes": sweep_sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    table = report.tables[0]
+    # both machines run the same algorithm: identical (or near-identical
+    # under fp32 round-off) pivot counts, always-agreeing objectives
+    assert all(table.column("objectives agree"))
+    it_cpu = table.column("iters cpu")
+    it_gpu = table.column("iters gpu")
+    for a, b in zip(it_cpu, it_gpu):
+        assert abs(a - b) <= 0.2 * max(a, b)

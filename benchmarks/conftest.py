@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+Each ``bench_*`` module regenerates one table/figure of the paper's
+evaluation.  The pytest-benchmark fixture measures this host's wall time for
+the regeneration (useful for tracking the harness itself); the *scientific*
+numbers — modeled GPU/CPU machine times — are printed as the experiment's
+report, mirroring how the paper presents them.
+
+Benchmark sizes are reduced relative to EXPERIMENTS.md's recorded full runs
+so that ``pytest benchmarks/ --benchmark-only`` completes in minutes; pass
+``--full-sweep`` for the paper-scale sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-sweep",
+        action="store_true",
+        default=False,
+        help="run the paper-scale problem sizes instead of the quick ones",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_sizes(request) -> tuple[int, ...]:
+    if request.config.getoption("--full-sweep"):
+        return (64, 128, 256, 384, 512, 768)
+    return (64, 128, 256, 384)
+
+
+@pytest.fixture(scope="session")
+def breakdown_size(request) -> int:
+    return 512 if request.config.getoption("--full-sweep") else 256

@@ -1,0 +1,62 @@
+"""Device exploration: one LP, three generations of modeled GPUs.
+
+Solves the same dense LP on the GeForce 8800 GTX (G80, 2006), the paper's
+GeForce GTX 280 (GT200, 2008) and the Tesla C1060 (GT200 HPC), printing each
+device's clock, per-kernel profile and transfer statistics — the kind of
+study the paper's hardware section implies.
+
+Run:  python examples/gpu_profile.py
+"""
+
+import numpy as np
+
+from repro.core.gpu_revised_simplex import GpuRevisedSimplex
+from repro.lp.generators import random_dense_lp
+from repro.perfmodel.presets import (
+    GTX280_PARAMS,
+    GTX8800_PARAMS,
+    TESLA_C1060_PARAMS,
+)
+from repro.simplex.options import SolverOptions
+
+
+def main() -> None:
+    lp = random_dense_lp(384, 384, seed=42)
+    print(f"instance: {lp}\n")
+
+    baseline_ms = None
+    for params in (GTX8800_PARAMS, GTX280_PARAMS, TESLA_C1060_PARAMS):
+        solver = GpuRevisedSimplex(
+            SolverOptions(dtype=np.float32, pricing="dantzig"),
+            gpu_params=params,
+        )
+        result = solver.solve(lp)
+        assert result.is_optimal
+        dev = solver.device
+        ms = result.timing.modeled_seconds * 1e3
+        if baseline_ms is None:
+            baseline_ms = ms
+        print(f"=== {params.name} ===")
+        print(f"  solve time      : {ms:8.2f} ms  "
+              f"({baseline_ms / ms:.2f}x vs {GTX8800_PARAMS.name})")
+        print(f"  pivots          : {result.iterations.total_iterations}")
+        print(f"  kernel launches : {dev.stats.kernel_launches}")
+        print(f"  PCIe traffic    : {dev.stats.htod_bytes / 1024**2:6.2f} MiB up, "
+              f"{dev.stats.dtoh_bytes / 1024:6.1f} KiB down "
+              f"({result.timing.transfer_seconds * 1e3:.2f} ms)")
+        print(f"  peak device mem : {result.extra['peak_device_bytes'] / 1024**2:.1f} MiB "
+              f"of {params.global_mem_bytes / 1024**2:.0f} MiB")
+        print("  top kernels:")
+        by_kernel = dev.stats.kernel_breakdown()
+        total = sum(by_kernel.values())
+        for name, seconds in sorted(by_kernel.items(), key=lambda kv: -kv[1])[:5]:
+            print(f"    {name:22s} {seconds * 1e3:8.3f} ms  ({100 * seconds / total:4.1f}%)")
+        print()
+
+    print("Reading the profile: pricing GEMVs dominate; the GT200's ~1.6x")
+    print("bandwidth advantage over G80 shows directly in the totals, and")
+    print("the C1060's lower memory clock costs it a little back.")
+
+
+if __name__ == "__main__":
+    main()

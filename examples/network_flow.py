@@ -1,0 +1,106 @@
+"""Minimum-cost network flow as a sparse LP (the revised method's home turf).
+
+Builds a random directed network with networkx, formulates min-cost flow as
+an LP (flow conservation = equality rows → two-phase simplex; arc capacities
+= upper bounds), and solves it with the sparse GPU revised simplex.  The
+constraint matrix is a node-arc incidence matrix — ~2 nonzeros per column —
+so the GPU solver's CSC pricing path does O(nnz) work per iteration.
+
+The LP optimum is cross-checked against networkx's own combinatorial
+``min_cost_flow`` solver (an entirely independent algorithm).
+
+Run:  python examples/network_flow.py
+"""
+
+import numpy as np
+
+try:
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    raise SystemExit("this example needs networkx (pip install networkx)")
+
+from repro import LPProblem, solve
+from repro.lp.problem import Bounds, ConstraintSense
+from repro.sparse import CooMatrix
+
+
+def build_network(n_nodes: int = 40, seed: int = 3):
+    """A random connected digraph with integer capacities/costs and one
+    source/sink demand pair sized to be feasible."""
+    rng = np.random.default_rng(seed)
+    graph = nx.gnp_random_graph(n_nodes, 0.15, seed=seed, directed=True)
+    # ensure a backbone path so (source, sink) is always connected
+    nodes = list(graph.nodes())
+    for u, v in zip(nodes, nodes[1:]):
+        graph.add_edge(u, v)
+    for u, v in graph.edges():
+        graph[u][v]["capacity"] = int(rng.integers(4, 20))
+        graph[u][v]["weight"] = int(rng.integers(1, 12))
+    source, sink = nodes[0], nodes[-1]
+    demand = 8
+    graph.nodes[source]["demand"] = -demand
+    graph.nodes[sink]["demand"] = demand
+    return graph, source, sink, demand
+
+
+def flow_lp(graph) -> LPProblem:
+    """Min-cost flow as  min cᵀf  s.t.  N f = demand,  0 <= f <= cap."""
+    arcs = list(graph.edges())
+    nodes = list(graph.nodes())
+    node_index = {v: i for i, v in enumerate(nodes)}
+    rows, cols, vals = [], [], []
+    for j, (u, v) in enumerate(arcs):
+        rows += [node_index[u], node_index[v]]
+        cols += [j, j]
+        vals += [1.0, -1.0]  # out of u, into v
+    incidence = CooMatrix((len(nodes), len(arcs)), rows, cols, vals).tocsc()
+    b = np.array([-float(graph.nodes[v].get("demand", 0)) for v in nodes])
+    cost = np.array([float(graph[u][v]["weight"]) for u, v in arcs])
+    cap = np.array([float(graph[u][v]["capacity"]) for u, v in arcs])
+    return LPProblem(
+        c=cost,
+        a=incidence,
+        senses=[ConstraintSense.EQ] * len(nodes),
+        b=-b,  # N f = demand with our sign convention
+        bounds=Bounds(np.zeros(len(arcs)), cap),
+        maximize=False,
+        name="min-cost-flow",
+    )
+
+
+def main() -> None:
+    graph, source, sink, demand = build_network()
+    lp = flow_lp(graph)
+    nnz = lp.a.nnz
+    cells = lp.num_constraints * lp.num_vars
+    print(f"network: {graph.number_of_nodes()} nodes, {graph.number_of_edges()} arcs, "
+          f"shipping {demand} units {source} -> {sink}")
+    print(f"LP: {lp.num_constraints} equality rows x {lp.num_vars} arc variables, "
+          f"{nnz} nonzeros ({100 * nnz / cells:.1f}% dense)")
+
+    result = solve(lp, method="gpu-revised", dtype=np.float64, pricing="hybrid")
+    assert result.is_optimal, result.status
+    print(f"\nGPU revised simplex: cost = {result.objective:.1f} "
+          f"({result.iterations.phase1_iterations} phase-1 + "
+          f"{result.iterations.phase2_iterations} phase-2 pivots)")
+
+    # independent check: networkx's combinatorial min-cost-flow
+    flow_dict = nx.min_cost_flow(graph)
+    nx_cost = sum(
+        flow_dict[u][v] * graph[u][v]["weight"]
+        for u in flow_dict for v in flow_dict[u]
+    )
+    print(f"networkx min_cost_flow:  cost = {nx_cost:.1f}")
+    assert abs(result.objective - nx_cost) < 1e-6 * (1 + abs(nx_cost)), (
+        "LP and combinatorial solvers disagree!"
+    )
+    print("LP optimum matches the combinatorial solver exactly.")
+
+    used = [(u, v, f) for u, d in flow_dict.items() for v, f in d.items() if f > 0]
+    print(f"\n{len(used)} arcs carry flow; busiest:")
+    for u, v, f in sorted(used, key=lambda t: -t[2])[:6]:
+        print(f"  {u:>3} -> {v:<3} flow {f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scenario re-optimization: one base solve, many rhs variants.
+
+A production planner runs the same model every morning with updated
+capacities (the rhs).  Cold-solving every scenario replays the whole simplex
+path; the **dual simplex** re-optimizes from yesterday's basis in a handful
+of pivots, because a basis stays *dual* feasible when only b changes.
+
+This script solves a base model, then a stream of capacity scenarios three
+ways — cold primal, warm primal (which must reject the primal-infeasible
+hint and restart!), and warm dual — and compares pivot counts and duals.
+
+Run:  python examples/reoptimization.py
+"""
+
+import numpy as np
+
+from repro import solve
+from repro.lp.generators import random_dense_lp
+from repro.lp.problem import LPProblem
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    base = random_dense_lp(80, 110, seed=9)
+    first = solve(base, method="revised")
+    assert first.is_optimal
+    basis = first.extra["basis"]
+    print(f"base model: {base}")
+    print(f"base solve: {first.iterations.total_iterations} pivots, "
+          f"profit {first.objective:.2f}\n")
+
+    print(f"{'scenario':>9} {'cold pivots':>12} {'dual pivots':>12} "
+          f"{'profit':>12} {'agree':>6}")
+    totals = [0, 0]
+    for s in range(8):
+        factors = rng.uniform(0.8, 1.2, base.num_constraints)
+        scenario = LPProblem(
+            c=base.c, a=base.a_dense(), senses=base.senses,
+            b=base.b * factors, bounds=base.bounds, maximize=base.maximize,
+            name=f"scenario-{s}",
+        )
+        cold = solve(scenario, method="revised")
+        warm = solve(scenario, method="dual", initial_basis=basis)
+        agree = abs(cold.objective - warm.objective) <= 1e-6 * (1 + abs(cold.objective))
+        totals[0] += cold.iterations.total_iterations
+        totals[1] += warm.iterations.total_iterations
+        print(f"{s:>9} {cold.iterations.total_iterations:>12} "
+              f"{warm.iterations.total_iterations:>12} "
+              f"{warm.objective:>12.2f} {'yes' if agree else 'NO':>6}")
+    print(f"\ntotal pivots: cold {totals[0]}, warm dual {totals[1]} "
+          f"({totals[0] / max(1, totals[1]):.1f}x fewer)")
+
+    # shadow prices tell the planner which capacity to buy more of
+    duals = first.extra["duals"]
+    top = np.argsort(-duals)[:5]
+    print("\nmost valuable capacities (base-model shadow prices):")
+    for i in top:
+        print(f"  constraint {i}: marginal value {duals[i]:.4f} per unit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e . --no-use-pep517` on hosts without
+the `wheel` package (offline environments)."""
+
+from setuptools import setup
+
+setup()

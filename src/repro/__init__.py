@@ -1,0 +1,58 @@
+"""repro — reproduction of "Linear optimization on modern GPUs" (IPDPS 2009).
+
+A production-quality Python library implementing the paper's GPU revised
+simplex method on a simulated SIMT (CUDA-class) device, together with every
+substrate the paper depends on:
+
+- ``repro.gpu``       — simulated GPU: device, memory spaces, kernels, warps,
+  an analytic cost model calibrated to GT200-class hardware, device BLAS,
+  parallel reductions and sparse kernels.
+- ``repro.sparse``    — COO/CSR/CSC sparse matrix formats and operations.
+- ``repro.lp``        — LP modelling: general-form problems, standard-form
+  conversion, scaling, MPS/LP readers, workload generators.
+- ``repro.simplex``   — CPU baselines: dense tableau simplex and revised
+  simplex with several pricing rules and basis-update strategies.
+- ``repro.core``      — the paper's contribution: the GPU revised simplex
+  solver (and a GPU tableau simplex design point) with per-kernel timing.
+- ``repro.bench``     — the benchmark harness that regenerates every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import LPProblem, solve
+
+    lp = LPProblem.minimize(
+        c=[-3.0, -5.0],
+        a_ub=[[1.0, 0.0], [0.0, 2.0], [3.0, 2.0]],
+        b_ub=[4.0, 12.0, 18.0],
+    )
+    result = solve(lp, method="gpu-revised")
+    print(result.status, result.objective, result.x)
+"""
+
+from repro._version import __version__
+from repro.lp.problem import LPProblem, ConstraintSense, Bounds
+from repro.lp.generators import (
+    random_dense_lp,
+    random_sparse_lp,
+    transportation_lp,
+    klee_minty_lp,
+)
+from repro.solve import solve, available_methods
+from repro.status import SolveStatus
+from repro.result import SolveResult
+
+__all__ = [
+    "__version__",
+    "LPProblem",
+    "ConstraintSense",
+    "Bounds",
+    "SolveStatus",
+    "SolveResult",
+    "solve",
+    "available_methods",
+    "random_dense_lp",
+    "random_sparse_lp",
+    "transportation_lp",
+    "klee_minty_lp",
+]

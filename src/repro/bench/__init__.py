@@ -1,0 +1,28 @@
+"""Benchmark harness: regenerates every table and figure of the evaluation.
+
+- :mod:`~repro.bench.tables`      — ASCII/CSV rendering of result tables and
+  text "figures" (series printed as aligned columns).
+- :mod:`~repro.bench.harness`     — sweep runners: solve a workload family
+  across sizes/methods and collect modeled times, iteration counts,
+  breakdowns and accuracy.
+- :mod:`~repro.bench.experiments` — one entry point per experiment
+  (T1, T2, T3, F1–F6, A1–A3); each returns a :class:`~repro.bench.tables.Report`
+  whose ``render()`` is the regenerated table/figure.
+
+Run any experiment directly::
+
+    python -m repro.bench.experiments f1
+"""
+
+from repro.bench.tables import Report, Table
+from repro.bench.harness import SweepRecord, run_method, dense_sweep, speedup_series, find_crossover
+
+__all__ = [
+    "Report",
+    "Table",
+    "SweepRecord",
+    "run_method",
+    "dense_sweep",
+    "speedup_series",
+    "find_crossover",
+]

@@ -1,0 +1,175 @@
+"""Sweep runners and series utilities for the benchmark experiments.
+
+The harness solves real instances with real pivots; "time" in the records is
+the analytic machine-model time (simulated GPU clock / modeled 2009 CPU), and
+``wall_seconds`` is this host's Python time, reported separately by
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.lp.generators import random_dense_lp, random_sparse_lp
+from repro.lp.problem import LPProblem
+from repro.result import SolveResult
+from repro.solve import solve
+
+#: The default size sweep of the paper-shaped figures (m = n).
+DEFAULT_SIZES = (64, 128, 256, 384, 512, 768)
+
+#: Default pricing for benchmark runs: Dantzig, as the paper's solver uses.
+DEFAULT_PRICING = "dantzig"
+
+
+@dataclasses.dataclass
+class SweepRecord:
+    """One (method, instance) cell of a sweep."""
+
+    method: str
+    size: int
+    m: int
+    n: int
+    status: str
+    objective: float
+    iterations: int
+    modeled_seconds: float
+    transfer_seconds: float
+    wall_seconds: float
+    per_iteration_us: float
+    result: SolveResult
+
+    @classmethod
+    def from_result(cls, method: str, lp: LPProblem, result: SolveResult) -> "SweepRecord":
+        iters = result.iterations.total_iterations
+        return cls(
+            method=method,
+            size=max(lp.num_constraints, lp.num_vars),
+            m=lp.num_constraints,
+            n=lp.num_vars,
+            status=result.status.value,
+            objective=result.objective,
+            iterations=iters,
+            modeled_seconds=result.timing.modeled_seconds,
+            transfer_seconds=result.timing.transfer_seconds,
+            wall_seconds=result.timing.wall_seconds,
+            per_iteration_us=(
+                result.timing.modeled_seconds / iters * 1e6 if iters else float("nan")
+            ),
+            result=result,
+        )
+
+
+def run_method(lp: LPProblem, method: str, **options) -> SweepRecord:
+    """Solve one instance with one method; returns its sweep record."""
+    options.setdefault("pricing", DEFAULT_PRICING)
+    result = solve(lp, method=method, **options)
+    return SweepRecord.from_result(method, lp, result)
+
+
+def dense_sweep(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    methods: Sequence[str] = ("revised", "gpu-revised"),
+    seed: int = 42,
+    **options,
+) -> dict[str, list[SweepRecord]]:
+    """The paper's main experiment: square random dense LPs across sizes.
+
+    Returns ``{method: [record per size]}``; every method sees the *same*
+    instance at each size.
+    """
+    out: dict[str, list[SweepRecord]] = {m: [] for m in methods}
+    for size in sizes:
+        lp = random_dense_lp(size, size, seed=seed)
+        for method in methods:
+            out[method].append(run_method(lp, method, **options))
+    return out
+
+
+def sparse_sweep(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    density: float = 0.05,
+    methods: Sequence[str] = ("revised", "gpu-revised"),
+    seed: int = 42,
+    **options,
+) -> dict[str, list[SweepRecord]]:
+    """Square random sparse LPs across sizes."""
+    out: dict[str, list[SweepRecord]] = {m: [] for m in methods}
+    for size in sizes:
+        lp = random_sparse_lp(size, size, density=density, seed=seed)
+        for method in methods:
+            out[method].append(run_method(lp, method, **options))
+    return out
+
+
+def speedup_series(
+    baseline: Sequence[SweepRecord], contender: Sequence[SweepRecord]
+) -> list[float]:
+    """baseline_time / contender_time per size (>1 means contender wins)."""
+    if len(baseline) != len(contender):
+        raise ValueError("speedup series need equal-length sweeps")
+    out = []
+    for b, c in zip(baseline, contender):
+        out.append(b.modeled_seconds / c.modeled_seconds if c.modeled_seconds else math.nan)
+    return out
+
+
+def find_crossover(sizes: Sequence[int], speedups: Sequence[float]) -> float | None:
+    """Interpolated problem size where the speedup crosses 1.0.
+
+    Returns None when the series never crosses (one side wins everywhere).
+    """
+    for i in range(1, len(speedups)):
+        s0, s1 = speedups[i - 1], speedups[i]
+        if (s0 - 1.0) * (s1 - 1.0) <= 0.0 and s0 != s1:
+            x0, x1 = sizes[i - 1], sizes[i]
+            t = (1.0 - s0) / (s1 - s0)
+            return float(x0 + t * (x1 - x0))
+    return None
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured − reference| / max(1, |reference|)."""
+    return abs(measured - reference) / max(1.0, abs(reference))
+
+
+def scipy_reference(lp: LPProblem) -> float | None:
+    """Optimal objective from scipy's HiGHS (independent oracle), in the
+    problem's own orientation; None when not optimal."""
+    from scipy.optimize import linprog
+
+    from repro.lp.problem import ConstraintSense
+
+    c = -lp.c if lp.maximize else lp.c
+    a = lp.a_dense()
+    a_ub, b_ub, a_eq, b_eq = [], [], [], []
+    for i, sense in enumerate(lp.senses):
+        if sense is ConstraintSense.LE:
+            a_ub.append(a[i])
+            b_ub.append(lp.b[i])
+        elif sense is ConstraintSense.GE:
+            a_ub.append(-a[i])
+            b_ub.append(-lp.b[i])
+        else:
+            a_eq.append(a[i])
+            b_eq.append(lp.b[i])
+    bounds = [
+        (lo if np.isfinite(lo) else None, hi if np.isfinite(hi) else None)
+        for lo, hi in zip(lp.bounds.lower, lp.bounds.upper)
+    ]
+    res = linprog(
+        c,
+        A_ub=np.asarray(a_ub) if a_ub else None,
+        b_ub=np.asarray(b_ub) if b_ub else None,
+        A_eq=np.asarray(a_eq) if a_eq else None,
+        b_eq=np.asarray(b_eq) if b_eq else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status != 0:
+        return None
+    return float(-res.fun if lp.maximize else res.fun)

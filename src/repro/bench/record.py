@@ -1,0 +1,89 @@
+"""Persisting experiment reports to disk.
+
+``save_report`` writes one :class:`~repro.bench.tables.Report` as a bundle:
+the rendered text, one CSV per table (for plotting elsewhere), and a
+Markdown fragment; ``save_all`` runs any subset of the experiment registry
+into a directory — the mechanism behind ``python -m repro.bench.experiments
+--out DIR`` and the recorded EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.tables import Report
+
+
+def _slug(text: str) -> str:
+    out = re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")
+    return out or "table"
+
+
+def report_to_markdown(report: Report) -> str:
+    """Render a report as GitHub-flavoured Markdown."""
+    lines = [f"## [{report.experiment}] {report.title}", ""]
+    for table in report.tables:
+        if table.title:
+            lines.append(f"**{table.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(table.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in table.columns) + "|")
+        for row in table.rows:
+            from repro.bench.tables import _fmt
+
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        lines.append("")
+    for note in report.notes:
+        if "\n" in note:  # ascii series: keep preformatted
+            lines.append("```")
+            lines.append(note.rstrip())
+            lines.append("```")
+        else:
+            lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def save_report(report: Report, directory: "str | Path") -> list[Path]:
+    """Write <id>.txt, <id>.md and <id>-<table>.csv files; returns paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = report.experiment.lower()
+    written: list[Path] = []
+
+    txt = directory / f"{stem}.txt"
+    txt.write_text(report.render())
+    written.append(txt)
+
+    md = directory / f"{stem}.md"
+    md.write_text(report_to_markdown(report))
+    written.append(md)
+
+    for i, table in enumerate(report.tables):
+        label = _slug(table.title) if table.title else f"table{i}"
+        csv = directory / f"{stem}-{label}.csv"
+        csv.write_text(table.to_csv())
+        written.append(csv)
+    return written
+
+
+def save_all(
+    directory: "str | Path",
+    experiment_ids: Sequence[str] | None = None,
+) -> dict[str, list[Path]]:
+    """Run experiments (all by default) and persist each; returns the paths
+    per experiment id."""
+    from repro.bench.experiments import EXPERIMENTS
+
+    ids = sorted(EXPERIMENTS) if experiment_ids is None else [
+        e.lower() for e in experiment_ids
+    ]
+    out: dict[str, list[Path]] = {}
+    for exp_id in ids:
+        fn = EXPERIMENTS.get(exp_id)
+        if fn is None:
+            raise KeyError(f"unknown experiment {exp_id!r}")
+        out[exp_id] = save_report(fn(), directory)
+    return out

@@ -1,0 +1,117 @@
+"""Plain-text table and report rendering for the benchmark harness.
+
+Every experiment produces a :class:`Report`: a title, an optional preamble,
+one or more :class:`Table` objects and closing notes.  ``render()`` gives the
+aligned ASCII form the harness prints (the "figure" of a text environment);
+``to_csv()`` gives machine-readable output for plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclasses.dataclass
+class Table:
+    """A column-aligned table."""
+
+    columns: list[str]
+    rows: list[list[Any]] = dataclasses.field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[j]), *(len(r[j]) for r in cells)) if cells else len(self.columns[j])
+            for j in range(len(self.columns))
+        ]
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        out.write(header + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in cells:
+            out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(_fmt(v) for v in row) + "\n")
+        return out.getvalue()
+
+    def column(self, name: str) -> list[Any]:
+        j = self.columns.index(name)
+        return [row[j] for row in self.rows]
+
+
+@dataclasses.dataclass
+class Report:
+    """A titled collection of tables plus free-text notes."""
+
+    experiment: str
+    title: str
+    tables: list[Table] = dataclasses.field(default_factory=list)
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        out = io.StringIO()
+        rule = "=" * max(len(self.title) + 10, 40)
+        out.write(f"{rule}\n[{self.experiment}] {self.title}\n{rule}\n")
+        for table in self.tables:
+            out.write(table.render())
+            out.write("\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+
+def ascii_series(
+    xs: Sequence[float], ys: Sequence[float], width: int = 50, label: str = ""
+) -> str:
+    """A minimal text plot: one bar per (x, y) point, length ∝ y.
+
+    Used to give figures a visual form in terminal output; the exact values
+    are in the accompanying table.
+    """
+    finite = [y for y in ys if y == y and y != float("inf")]
+    top = max(finite) if finite else 1.0
+    out = io.StringIO()
+    if label:
+        out.write(label + "\n")
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(width * (y / top)))) if top > 0 else ""
+        out.write(f"{_fmt(x):>10} | {bar} {_fmt(y)}\n")
+    return out.getvalue()

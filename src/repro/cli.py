@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     solve an MPS file with any method and print the result
+``info``      print structural statistics of an MPS file
+``generate``  write a random dense/sparse instance to MPS
+``bench``     run one of the evaluation experiments (T1–T3, F1–F6, A1–A3)
+``devices``   print the modeled hardware table
+
+Examples::
+
+    python -m repro generate dense 64 64 --out /tmp/d64.mps
+    python -m repro solve /tmp/d64.mps --method gpu-revised --dtype float32
+    python -m repro info /tmp/d64.mps
+    python -m repro bench f2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GPU revised simplex LP solver (IPDPS 2009 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_solve = sub.add_parser("solve", help="solve an MPS file")
+    p_solve.add_argument("path", help="MPS file to solve")
+    p_solve.add_argument("--method", default="gpu-revised",
+                         help="tableau | revised | gpu-revised | gpu-tableau")
+    p_solve.add_argument("--pricing", default="dantzig",
+                         help="dantzig | bland | hybrid | devex | steepest-edge")
+    p_solve.add_argument("--dtype", default="float64",
+                         choices=["float32", "float64"])
+    p_solve.add_argument("--scale", action="store_true",
+                         help="apply geometric-mean scaling")
+    p_solve.add_argument("--presolve", action="store_true",
+                         help="run presolve reductions first")
+    p_solve.add_argument("--max-iterations", type=int, default=0)
+    p_solve.add_argument("--print-solution", action="store_true",
+                         help="print every nonzero variable")
+
+    p_info = sub.add_parser("info", help="print structural statistics")
+    p_info.add_argument("path", help="MPS file to analyse")
+
+    p_gen = sub.add_parser("generate", help="write a random instance to MPS")
+    p_gen.add_argument("kind", choices=["dense", "sparse", "transport", "klee-minty"])
+    p_gen.add_argument("m", type=int, help="rows (or dimension for klee-minty)")
+    p_gen.add_argument("n", type=int, nargs="?", default=None, help="columns")
+    p_gen.add_argument("--density", type=float, default=0.05)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--out", required=True, help="output MPS path")
+
+    p_bench = sub.add_parser("bench", help="run an evaluation experiment")
+    p_bench.add_argument("experiment", help="t1 t2 t3 f1..f6 a1..a3 | all")
+
+    sub.add_parser("devices", help="print the modeled hardware table")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.lp.mps import read_mps
+    from repro.lp.presolve import solve_with_presolve
+    from repro.solve import solve
+
+    lp = read_mps(args.path)
+    kwargs = dict(
+        method=args.method,
+        pricing=args.pricing,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+        scale=args.scale,
+        max_iterations=args.max_iterations,
+    )
+    if args.presolve:
+        result = solve_with_presolve(lp, **kwargs)
+    else:
+        result = solve(lp, **kwargs)
+
+    print(result.summary())
+    if result.is_optimal:
+        print(f"objective: {result.objective:.10g}")
+        print(f"modeled machine time: {result.timing.modeled_seconds * 1e3:.3f} ms")
+        if result.timing.kernel_breakdown:
+            top = sorted(result.timing.kernel_breakdown.items(),
+                         key=lambda kv: -kv[1])[:5]
+            print("time breakdown:",
+                  ", ".join(f"{k} {v * 1e3:.2f}ms" for k, v in top))
+        if args.print_solution and result.x is not None:
+            for j, value in enumerate(result.x):
+                if abs(value) > 1e-9:
+                    print(f"  {lp.variable_name(j)} = {value:.6g}")
+        return 0
+    return 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.lp.analysis import analyze
+    from repro.lp.mps import read_mps
+
+    print(analyze(read_mps(args.path)).render())
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.lp.generators import (
+        klee_minty_lp,
+        random_dense_lp,
+        random_sparse_lp,
+        transportation_lp,
+    )
+    from repro.lp.mps import write_mps
+
+    if args.kind == "dense":
+        if args.n is None:
+            raise SystemExit("dense needs m and n")
+        lp = random_dense_lp(args.m, args.n, seed=args.seed)
+    elif args.kind == "sparse":
+        if args.n is None:
+            raise SystemExit("sparse needs m and n")
+        lp = random_sparse_lp(args.m, args.n, density=args.density, seed=args.seed)
+    elif args.kind == "transport":
+        if args.n is None:
+            raise SystemExit("transport needs supply and demand counts")
+        lp = transportation_lp(args.m, args.n, seed=args.seed)
+    else:
+        lp = klee_minty_lp(args.m)
+    write_mps(lp, args.out)
+    print(f"wrote {lp.name}: {lp.num_constraints}x{lp.num_vars} -> {args.out}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import main as bench_main
+
+    return bench_main([args.experiment])
+
+
+def _cmd_devices(_args: argparse.Namespace) -> int:
+    from repro.bench.experiments import t1_device_table
+
+    print(t1_device_table().render())
+    return 0
+
+
+_COMMANDS = {
+    "solve": _cmd_solve,
+    "info": _cmd_info,
+    "generate": _cmd_generate,
+    "bench": _cmd_bench,
+    "devices": _cmd_devices,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

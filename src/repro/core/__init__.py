@@ -1,0 +1,18 @@
+"""The paper's contribution: simplex solvers on the simulated GPU.
+
+- :mod:`~repro.core.gpu_kernels`         — the solver-specific device
+  kernels (column extraction, ratio-test map, eta construction, β update,
+  masked pricing) layered over :mod:`repro.gpu`.
+- :mod:`~repro.core.gpu_revised_simplex` — **GpuRevisedSimplex**, the
+  paper's solver: device-resident B⁻¹, BLAS-2 iteration (BTRAN/pricing/
+  FTRAN as GEMV, rank-1 GER basis update), dense or sparse constraint
+  matrix, fp32/fp64.
+- :mod:`~repro.core.gpu_tableau_simplex` — **GpuTableauSimplex**, the
+  full-tableau design point (O(mn) GER per iteration, maximal parallelism)
+  used by the A3 ablation.
+"""
+
+from repro.core.gpu_revised_simplex import GpuRevisedSimplex
+from repro.core.gpu_tableau_simplex import GpuTableauSimplex
+
+__all__ = ["GpuRevisedSimplex", "GpuTableauSimplex"]

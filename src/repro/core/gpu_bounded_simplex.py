@@ -1,0 +1,405 @@
+"""Bounded-variable revised simplex on the simulated GPU.
+
+The device port of :class:`~repro.simplex.bounded.BoundedRevisedSimplexSolver`:
+upper bounds live in device memory alongside the data, the pricing map is a
+signed masked arg-min (σ·d with σ = ±1 by resting bound), the ratio test is
+the three-way bounded map kernel, and bound flips cost a single AXPY-class
+kernel — no basis update, no GER, no eta.
+
+Compared to ``gpu-revised`` on a fully boxed problem, this solver keeps the
+basis at m instead of m + #bounds; A5 measures the effect.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import gpu_kernels as K
+from repro.errors import SolverError
+from repro.gpu import blas
+from repro.gpu import reduce as gpured
+from repro.gpu.device import Device
+from repro.gpu.reduce import NO_INDEX
+from repro.gpu.sparse_kernels import DeviceCscMatrix, spmv_csc_t
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    initial_basis,
+    phase1_costs,
+    phase2_costs,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.status import SolveStatus
+
+#: Pivot-row marker for a bound flip.
+BOUND_FLIP = -2
+
+
+class GpuBoundedRevisedSimplex:
+    """Two-phase bounded-variable revised simplex on the simulated device."""
+
+    name = "gpu-revised-bounded"
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        device: Device | None = None,
+        gpu_params: GpuModelParams = GTX280_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        if self.options.pricing not in ("dantzig", "bland", "hybrid"):
+            raise SolverError(
+                "gpu-revised-bounded supports dantzig/bland/hybrid pricing"
+            )
+        if self.options.scale:
+            raise SolverError("the bounded solver does not combine with scaling")
+        self._external_device = device
+        self._gpu_params = gpu_params
+        self.device: Device | None = device
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
+        t_wall = time.perf_counter()
+        opts = self.options
+        prep = prepare(problem, opts, range_bounds_as_rows=False)
+        dev = self._external_device or Device(self._gpu_params)
+        self.device = dev
+        dev.reset_stats()
+
+        dtype = np.dtype(opts.dtype)
+        eps = float(np.finfo(dtype).eps)
+        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        tol_piv = max(opts.tol_pivot, 50 * eps)
+
+        st = _BState(prep, dev, dtype)
+        stats = IterationStats()
+        basis, needs_phase1 = initial_basis(prep)
+        st.init_basis(basis)
+
+        try:
+            if needs_phase1:
+                status, iters = self._run_phase(
+                    st, phase1_costs(prep), stats, tol_rc, tol_piv
+                )
+                stats.phase1_iterations = iters
+                if status is not SolveStatus.OPTIMAL:
+                    if status is SolveStatus.UNBOUNDED:
+                        status = SolveStatus.NUMERICAL
+                    return self._finish(status, prep, st, stats, t_wall)
+                z1 = blas.dot(st.c_b, st.x_b)
+                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+                if z1 > max(PHASE1_TOL, 50 * eps) * feas_scale:
+                    return self._finish(
+                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
+                        extra={"phase1_objective": z1},
+                    )
+                self._drive_out_artificials(st, tol_piv)
+
+            status, iters = self._run_phase(
+                st, phase2_costs(prep), stats, tol_rc, tol_piv
+            )
+            stats.phase2_iterations = iters
+            return self._finish(status, prep, st, stats, t_wall)
+        finally:
+            st.free()
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(self, st: "_BState", c_full, stats, tol_rc, tol_piv):
+        opts = self.options
+        dev = st.dev
+        prep = st.prep
+        m, n = prep.m, prep.n_total
+        cap = opts.iteration_cap(m, n)
+        use_bland = opts.pricing == "bland"
+        stalled = 0
+
+        st.load_phase_costs(c_full)
+        z = blas.dot(st.c_b, st.x_b)  # nonbasic-at-upper share added at finish
+        iters = 0
+
+        while iters < cap:
+            iters += 1
+
+            with dev.timed_section("pricing"):
+                blas.gemv(st.binv, st.c_b, st.pi, trans=True)
+                blas.copy(st.c_real, st.d)
+                if st.a_sparse is not None:
+                    spmv_csc_t(st.a_sparse, st.pi, st.tmp_n)
+                    blas.axpy(-1.0, st.tmp_n, st.d)
+                else:
+                    blas.gemv(st.a_dense, st.pi, st.d, alpha=-1.0, beta=1.0,
+                              trans=True)
+                K.masked_signed_for_min(dev, st.d, st.mask, st.sigma, st.tmp_n)
+                if use_bland:
+                    q = gpured.first_index_below(st.tmp_n, -tol_rc)
+                    if q == NO_INDEX:
+                        return SolveStatus.OPTIMAL, iters
+                    signed_dq = st.tmp_n.scalar_to_host(q)
+                else:
+                    q, signed_dq = gpured.argmin(st.tmp_n)
+                    if signed_dq >= -tol_rc:
+                        return SolveStatus.OPTIMAL, iters
+            sigma = -1.0 if st.at_upper[q] else 1.0
+            d_q = sigma * signed_dq  # un-sign: actual reduced cost
+
+            with dev.timed_section("ftran"):
+                st.load_column(q)
+                blas.gemv(st.binv, st.a_q, st.alpha)
+
+            with dev.timed_section("ratio"):
+                K.bounded_ratio_kernel(
+                    dev, st.x_b, st.alpha, st.u_basis, sigma, tol_piv,
+                    st.ratios, st.to_upper,
+                )
+                p, theta_basic = gpured.argmin(st.ratios)
+                theta = theta_basic
+                pivot_kind = "basic"
+                u_q = float(st.u_host[q])
+                if np.isfinite(u_q) and u_q <= theta * (1.0 + 1e-12):
+                    theta = u_q
+                    pivot_kind = "flip"
+                if not np.isfinite(theta):
+                    return SolveStatus.UNBOUNDED, iters
+                if pivot_kind == "basic":
+                    # Bland-compatible tie-break among blocking rows
+                    cut = theta * (1.0 + 1e-6) + 1e-30
+                    K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys,
+                                           st.tmp_m)
+                    p2, key = gpured.argmin(st.tmp_m)
+                    if np.isfinite(key):
+                        p = p2
+                    pivot = st.alpha.scalar_to_host(p)
+                    leaves_at_upper = bool(st.to_upper.scalar_to_host(p) != 0.0)
+            if theta <= opts.tol_zero:
+                stats.degenerate_steps += 1
+
+            with dev.timed_section("update"):
+                if pivot_kind == "flip":
+                    K.bounded_update_beta_kernel(
+                        dev, st.x_b, st.alpha, -sigma * theta, -1, 0.0
+                    )
+                    st.flip(q)
+                else:
+                    x_q_new = u_q - theta if sigma < 0 else theta
+                    K.bounded_update_beta_kernel(
+                        dev, st.x_b, st.alpha, -sigma * theta, p, x_q_new
+                    )
+                    K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+                    K.extract_row(dev, st.binv, p, st.row_p)
+                    blas.ger(st.eta, st.row_p, st.binv)
+                    st.pivot_metadata(p, q, float(c_full[q]), leaves_at_upper)
+            z += d_q * sigma * theta
+
+            improved = (-d_q * sigma) * theta > 1e-12 * (1.0 + abs(z))
+            if opts.pricing == "hybrid":
+                if improved:
+                    stalled = 0
+                    use_bland = False
+                else:
+                    stalled += 1
+                    if stalled >= opts.stall_window and not use_bland:
+                        use_bland = True
+                        stats.bland_activations += 1
+                        stalled = 0
+
+        return SolveStatus.ITERATION_LIMIT, iters
+
+    def _drive_out_artificials(self, st: "_BState", tol_piv: float) -> None:
+        dev = st.dev
+        prep = st.prep
+        n = prep.n_total
+        for p in np.nonzero(st.basis >= n)[0]:
+            p = int(p)
+            K.extract_row(dev, st.binv, p, st.row_p)
+            if st.a_sparse is not None:
+                spmv_csc_t(st.a_sparse, st.row_p, st.tmp_n)
+            else:
+                blas.gemv(st.a_dense, st.row_p, st.tmp_n, trans=True)
+            row = st.tmp_n.copy_to_host().astype(np.float64)
+            candidates = np.nonzero((~st.in_basis[:n]) & (np.abs(row) > 1e-5))[0]
+            if candidates.size == 0:
+                continue
+            j = int(candidates[np.argmax(np.abs(row[candidates]))])
+            st.load_column(j)
+            blas.gemv(st.binv, st.a_q, st.alpha)
+            pivot = st.alpha.scalar_to_host(p)
+            if abs(pivot) <= tol_piv:
+                continue
+            # degenerate swap: no value moves; the new basic takes its
+            # current resting value
+            value = float(st.u_host[j]) if st.at_upper[j] else 0.0
+            K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+            K.extract_row(dev, st.binv, p, st.row_p)
+            blas.ger(st.eta, st.row_p, st.binv)
+            st.x_b.set_scalar(p, value)
+            st.pivot_metadata(p, j, 0.0, leaves_at_upper=False)
+
+    # ------------------------------------------------------------------
+
+    def _finish(self, status, prep, st: "_BState", stats, t_wall, extra=None):
+        dev = st.dev
+        breakdown = dict(dev.stats.sections)
+        breakdown["transfer"] = dev.stats.transfer_seconds
+        timing = TimingStats(
+            modeled_seconds=dev.clock,
+            wall_seconds=time.perf_counter() - t_wall,
+            transfer_seconds=dev.stats.transfer_seconds,
+            kernel_breakdown=breakdown,
+        )
+        result = SolveResult(
+            status=status, iterations=stats, timing=timing, solver=self.name,
+            extra=extra or {},
+        )
+        result.extra["device"] = dev.params.name
+        result.extra["bound_flips"] = st.flips
+        result.extra["kernel_launches"] = dev.stats.kernel_launches
+        result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        if status is SolveStatus.OPTIMAL:
+            n = prep.n_total
+            x_b = st.x_b.copy_to_host().astype(np.float64)
+            x_std = np.zeros(n)
+            x_std[st.at_upper] = st.u_host[:n][st.at_upper]
+            real = st.basis < n
+            x_std[st.basis[real]] = x_b[real]
+            z_std = float(prep.std.c @ x_std)
+            result.objective = prep.std.original_objective(z_std)
+            result.x = prep.std.recover_x(x_std)
+            result.residuals = SolveResult.compute_residuals(
+                prep.std.a, prep.std.b, x_std
+            )
+            result.extra["basis"] = st.basis.copy()
+            result.extra["x_std"] = x_std
+            result.extra["at_upper"] = st.at_upper.copy()
+        # the solution download above advanced the clock; the
+        # reported machine time must include it
+        result.timing.modeled_seconds = dev.clock
+        result.timing.transfer_seconds = dev.stats.transfer_seconds
+        result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+        return result
+
+
+class _BState:
+    """Device-resident bounded-solver state + host bookkeeping."""
+
+    def __init__(self, prep: PreparedLP, dev: Device, dtype: np.dtype):
+        self.prep = prep
+        self.dev = dev
+        self.dtype = dtype
+        m, n = prep.m, prep.n_total
+        self.u_host = np.concatenate(
+            [prep.std.upper_bounds(), np.full(m, np.inf)]
+        )
+
+        self.a_sparse: DeviceCscMatrix | None = None
+        self.a_dense = None
+        try:
+            with dev.timed_section("transfer"):
+                if prep.is_sparse:
+                    self.a_sparse = DeviceCscMatrix(dev, prep.a, dtype)
+                else:
+                    self.a_dense = dev.to_device(np.asarray(prep.a), dtype)
+                self.b = dev.to_device(prep.b, dtype)
+                self.binv = dev.to_device(np.eye(m), dtype)
+                self.x_b = dev.to_device(prep.b, dtype)
+                self.c_real = dev.to_device(np.zeros(n), dtype)
+                self.c_b = dev.to_device(np.zeros(m), dtype)
+                self.mask = dev.to_device(np.ones(n), dtype)
+                self.sigma = dev.to_device(np.ones(n), dtype)
+                self.u_basis = dev.to_device(np.full(m, np.inf), dtype)
+            self.pi = dev.zeros(m, dtype)
+            self.d = dev.zeros(n, dtype)
+            self.tmp_n = dev.zeros(n, dtype)
+            self.tmp_m = dev.zeros(m, dtype)
+            self.basis_keys = dev.zeros(m, dtype)
+            self.a_q = dev.zeros(m, dtype)
+            self.alpha = dev.zeros(m, dtype)
+            self.ratios = dev.zeros(m, dtype)
+            self.to_upper = dev.zeros(m, dtype)
+            self.eta = dev.zeros(m, dtype)
+            self.row_p = dev.zeros(m, dtype)
+        except Exception:
+            self.free()
+            raise
+
+        self.basis = np.zeros(m, dtype=np.int64)
+        self.in_basis = np.zeros(n + m, dtype=bool)
+        self.at_upper = np.zeros(n, dtype=bool)
+        self.flips = 0
+
+    def init_basis(self, basis: np.ndarray) -> None:
+        self.basis = basis.astype(np.int64).copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        n = self.prep.n_total
+        mask_host = np.where(self.in_basis[:n], 0.0, 1.0)
+        with self.dev.timed_section("transfer"):
+            self.mask.copy_from_host(mask_host.astype(self.dtype))
+            self.basis_keys.copy_from_host(self.basis.astype(self.dtype))
+            self.u_basis.copy_from_host(
+                self.u_host[self.basis].astype(self.dtype)
+            )
+
+    def load_phase_costs(self, c_full: np.ndarray) -> None:
+        n = self.prep.n_total
+        with self.dev.timed_section("transfer"):
+            self.c_real.copy_from_host(c_full[:n].astype(self.dtype))
+            self.c_b.copy_from_host(c_full[self.basis].astype(self.dtype))
+
+    def load_column(self, j: int) -> None:
+        n = self.prep.n_total
+        if j >= n:
+            K.unit_vector(self.dev, self.a_q, j - n)
+        elif self.a_sparse is not None:
+            self.a_sparse.getcol_device(j, self.a_q)
+        else:
+            K.extract_column(self.dev, self.a_dense, j, self.a_q)
+
+    def flip(self, q: int) -> None:
+        """Bound flip of nonbasic q: host flag + device σ sign swap."""
+        self.at_upper[q] = ~self.at_upper[q]
+        self.flips += 1
+        self.sigma.set_scalar(q, -1.0 if self.at_upper[q] else 1.0)
+
+    def pivot_metadata(self, p: int, q: int, c_q: float,
+                       leaves_at_upper: bool) -> None:
+        leaving = int(self.basis[p])
+        n = self.prep.n_total
+        self.in_basis[leaving] = False
+        self.in_basis[q] = True
+        self.basis[p] = q
+        if q < n:
+            self.mask.set_scalar(q, 0.0)
+            self.at_upper[q] = False
+            self.sigma.set_scalar(q, 1.0)
+        if leaving < n:
+            self.mask.set_scalar(leaving, 1.0)
+            goes_up = leaves_at_upper and np.isfinite(self.u_host[leaving])
+            self.at_upper[leaving] = goes_up
+            self.sigma.set_scalar(leaving, -1.0 if goes_up else 1.0)
+        self.c_b.set_scalar(p, c_q)
+        self.basis_keys.set_scalar(p, float(q))
+        self.u_basis.set_scalar(p, float(self.u_host[q]))  # +inf is fine in fp32
+
+    def free(self) -> None:
+        for name in (
+            "b", "binv", "x_b", "c_real", "c_b", "mask", "sigma", "u_basis",
+            "pi", "d", "tmp_n", "tmp_m", "basis_keys", "a_q", "alpha",
+            "ratios", "to_upper", "eta", "row_p",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None and not arr.is_freed:
+                arr.free()
+        if self.a_dense is not None and not self.a_dense.is_freed:
+            self.a_dense.free()
+        if self.a_sparse is not None and not self.a_sparse.data.is_freed:
+            self.a_sparse.free()

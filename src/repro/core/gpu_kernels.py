@@ -1,0 +1,497 @@
+"""Solver-specific device kernels of the GPU simplex implementations.
+
+Everything here is a thin kernel over :class:`~repro.gpu.device.Device` with
+an explicit cost, mirroring the custom (non-cuBLAS) kernels a CUDA port
+writes around the BLAS calls: the ratio-test map, eta-column construction,
+the β update, masked pricing preparation and matrix row/column extraction.
+
+Layout convention: dense device matrices that are read column-wise (the
+constraint matrix A, the tableau T) are stored **column-major** on the
+device, exactly as the paper's implementation does, so column extraction is
+a coalesced copy.  The basis inverse B⁻¹ is stored **row-major** because the
+eta update reads row p (coalesced) and GEMV's warp-per-row mapping wants
+contiguous rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceArrayError
+from repro.gpu.device import Device
+from repro.gpu.memory import DeviceArray
+from repro.perfmodel.ops import OpCost
+
+#: Value standing in for +inf in the ratio vector (a float32-safe infinity).
+RATIO_INF = np.inf
+
+
+def extract_column(
+    dev: Device, a: DeviceArray, j: int, out: DeviceArray, *, column_major: bool = True
+) -> None:
+    """out := A[:, j] for a dense device matrix.
+
+    Coalesced when the matrix is stored column-major (the solver's layout
+    for A and T); a strided, transaction-amplified read otherwise.
+    """
+    m, n = a.shape
+    if not 0 <= j < n:
+        raise DeviceArrayError(f"column {j} out of range for {a.shape}")
+    if out.shape != (m,):
+        raise DeviceArrayError("output vector has wrong length")
+    w = out.itemsize
+
+    def body() -> None:
+        out.data[:] = a.data[:, j]
+
+    dev.launch(
+        "kernel.extract_col",
+        body,
+        OpCost(
+            bytes_read=m * w,
+            bytes_written=m * w,
+            threads=max(1, m),
+            coalesced_fraction=1.0 if column_major else 1.0 / max(1, 64 // w),
+        ),
+        dtype=a.dtype,
+    )
+
+
+def extract_row(
+    dev: Device, a: DeviceArray, i: int, out: DeviceArray, *, row_major: bool = True
+) -> None:
+    """out := A[i, :] for a dense device matrix.
+
+    Coalesced for the row-major layout (B⁻¹); strided for column-major
+    matrices (the tableau), where the transaction amplification is charged.
+    """
+    m, n = a.shape
+    if not 0 <= i < m:
+        raise DeviceArrayError(f"row {i} out of range for {a.shape}")
+    if out.shape != (n,):
+        raise DeviceArrayError("output vector has wrong length")
+    w = out.itemsize
+
+    def body() -> None:
+        out.data[:] = a.data[i, :]
+
+    dev.launch(
+        "kernel.extract_row",
+        body,
+        OpCost(
+            bytes_read=n * w,
+            bytes_written=n * w,
+            threads=max(1, n),
+            coalesced_fraction=1.0 if row_major else 1.0 / max(1, 64 // w),
+        ),
+        dtype=a.dtype,
+    )
+
+
+def unit_vector(dev: Device, out: DeviceArray, i: int) -> None:
+    """out := e_i (artificial-column synthesis: fill + one scatter)."""
+    if not 0 <= i < out.size:
+        raise DeviceArrayError(f"index {i} out of range for e_i of size {out.size}")
+    w = out.itemsize
+
+    def body() -> None:
+        out.data.fill(0)
+        out.data[i] = 1
+
+    dev.launch(
+        "kernel.unit_vector",
+        body,
+        OpCost(bytes_written=out.nbytes + w, threads=max(1, out.size)),
+        dtype=out.dtype,
+    )
+
+
+def ratio_kernel(
+    dev: Device,
+    beta: DeviceArray,
+    alpha: DeviceArray,
+    ratios: DeviceArray,
+    tol_pivot: float,
+) -> None:
+    """ratios[i] := β_i/α_i where α_i > tol, +inf elsewhere.
+
+    The per-row map of the ratio test; the branch makes warps mildly
+    divergent, which the cost carries.
+    """
+    m = beta.size
+    if alpha.size != m or ratios.size != m:
+        raise DeviceArrayError("ratio kernel operand size mismatch")
+    w = beta.itemsize
+    tol = beta.dtype.type(tol_pivot)
+
+    def body() -> None:
+        a = alpha.data
+        positive = a > tol
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = np.where(positive, beta.data / np.where(positive, a, 1), RATIO_INF)
+        # feasible β cannot produce negative ratios except via round-off
+        ratios.data[:] = np.where(r < 0, 0, r).astype(ratios.dtype)
+
+    dev.launch(
+        "kernel.ratio",
+        body,
+        OpCost(
+            flops=2 * m,
+            bytes_read=2 * m * w,
+            bytes_written=m * w,
+            threads=max(1, m),
+            divergent_fraction=0.15,
+        ),
+        dtype=beta.dtype,
+    )
+
+
+def tie_break_key_kernel(
+    dev: Device,
+    ratios: DeviceArray,
+    theta_cut: float,
+    basis_keys: DeviceArray,
+    out: DeviceArray,
+) -> None:
+    """out[i] := basis_keys[i] where ratios[i] <= theta_cut, +inf elsewhere.
+
+    Second pass of the Bland-compatible ratio test: among the rows tied at
+    the minimum ratio, the leaving variable must be the one with the lowest
+    *variable index* (not row index) for the anti-cycling guarantee to hold.
+    ``basis_keys`` holds each row's basic-variable index as a float.
+    """
+    m = ratios.size
+    if basis_keys.size != m or out.size != m:
+        raise DeviceArrayError("tie-break kernel operand size mismatch")
+    w = ratios.itemsize
+    cut = ratios.dtype.type(theta_cut)
+
+    def body() -> None:
+        out.data[:] = np.where(ratios.data <= cut, basis_keys.data, np.inf).astype(
+            out.dtype
+        )
+
+    dev.launch(
+        "kernel.tie_break",
+        body,
+        OpCost(
+            flops=m,
+            bytes_read=2 * m * w,
+            bytes_written=m * w,
+            threads=max(1, m),
+            divergent_fraction=0.05,
+        ),
+        dtype=ratios.dtype,
+    )
+
+
+def eta_kernel(
+    dev: Device,
+    alpha: DeviceArray,
+    p: int,
+    pivot: float,
+    out: DeviceArray,
+) -> None:
+    """out := η − e_p, the rank-1 factor of the basis-inverse update.
+
+    η_i = −α_i/α_p (i ≠ p), η_p = 1/α_p; subtracting e_p folds the
+    "replace row p" correction into a single GER:
+    ``B⁻¹ += (η − e_p) ⊗ (B⁻¹)_{p,·}``.
+    """
+    m = alpha.size
+    if out.size != m:
+        raise DeviceArrayError("eta kernel operand size mismatch")
+    if pivot == 0.0:
+        raise DeviceArrayError("eta kernel called with zero pivot")
+    w = alpha.itemsize
+    inv_piv = alpha.dtype.type(1.0 / pivot)
+
+    def body() -> None:
+        out.data[:] = -alpha.data * inv_piv
+        out.data[p] = inv_piv - out.dtype.type(1.0)
+
+    dev.launch(
+        "kernel.eta",
+        body,
+        OpCost(flops=2 * m, bytes_read=m * w, bytes_written=m * w, threads=max(1, m)),
+        dtype=alpha.dtype,
+    )
+
+
+def update_beta_kernel(
+    dev: Device,
+    beta: DeviceArray,
+    alpha: DeviceArray,
+    theta: float,
+    p: int,
+) -> None:
+    """β := max(β − θα, 0) elementwise, then β_p := θ (one fused kernel)."""
+    m = beta.size
+    if alpha.size != m:
+        raise DeviceArrayError("beta update operand size mismatch")
+    w = beta.itemsize
+    theta_t = beta.dtype.type(theta)
+
+    def body() -> None:
+        b = beta.data
+        b -= theta_t * alpha.data
+        np.clip(b, 0, None, out=b)
+        b[p] = theta_t
+
+    dev.launch(
+        "kernel.update_beta",
+        body,
+        OpCost(flops=3 * m, bytes_read=2 * m * w, bytes_written=m * w, threads=max(1, m)),
+        dtype=beta.dtype,
+    )
+
+
+def clamp_nonneg_kernel(dev: Device, x: DeviceArray) -> None:
+    """x := max(x, 0) elementwise — the β feasibility clamp after a rebuild."""
+    n = x.size
+    w = x.itemsize
+
+    def body() -> None:
+        np.clip(x.data, 0, None, out=x.data)
+
+    dev.launch(
+        "kernel.clamp",
+        body,
+        OpCost(flops=n, bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
+        dtype=x.dtype,
+    )
+
+
+def masked_for_min(
+    dev: Device,
+    values: DeviceArray,
+    mask: DeviceArray,
+    out: DeviceArray,
+) -> None:
+    """out[i] := values[i] where mask[i] != 0, +inf elsewhere.
+
+    Prepares the pricing vector for the arg-min reduction (basic and
+    otherwise ineligible columns masked out).
+    """
+    n = values.size
+    if mask.size != n or out.size != n:
+        raise DeviceArrayError("mask kernel operand size mismatch")
+    w = values.itemsize
+
+    def body() -> None:
+        out.data[:] = np.where(mask.data != 0, values.data, np.inf).astype(out.dtype)
+
+    dev.launch(
+        "kernel.mask_min",
+        body,
+        OpCost(
+            flops=n,
+            bytes_read=2 * n * w,
+            bytes_written=n * w,
+            threads=max(1, n),
+            divergent_fraction=0.05,
+        ),
+        dtype=values.dtype,
+    )
+
+
+def masked_signed_for_min(
+    dev: Device,
+    values: DeviceArray,
+    mask: DeviceArray,
+    sigma: DeviceArray,
+    out: DeviceArray,
+) -> None:
+    """out[i] := sigma[i]·values[i] where mask[i] != 0, +inf elsewhere.
+
+    The bounded-variable pricing map: σ = +1 for nonbasic-at-lower columns
+    (improve when d < 0), σ = −1 for nonbasic-at-upper columns (improve when
+    d > 0); the arg-min over σ·d finds the best candidate of either kind.
+    """
+    n = values.size
+    if mask.size != n or out.size != n or sigma.size != n:
+        raise DeviceArrayError("signed mask kernel operand size mismatch")
+    w = values.itemsize
+
+    def body() -> None:
+        out.data[:] = np.where(
+            mask.data != 0, sigma.data * values.data, np.inf
+        ).astype(out.dtype)
+
+    dev.launch(
+        "kernel.mask_signed_min",
+        body,
+        OpCost(
+            flops=2 * n,
+            bytes_read=3 * n * w,
+            bytes_written=n * w,
+            threads=max(1, n),
+            divergent_fraction=0.05,
+        ),
+        dtype=values.dtype,
+    )
+
+
+def bounded_ratio_kernel(
+    dev: Device,
+    x_b: DeviceArray,
+    alpha: DeviceArray,
+    u_basis: DeviceArray,
+    sigma: float,
+    tol_pivot: float,
+    ratios: DeviceArray,
+    to_upper: DeviceArray,
+) -> None:
+    """The three-way bounded ratio-test map.
+
+    With the entering variable moving by σ·t (t >= 0), each basic moves at
+    rate δ_i = −σ·α_i.  Per row:
+
+    - δ < −tol: blocks at its lower bound after t = x_i / (−δ),
+    - δ > +tol and u_i finite: blocks at its upper after t = (u_i − x_i)/δ,
+    - otherwise never blocks (ratio +inf).
+
+    ``ratios`` gets the blocking step; ``to_upper`` is 1 where the blocking
+    event is the *upper* bound (the leaving variable parks at u).
+    """
+    m = x_b.size
+    if alpha.size != m or u_basis.size != m or ratios.size != m or to_upper.size != m:
+        raise DeviceArrayError("bounded ratio kernel operand size mismatch")
+    w = x_b.itemsize
+    s = x_b.dtype.type(sigma)
+    tol = x_b.dtype.type(tol_pivot)
+
+    def body() -> None:
+        delta = (-s * alpha.data).astype(np.float64)
+        x = x_b.data.astype(np.float64)
+        u = u_basis.data.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dec = delta < -tol
+            t_dec = np.where(dec, x / np.maximum(-delta, 1e-300), np.inf)
+            inc = (delta > tol) & np.isfinite(u)
+            t_inc = np.where(inc, (u - x) / np.maximum(delta, 1e-300), np.inf)
+        t_dec = np.where(t_dec < 0, 0.0, t_dec)
+        t_inc = np.where(t_inc < 0, 0.0, t_inc)
+        ratios.data[:] = np.minimum(t_dec, t_inc).astype(ratios.dtype)
+        to_upper.data[:] = (t_inc < t_dec).astype(to_upper.dtype)
+
+    dev.launch(
+        "kernel.bounded_ratio",
+        body,
+        OpCost(
+            flops=6 * m,
+            bytes_read=3 * m * w,
+            bytes_written=2 * m * w,
+            threads=max(1, m),
+            divergent_fraction=0.2,
+        ),
+        dtype=x_b.dtype,
+    )
+
+
+def bounded_update_beta_kernel(
+    dev: Device,
+    beta: DeviceArray,
+    alpha: DeviceArray,
+    step: float,
+    p: int,
+    p_value: float,
+) -> None:
+    """β := clip(β + step·α, 0, ·), then β_p := p_value.
+
+    The bounded update: ``step = −σθ`` folds the direction in, and the
+    pivot row receives the entering variable's new value (θ from lower,
+    u_q − θ from upper).  ``p < 0`` skips the pivot write (bound flips)."""
+    m = beta.size
+    if alpha.size != m:
+        raise DeviceArrayError("bounded beta update operand size mismatch")
+    w = beta.itemsize
+    s = beta.dtype.type(step)
+
+    def body() -> None:
+        b = beta.data
+        b += s * alpha.data
+        np.clip(b, 0, None, out=b)
+        if p >= 0:
+            b[p] = beta.dtype.type(p_value)
+
+    dev.launch(
+        "kernel.bounded_update_beta",
+        body,
+        OpCost(flops=3 * m, bytes_read=2 * m * w, bytes_written=m * w, threads=max(1, m)),
+        dtype=beta.dtype,
+    )
+
+
+def scale_row_kernel(
+    dev: Device, src_row: DeviceArray, inv_pivot: float, out: DeviceArray
+) -> None:
+    """out := src_row · (1/pivot) — the pivot-row normalisation of the
+    tableau method (kept separate from BLAS scal: different buffers)."""
+    n = src_row.size
+    if out.size != n:
+        raise DeviceArrayError("row scale operand size mismatch")
+    w = src_row.itemsize
+    s = src_row.dtype.type(inv_pivot)
+
+    def body() -> None:
+        out.data[:] = src_row.data * s
+
+    dev.launch(
+        "kernel.scale_row",
+        body,
+        OpCost(flops=n, bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
+        dtype=src_row.dtype,
+    )
+
+
+def write_row_kernel(dev: Device, mat: DeviceArray, i: int, row: DeviceArray) -> None:
+    """mat[i, :] := row (coalesced row write of a row-major matrix)."""
+    m, n = mat.shape
+    if not 0 <= i < m or row.size != n:
+        raise DeviceArrayError("row write operand mismatch")
+    w = row.itemsize
+
+    def body() -> None:
+        mat.data[i, :] = row.data
+
+    dev.launch(
+        "kernel.write_row",
+        body,
+        OpCost(bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
+        dtype=mat.dtype,
+    )
+
+
+def ger_column_major(
+    dev: Device,
+    x: DeviceArray,
+    y: DeviceArray,
+    a: DeviceArray,
+    alpha: float = 1.0,
+) -> None:
+    """A := A + alpha·x yᵀ for a **column-major** device matrix.
+
+    Functionally identical to :func:`repro.gpu.blas.ger`; kept separate so
+    the tableau update is attributed its own kernel name in breakdowns.
+    """
+    m, n = a.shape
+    if x.size != m or y.size != n:
+        raise DeviceArrayError("ger operand mismatch")
+    w = a.itemsize
+    alpha_t = a.dtype.type(alpha)
+
+    def body() -> None:
+        a.data[...] = a.data + alpha_t * np.outer(x.data, y.data)
+
+    dev.launch(
+        "kernel.tableau_ger",
+        body,
+        OpCost(
+            flops=2 * m * n,
+            bytes_read=(m * n + m + n) * w,
+            bytes_written=m * n * w,
+            threads=m * n,
+        ),
+        dtype=a.dtype,
+    )

@@ -1,0 +1,519 @@
+"""The paper's solver: revised simplex on the (simulated) GPU.
+
+Data placement follows the IPDPS 2009 design: the constraint matrix A
+(column-major), the basis inverse B⁻¹ (row-major, dense), β, the pricing
+vector and all scratch buffers live in device global memory for the whole
+solve; the host only sees per-iteration scalars (entering/leaving indices,
+step length, pivot) and drives control flow.
+
+Per-iteration kernel schedule (names match the breakdown figure F3):
+
+======== =========================================================
+section  kernels
+======== =========================================================
+pricing  GEMVᵀ (π = B⁻ᵀc_B), GEMVᵀ/SpMVᵀ (d = c − Aᵀπ),
+         mask map, arg-min tree reduction
+ftran    column extract (or e_i synthesis), GEMV (α = B⁻¹a_q)
+ratio    ratio map kernel, arg-min tree reduction
+update   β update kernel, η kernel, row extract, GER rank-1 B⁻¹ update,
+         scalar HtoD writes (mask bits, c_B entry)
+======== =========================================================
+
+Phase 1 uses implicit artificial columns (e_i synthesised on demand);
+phase 2 reuses the phase-1 basis inverse, exactly as in the paper.  The
+explicit-inverse scheme does not refactorise by default (``refactor_period``
+applies if set; the rebuild happens on the host with PCIe-charged round
+trips, as 2009-era codes did).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import gpu_kernels as K
+from repro.errors import SolverError
+from repro.gpu import blas
+from repro.gpu import reduce as gpured
+from repro.gpu.device import Device
+from repro.gpu.memory import DeviceArray
+from repro.gpu.reduce import NO_INDEX
+from repro.gpu.sparse_kernels import DeviceCscMatrix, spmv_csc_t
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    extract_solution,
+    initial_basis,
+    phase1_costs,
+    phase2_costs,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.status import SolveStatus
+
+
+class _GpuPricing:
+    """Host-side pricing state machine driving the device reductions.
+
+    Implements dantzig / bland / hybrid over the masked reduced-cost buffer
+    (``devex``/``steepest-edge`` need tableau columns and are rejected at
+    construction of the solver).
+    """
+
+    def __init__(self, mode: str, stall_window: int):
+        self.mode = mode
+        self.stall_window = stall_window
+        self.using_bland = mode == "bland"
+        self.stalled = 0
+        self.improved_streak = 0
+        self.activations = 0
+
+    def select(
+        self, d: DeviceArray, mask: DeviceArray, work: DeviceArray, tol: float
+    ) -> tuple[int, float] | None:
+        K.masked_for_min(d.device, d, mask, work)
+        if self.using_bland:
+            q = gpured.first_index_below(work, -tol)
+            if q == NO_INDEX:
+                return None
+            return q, work.scalar_to_host(q)
+        q, dq = gpured.argmin(work)
+        if dq >= -tol:
+            return None
+        return q, dq
+
+    def notify(self, improved: bool) -> None:
+        if self.mode != "hybrid":
+            return
+        if improved:
+            self.stalled = 0
+            if self.using_bland:
+                self.improved_streak += 1
+                if self.improved_streak >= 5:
+                    self.using_bland = False
+                    self.improved_streak = 0
+        else:
+            self.stalled += 1
+            self.improved_streak = 0
+            if not self.using_bland and self.stalled >= self.stall_window:
+                self.using_bland = True
+                self.activations += 1
+                self.stalled = 0
+
+
+class GpuRevisedSimplex:
+    """Two-phase revised simplex on the simulated SIMT device."""
+
+    name = "gpu-revised"
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        device: Device | None = None,
+        gpu_params: GpuModelParams = GTX280_PARAMS,
+        fill_stats_every: int = 0,
+    ):
+        """``fill_stats_every > 0`` samples the fraction of non-negligible
+        entries of the device-resident B⁻¹ every that-many pivots into
+        ``result.extra["binv_fill"]`` — free instrumentation (reads the
+        functional backing store; no modeled time is charged), used by the
+        F8 fill-in experiment."""
+        self.options = options or SolverOptions()
+        if self.options.pricing in ("devex", "steepest-edge"):
+            raise SolverError(
+                f"pricing {self.options.pricing!r} needs tableau columns; "
+                "use the tableau solvers"
+            )
+        self._external_device = device
+        self._gpu_params = gpu_params
+        self._fill_every = int(fill_stats_every)
+        #: The device of the last solve (statistics inspection).
+        self.device: Device | None = device
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: "LPProblem | StandardFormLP",
+        initial_basis_hint: np.ndarray | None = None,
+    ) -> SolveResult:
+        """Solve; ``initial_basis_hint`` warm-starts from a previous basis.
+
+        The hint's B⁻¹ is factorised on the host and uploaded (one PCIe
+        round trip — exactly how a CUDA port would warm-start).  A singular
+        or primal-infeasible hint falls back to the cold crash basis.
+        """
+        t_wall = time.perf_counter()
+        opts = self.options
+        prep = prepare(problem, opts)
+        dev = self._external_device or Device(self._gpu_params)
+        self.device = dev
+        dev.reset_stats()
+
+        dtype = np.dtype(opts.dtype)
+        eps = float(np.finfo(dtype).eps)
+        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        tol_piv = max(opts.tol_pivot, 50 * eps)
+
+        m, n = prep.m, prep.n_total
+        st = _State(prep, dev, dtype)
+        stats = IterationStats()
+        basis, needs_phase1 = initial_basis(prep)
+        st.init_basis(basis)
+        self._trace: list[tuple] = []
+        self._phase = 1
+        self._global_iter = 0
+        self._fill_curve: list[tuple[int, float]] = []
+
+        if initial_basis_hint is not None:
+            from repro.simplex.common import validate_warm_basis
+
+            warm = validate_warm_basis(prep, initial_basis_hint)
+            try:
+                binv = np.linalg.solve(prep.basis_matrix(warm), np.eye(m))
+                warm_beta = binv @ prep.b
+            except np.linalg.LinAlgError:
+                warm_beta = None
+            if warm_beta is not None and warm_beta.min() >= -1e-7:
+                st.init_basis(warm)
+                with dev.timed_section("transfer"):
+                    st.binv.copy_from_host(binv.astype(dtype))
+                    st.beta.copy_from_host(
+                        np.clip(warm_beta, 0.0, None).astype(dtype)
+                    )
+                basis = warm
+                needs_phase1 = bool(np.any(warm >= n))
+                stats.refactorizations += 1
+
+        try:
+            status: SolveStatus
+            if needs_phase1:
+                c1 = phase1_costs(prep)
+                status, iters = self._run_phase(
+                    st, c1, stats, tol_rc, tol_piv, phase=1
+                )
+                stats.phase1_iterations = iters
+                if status is not SolveStatus.OPTIMAL:
+                    if status is SolveStatus.UNBOUNDED:
+                        status = SolveStatus.NUMERICAL
+                    return self._finish(status, prep, st, stats, t_wall)
+                z1 = blas.dot(st.c_b, st.beta)
+                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+                tol_feas = max(PHASE1_TOL, 50 * eps) * feas_scale
+                if z1 > tol_feas:
+                    return self._finish(
+                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
+                        extra={"phase1_objective": z1},
+                    )
+                self._drive_out_artificials(st, tol_piv)
+
+            c2 = phase2_costs(prep)
+            self._phase = 2
+            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv, phase=2)
+            stats.phase2_iterations = iters
+            return self._finish(status, prep, st, stats, t_wall)
+        finally:
+            st.free()
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        st: "_State",
+        c_full: np.ndarray,
+        stats: IterationStats,
+        tol_rc: float,
+        tol_piv: float,
+        phase: int,
+    ) -> tuple[SolveStatus, int]:
+        opts = self.options
+        dev = st.dev
+        prep = st.prep
+        m, n = prep.m, prep.n_total
+        cap = opts.iteration_cap(m, n)
+        pricing = _GpuPricing(opts.pricing, opts.stall_window)
+
+        st.load_phase_costs(c_full)
+        z = blas.dot(st.c_b, st.beta)
+        iters = 0
+
+        while iters < cap:
+            iters += 1
+
+            # -- pricing: π = B⁻ᵀ c_B;  d = c − Aᵀπ;  masked arg-min
+            with dev.timed_section("pricing"):
+                blas.gemv(st.binv, st.c_b, st.pi, trans=True)
+                blas.copy(st.c_real, st.d)
+                if st.a_sparse is not None:
+                    spmv_csc_t(st.a_sparse, st.pi, st.tmp_n)
+                    blas.axpy(-1.0, st.tmp_n, st.d)
+                else:
+                    blas.gemv(st.a_dense, st.pi, st.d, alpha=-1.0, beta=1.0, trans=True)
+                choice = pricing.select(st.d, st.mask, st.tmp_n, tol_rc)
+            if choice is None:
+                stats.bland_activations += pricing.activations
+                return SolveStatus.OPTIMAL, iters
+            q, d_q = choice
+
+            # -- ftran: α = B⁻¹ a_q
+            with dev.timed_section("ftran"):
+                st.load_column(q)
+                blas.gemv(st.binv, st.a_q, st.alpha)
+
+            # -- ratio test (Bland-compatible: ties break to the lowest
+            #    basic-variable index via a second keyed reduction)
+            with dev.timed_section("ratio"):
+                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
+                p, theta = gpured.argmin(st.ratios)
+                if not np.isfinite(theta):
+                    stats.bland_activations += pricing.activations
+                    return SolveStatus.UNBOUNDED, iters
+                cut = theta * (1.0 + 1e-6) + 1e-30
+                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
+                p2, key = gpured.argmin(st.tmp_m)
+                if np.isfinite(key):
+                    p = p2
+                pivot = st.alpha.scalar_to_host(p)
+            if theta <= opts.tol_zero:
+                stats.degenerate_steps += 1
+
+            # -- update: β, B⁻¹, basis metadata, objective
+            with dev.timed_section("update"):
+                K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+                K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+                K.extract_row(dev, st.binv, p, st.row_p)
+                blas.ger(st.eta, st.row_p, st.binv)
+                st.pivot_metadata(p, q, float(c_full[q]))
+            z += theta * d_q
+            if opts.trace:
+                self._trace.append(
+                    (self._phase, iters, int(q), int(p), float(theta), float(z))
+                )
+            self._global_iter += 1
+            if self._fill_every and self._global_iter % self._fill_every == 0:
+                # diagnostic peek at the functional backing store (uncharged)
+                frac = float(np.mean(np.abs(st.binv.data) > 1e-7))
+                self._fill_curve.append((self._global_iter, frac))
+            pricing.notify(theta * (-d_q) > 1e-12 * (1.0 + abs(z)))
+
+            if (
+                opts.refactor_period
+                and iters % opts.refactor_period == 0
+            ):
+                st.refactor_host()
+                stats.refactorizations += 1
+
+        stats.bland_activations += pricing.activations
+        return SolveStatus.ITERATION_LIMIT, iters
+
+    # ------------------------------------------------------------------
+
+    def _drive_out_artificials(self, st: "_State", tol_piv: float) -> None:
+        """Replace zero-valued artificial basics by real columns (host-driven,
+        device-computed): row p of B⁻¹ is read directly (it *is* e_pᵀB⁻¹),
+        the transformed row over real columns comes from one GEMVᵀ/SpMVᵀ."""
+        dev = st.dev
+        prep = st.prep
+        n = prep.n_total
+        for p in np.nonzero(st.basis >= n)[0]:
+            p = int(p)
+            K.extract_row(dev, st.binv, p, st.row_p)
+            if st.a_sparse is not None:
+                spmv_csc_t(st.a_sparse, st.row_p, st.tmp_n)
+            else:
+                blas.gemv(st.a_dense, st.row_p, st.tmp_n, trans=True)
+            alpha_row = st.tmp_n.copy_to_host().astype(np.float64)
+            eligible = (~st.in_basis[:n]) & (np.abs(alpha_row) > 1e-5)
+            candidates = np.nonzero(eligible)[0]
+            if candidates.size == 0:
+                continue  # redundant row; artificial stays basic at zero
+            j = int(candidates[np.argmax(np.abs(alpha_row[candidates]))])
+            st.load_column(j)
+            blas.gemv(st.binv, st.a_q, st.alpha)
+            pivot = st.alpha.scalar_to_host(p)
+            if abs(pivot) <= tol_piv:
+                continue
+            beta_p = st.beta.scalar_to_host(p)
+            theta = beta_p / pivot
+            K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+            K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+            K.extract_row(dev, st.binv, p, st.row_p)
+            blas.ger(st.eta, st.row_p, st.binv)
+            st.pivot_metadata(p, j, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        prep: PreparedLP,
+        st: "_State",
+        stats: IterationStats,
+        t_wall: float,
+        extra: dict | None = None,
+    ) -> SolveResult:
+        dev = st.dev
+        breakdown = dict(dev.stats.sections)
+        breakdown["transfer"] = dev.stats.transfer_seconds
+        timing = TimingStats(
+            modeled_seconds=dev.clock,
+            wall_seconds=time.perf_counter() - t_wall,
+            transfer_seconds=dev.stats.transfer_seconds,
+            kernel_breakdown=breakdown,
+        )
+        result = SolveResult(
+            status=status,
+            iterations=stats,
+            timing=timing,
+            solver=self.name,
+            extra=extra or {},
+        )
+        if self.options.trace:
+            result.extra["trace"] = list(getattr(self, "_trace", []))
+        if self._fill_every:
+            result.extra["binv_fill"] = list(getattr(self, "_fill_curve", []))
+        result.extra["device"] = dev.params.name
+        result.extra["kernel_launches"] = dev.stats.kernel_launches
+        result.extra["kernel_bytes"] = sum(
+            rec.bytes for rec in dev.stats.by_kernel.values()
+        )
+        result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        if status is SolveStatus.OPTIMAL:
+            beta_host = st.beta.copy_to_host().astype(np.float64)
+            x, objective, x_std = extract_solution(prep, st.basis, beta_host)
+            result.x = x
+            result.objective = objective
+            result.residuals = SolveResult.compute_residuals(
+                prep.std.a, prep.std.b, x_std
+            )
+            result.extra["basis"] = st.basis.copy()
+            result.extra["x_std"] = x_std
+            from repro.lp.postsolve import attach_certificate
+
+            attach_certificate(result, prep)
+        # the solution download above advanced the clock; the
+        # reported machine time must include it
+        result.timing.modeled_seconds = dev.clock
+        result.timing.transfer_seconds = dev.stats.transfer_seconds
+        result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+        return result
+
+
+class _State:
+    """Device-resident solver state plus the host-side basis bookkeeping."""
+
+    def __init__(self, prep: PreparedLP, dev: Device, dtype: np.dtype):
+        self.prep = prep
+        self.dev = dev
+        self.dtype = dtype
+        m, n = prep.m, prep.n_total
+
+        self.a_sparse: DeviceCscMatrix | None = None
+        self.a_dense: DeviceArray | None = None
+        try:
+            with dev.timed_section("transfer"):
+                if prep.is_sparse:
+                    self.a_sparse = DeviceCscMatrix(dev, prep.a, dtype)
+                else:
+                    self.a_dense = dev.to_device(np.asarray(prep.a), dtype)
+                self.b = dev.to_device(prep.b, dtype)
+                self.binv = dev.to_device(np.eye(m), dtype)
+                self.beta = dev.to_device(prep.b, dtype)
+                self.c_real = dev.to_device(np.zeros(n), dtype)
+                self.c_b = dev.to_device(np.zeros(m), dtype)
+                self.mask = dev.to_device(np.ones(n), dtype)
+
+            self.pi = dev.zeros(m, dtype)
+            self.d = dev.zeros(n, dtype)
+            self.tmp_n = dev.zeros(n, dtype)
+            self.tmp_m = dev.zeros(m, dtype)
+            self.basis_keys = dev.zeros(m, dtype)
+            self.a_q = dev.zeros(m, dtype)
+            self.alpha = dev.zeros(m, dtype)
+            self.ratios = dev.zeros(m, dtype)
+            self.eta = dev.zeros(m, dtype)
+            self.row_p = dev.zeros(m, dtype)
+        except Exception:
+            # a failed allocation (device OOM) must not leak what was
+            # already placed on the card
+            self.free()
+            raise
+
+        self.basis = np.zeros(m, dtype=np.int64)
+        self.in_basis = np.zeros(n + m, dtype=bool)
+        self._c_full = np.zeros(n + m)
+
+    # -- basis bookkeeping ------------------------------------------------
+
+    def init_basis(self, basis: np.ndarray) -> None:
+        self.basis = basis.astype(np.int64).copy()
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        mask_host = np.where(self.in_basis[: self.prep.n_total], 0.0, 1.0)
+        with self.dev.timed_section("transfer"):
+            self.mask.copy_from_host(mask_host.astype(self.dtype))
+            self.basis_keys.copy_from_host(self.basis.astype(self.dtype))
+
+    def load_phase_costs(self, c_full: np.ndarray) -> None:
+        """Upload the phase cost data: c over real columns and c_B."""
+        self._c_full = c_full
+        n = self.prep.n_total
+        with self.dev.timed_section("transfer"):
+            self.c_real.copy_from_host(c_full[:n].astype(self.dtype))
+            self.c_b.copy_from_host(c_full[self.basis].astype(self.dtype))
+
+    def load_column(self, j: int) -> None:
+        """a_q := column j (real column or synthesised artificial e_i)."""
+        n = self.prep.n_total
+        if j >= n:
+            K.unit_vector(self.dev, self.a_q, j - n)
+        elif self.a_sparse is not None:
+            self.a_sparse.getcol_device(j, self.a_q)
+        else:
+            K.extract_column(self.dev, self.a_dense, j, self.a_q)
+
+    def pivot_metadata(self, p: int, q: int, c_q: float) -> None:
+        """Host-side basis swap + the device metadata writes it entails."""
+        leaving = int(self.basis[p])
+        n = self.prep.n_total
+        self.in_basis[leaving] = False
+        self.in_basis[q] = True
+        self.basis[p] = q
+        if q < n:
+            self.mask.set_scalar(q, 0.0)
+        if leaving < n:
+            self.mask.set_scalar(leaving, 1.0)
+        self.c_b.set_scalar(p, c_q)
+        self.basis_keys.set_scalar(p, float(q))
+
+    def refactor_host(self) -> None:
+        """Rebuild B⁻¹ exactly on the host (PCIe round trip), refresh β."""
+        b_matrix = self.prep.basis_matrix(self.basis)
+        binv = np.linalg.solve(b_matrix, np.eye(self.prep.m))
+        with self.dev.timed_section("transfer"):
+            self.binv.copy_from_host(binv.astype(self.dtype))
+        blas.gemv(self.binv, self.b, self.beta)
+        K.clamp_nonneg_kernel(self.dev, self.beta)
+
+    def free(self) -> None:
+        """Release every device allocation; tolerates partially-constructed
+        state (OOM during ``__init__``)."""
+        for name in (
+            "b", "binv", "beta", "c_real", "c_b", "mask",
+            "pi", "d", "tmp_n", "tmp_m", "basis_keys",
+            "a_q", "alpha", "ratios", "eta", "row_p",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None and not arr.is_freed:
+                arr.free()
+        if self.a_dense is not None and not self.a_dense.is_freed:
+            self.a_dense.free()
+        if self.a_sparse is not None and not self.a_sparse.data.is_freed:
+            self.a_sparse.free()

@@ -1,0 +1,351 @@
+"""Full-tableau simplex on the simulated GPU — the A3 ablation design point.
+
+The tableau method updates the *entire* m×n tableau with one rank-1 GER per
+pivot.  On a GPU this is the maximally parallel formulation (m·n threads,
+perfect device fill), but it does Θ(mn) work per iteration where the revised
+method does Θ(m² + pricing); the A3 experiment measures where each wins.
+
+Device layout: the tableau T is **column-major** (the per-iteration entering
+column extraction is the hot read), so the pivot-row extraction is strided
+and charged its transaction amplification — the classic layout trade the
+paper's discussion of coalescing covers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import gpu_kernels as K
+from repro.errors import SolverError
+from repro.gpu import blas
+from repro.gpu import reduce as gpured
+from repro.gpu.device import Device
+from repro.gpu.reduce import NO_INDEX
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    extract_solution,
+    initial_basis,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.status import SolveStatus
+
+
+class GpuTableauSimplex:
+    """Two-phase full-tableau simplex on the simulated SIMT device."""
+
+    name = "gpu-tableau"
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        device: Device | None = None,
+        gpu_params: GpuModelParams = GTX280_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        if self.options.pricing not in ("dantzig", "bland", "hybrid"):
+            raise SolverError(
+                f"gpu-tableau supports dantzig/bland/hybrid pricing, "
+                f"not {self.options.pricing!r}"
+            )
+        self._external_device = device
+        self._gpu_params = gpu_params
+        self.device: Device | None = device
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
+        t_wall = time.perf_counter()
+        opts = self.options
+        prep = prepare(problem, opts)
+        dev = self._external_device or Device(self._gpu_params)
+        self.device = dev
+        dev.reset_stats()
+
+        dtype = np.dtype(opts.dtype)
+        eps = float(np.finfo(dtype).eps)
+        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        tol_piv = max(opts.tol_pivot, 50 * eps)
+
+        m, n = prep.m, prep.n_total
+        basis, needs_phase1 = initial_basis(prep)
+        n_cols = n + (m if needs_phase1 else 0)
+
+        # host-side build of the initial tableau, then one bulk upload
+        t_host = np.zeros((m, n_cols))
+        t_host[:, :n] = prep.a.to_dense() if prep.is_sparse else np.asarray(prep.a)
+        if needs_phase1:
+            t_host[:, n:] = np.eye(m)
+
+        st = _TableauState(dev, dtype, t_host, prep, n_cols)
+        st.init_basis(basis, enterable_limit=n)
+        stats = IterationStats()
+
+        try:
+            if needs_phase1:
+                c1 = np.zeros(n_cols)
+                c1[n:] = 1.0
+                st.load_costs(c1, basis)
+                status, iters = self._run_phase(st, c1, stats, tol_rc, tol_piv)
+                stats.phase1_iterations = iters
+                if status is not SolveStatus.OPTIMAL:
+                    if status is SolveStatus.UNBOUNDED:
+                        status = SolveStatus.NUMERICAL
+                    return self._finish(status, prep, st, stats, t_wall)
+                z1 = blas.dot(st.c_b, st.beta)
+                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+                if z1 > max(PHASE1_TOL, 50 * eps) * feas_scale:
+                    return self._finish(
+                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
+                        extra={"phase1_objective": z1},
+                    )
+                self._drive_out_artificials(st, tol_piv)
+
+            c2 = np.zeros(n_cols)
+            c2[:n] = prep.c
+            st.load_costs(c2, st.basis)
+            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv)
+            stats.phase2_iterations = iters
+            return self._finish(status, prep, st, stats, t_wall)
+        finally:
+            st.free()
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        st: "_TableauState",
+        c_full: np.ndarray,
+        stats: IterationStats,
+        tol_rc: float,
+        tol_piv: float,
+    ) -> tuple[SolveStatus, int]:
+        opts = self.options
+        dev = st.dev
+        m, n_cols = st.tableau.shape
+        cap = opts.iteration_cap(m, n_cols)
+        use_bland = opts.pricing == "bland"
+        stalled = 0
+        z = blas.dot(st.c_b, st.beta)
+        iters = 0
+
+        while iters < cap:
+            iters += 1
+
+            with dev.timed_section("pricing"):
+                K.masked_for_min(dev, st.d, st.mask, st.work)
+                if use_bland:
+                    q = gpured.first_index_below(st.work, -tol_rc)
+                    if q == NO_INDEX:
+                        return SolveStatus.OPTIMAL, iters
+                    d_q = st.work.scalar_to_host(q)
+                else:
+                    q, d_q = gpured.argmin(st.work)
+                    if d_q >= -tol_rc:
+                        return SolveStatus.OPTIMAL, iters
+
+            with dev.timed_section("column"):
+                K.extract_column(dev, st.tableau, q, st.alpha, column_major=True)
+
+            with dev.timed_section("ratio"):
+                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
+                p, theta = gpured.argmin(st.ratios)
+                if not np.isfinite(theta):
+                    return SolveStatus.UNBOUNDED, iters
+                cut = theta * (1.0 + 1e-6) + 1e-30
+                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tie_keys)
+                p2, key = gpured.argmin(st.tie_keys)
+                if np.isfinite(key):
+                    p = p2
+                pivot = st.alpha.scalar_to_host(p)
+            if theta <= opts.tol_zero:
+                stats.degenerate_steps += 1
+
+            with dev.timed_section("pivot"):
+                st.pivot(p, q, pivot, theta, d_q, float(c_full[q]))
+            z += theta * d_q
+
+            improved = theta * (-d_q) > 1e-12 * (1.0 + abs(z))
+            if opts.pricing == "hybrid":
+                if improved:
+                    stalled = 0
+                    use_bland = False
+                else:
+                    stalled += 1
+                    if stalled >= opts.stall_window and not use_bland:
+                        use_bland = True
+                        stats.bland_activations += 1
+                        stalled = 0
+
+        return SolveStatus.ITERATION_LIMIT, iters
+
+    def _drive_out_artificials(self, st: "_TableauState", tol_piv: float) -> None:
+        """Pivot zero-valued artificial basics onto real columns."""
+        dev = st.dev
+        n = st.enterable_limit
+        for p in np.nonzero(st.basis >= n)[0]:
+            p = int(p)
+            K.extract_row(dev, st.tableau, p, st.row_buf, row_major=False)
+            row = st.row_buf.copy_to_host().astype(np.float64)[:n]
+            eligible = (~st.in_basis[:n]) & (np.abs(row) > 1e-5)
+            candidates = np.nonzero(eligible)[0]
+            if candidates.size == 0:
+                continue
+            q = int(candidates[np.argmax(np.abs(row[candidates]))])
+            K.extract_column(dev, st.tableau, q, st.alpha, column_major=True)
+            pivot = st.alpha.scalar_to_host(p)
+            beta_p = st.beta.scalar_to_host(p)
+            theta = beta_p / pivot
+            d_q = st.d.scalar_to_host(q)
+            st.pivot(p, q, pivot, theta, d_q, 0.0)
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        prep: PreparedLP,
+        st: "_TableauState",
+        stats: IterationStats,
+        t_wall: float,
+        extra: dict | None = None,
+    ) -> SolveResult:
+        dev = st.dev
+        breakdown = dict(dev.stats.sections)
+        breakdown["transfer"] = dev.stats.transfer_seconds
+        timing = TimingStats(
+            modeled_seconds=dev.clock,
+            wall_seconds=time.perf_counter() - t_wall,
+            transfer_seconds=dev.stats.transfer_seconds,
+            kernel_breakdown=breakdown,
+        )
+        result = SolveResult(
+            status=status,
+            iterations=stats,
+            timing=timing,
+            solver=self.name,
+            extra=extra or {},
+        )
+        result.extra["device"] = dev.params.name
+        result.extra["kernel_launches"] = dev.stats.kernel_launches
+        result.extra["kernel_bytes"] = sum(
+            rec.bytes for rec in dev.stats.by_kernel.values()
+        )
+        result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        if status is SolveStatus.OPTIMAL:
+            beta_host = st.beta.copy_to_host().astype(np.float64)
+            x, objective, x_std = extract_solution(prep, st.basis, beta_host)
+            result.x = x
+            result.objective = objective
+            result.residuals = SolveResult.compute_residuals(
+                prep.std.a, prep.std.b, x_std
+            )
+            result.extra["basis"] = st.basis.copy()
+            result.extra["x_std"] = x_std
+            from repro.lp.postsolve import attach_certificate
+
+            attach_certificate(result, prep)
+        # the solution download above advanced the clock; the
+        # reported machine time must include it
+        result.timing.modeled_seconds = dev.clock
+        result.timing.transfer_seconds = dev.stats.transfer_seconds
+        result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+        return result
+
+
+class _TableauState:
+    """Device tableau + vectors, and the host basis bookkeeping."""
+
+    def __init__(self, dev: Device, dtype: np.dtype, t_host: np.ndarray,
+                 prep: PreparedLP, n_cols: int):
+        self.dev = dev
+        self.dtype = dtype
+        self.prep = prep
+        m = prep.m
+        try:
+            with dev.timed_section("transfer"):
+                self.tableau = dev.to_device(t_host, dtype)
+                self.beta = dev.to_device(prep.b, dtype)
+                self.c = dev.to_device(np.zeros(n_cols), dtype)
+                self.c_b = dev.to_device(np.zeros(m), dtype)
+                self.mask = dev.to_device(np.ones(n_cols), dtype)
+            self.d = dev.zeros(n_cols, dtype)
+            self.work = dev.zeros(n_cols, dtype)
+            self.alpha = dev.zeros(m, dtype)
+            self.ratios = dev.zeros(m, dtype)
+            self.tie_keys = dev.zeros(m, dtype)
+            self.basis_keys = dev.zeros(m, dtype)
+        except Exception:
+            self.free()
+            raise
+        self.row_buf = dev.zeros(n_cols, dtype)
+        self.row_norm = dev.zeros(n_cols, dtype)
+        self.basis = np.zeros(m, dtype=np.int64)
+        self.in_basis = np.zeros(n_cols, dtype=bool)
+        self.enterable_limit = n_cols  # set by init_basis
+
+    def init_basis(self, basis: np.ndarray, enterable_limit: int) -> None:
+        self.basis = basis.astype(np.int64).copy()
+        self.enterable_limit = enterable_limit
+        self.in_basis[:] = False
+        self.in_basis[self.basis] = True
+        mask_host = np.ones(self.mask.size)
+        mask_host[self.in_basis] = 0.0
+        mask_host[enterable_limit:] = 0.0  # artificials never (re-)enter
+        with self.dev.timed_section("transfer"):
+            self.mask.copy_from_host(mask_host.astype(self.dtype))
+            self.basis_keys.copy_from_host(self.basis.astype(self.dtype))
+
+    def load_costs(self, c_full: np.ndarray, basis: np.ndarray) -> None:
+        """Upload phase costs and recompute d = c − c_Bᵀ T on the device."""
+        with self.dev.timed_section("transfer"):
+            self.c.copy_from_host(c_full.astype(self.dtype))
+            self.c_b.copy_from_host(c_full[basis].astype(self.dtype))
+        with self.dev.timed_section("pricing"):
+            blas.copy(self.c, self.d)
+            blas.gemv(self.tableau, self.c_b, self.d, alpha=-1.0, beta=1.0, trans=True)
+
+    def pivot(self, p: int, q: int, pivot: float, theta: float,
+              d_q: float, c_q: float) -> None:
+        """Gauss–Jordan elimination around (p, q), all on-device."""
+        dev = self.dev
+        with dev.timed_section("pivot"):
+            # normalised pivot row
+            K.extract_row(dev, self.tableau, p, self.row_buf, row_major=False)
+            K.scale_row_kernel(dev, self.row_buf, 1.0 / pivot, self.row_norm)
+            # tableau rank-1 elimination, then rewrite row p
+            K.ger_column_major(dev, self.alpha, self.row_norm, self.tableau, alpha=-1.0)
+            K.write_row_kernel(dev, self.tableau, p, self.row_norm)
+            # rhs and reduced costs
+            K.update_beta_kernel(dev, self.beta, self.alpha, theta, p)
+            blas.axpy(-d_q, self.row_norm, self.d)
+            self.d.set_scalar(q, 0.0)
+        # host metadata
+        leaving = int(self.basis[p])
+        self.in_basis[leaving] = False
+        self.in_basis[q] = True
+        self.basis[p] = q
+        self.mask.set_scalar(q, 0.0)
+        if leaving < self.enterable_limit:
+            self.mask.set_scalar(leaving, 1.0)
+        self.c_b.set_scalar(p, c_q)
+        self.basis_keys.set_scalar(p, float(q))
+
+    def free(self) -> None:
+        """Release device allocations; tolerates partial construction."""
+        for name in (
+            "tableau", "beta", "c", "c_b", "mask", "d", "work", "alpha",
+            "ratios", "tie_keys", "basis_keys", "row_buf", "row_norm",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None and not arr.is_freed:
+                arr.free()

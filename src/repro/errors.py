@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single clause.  Substrate-specific errors live
+in their own branches (device errors, LP-format errors, solver errors).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated-device errors (repro.gpu)
+# ---------------------------------------------------------------------------
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU errors."""
+
+
+class DeviceMemoryError(DeviceError):
+    """Device allocation exceeded the simulated device's global memory."""
+
+
+class InvalidLaunchError(DeviceError):
+    """A kernel launch configuration violates device limits."""
+
+
+class DeviceArrayError(DeviceError):
+    """Illegal use of a :class:`~repro.gpu.memory.DeviceArray` (freed array,
+    wrong device, host access to device-resident data outside a kernel)."""
+
+
+# ---------------------------------------------------------------------------
+# LP modelling errors (repro.lp)
+# ---------------------------------------------------------------------------
+
+
+class LPError(ReproError):
+    """Base class for LP modelling errors."""
+
+
+class LPDimensionError(LPError):
+    """Inconsistent problem dimensions (matrix/vector shape mismatch)."""
+
+
+class LPFormatError(LPError):
+    """Malformed MPS / LP input file."""
+
+
+class LPBoundsError(LPError):
+    """Contradictory variable bounds (lower bound above upper bound)."""
+
+
+# ---------------------------------------------------------------------------
+# Sparse-format errors (repro.sparse)
+# ---------------------------------------------------------------------------
+
+
+class SparseFormatError(ReproError):
+    """Structurally invalid sparse matrix data (bad indices, bad indptr)."""
+
+
+# ---------------------------------------------------------------------------
+# Solver errors (repro.simplex / repro.core)
+# ---------------------------------------------------------------------------
+
+
+class SolverError(ReproError):
+    """Base class for solver-configuration errors (a *failed solve* is not an
+    exception — it is a :class:`~repro.status.SolveStatus`)."""
+
+
+class SingularBasisError(SolverError):
+    """The candidate basis matrix is numerically singular."""
+
+
+class UnknownMethodError(SolverError):
+    """An unknown solver method name was requested from :func:`repro.solve`."""

@@ -1,0 +1,52 @@
+"""Internal argument validation shared by the device kernel modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceArrayError
+from repro.gpu.memory import DeviceArray
+
+
+def require_device_array(name: str, arr: object) -> DeviceArray:
+    if not isinstance(arr, DeviceArray):
+        raise DeviceArrayError(
+            f"{name} must be a DeviceArray, got {type(arr).__name__}"
+        )
+    arr._check_live()
+    return arr
+
+
+def require_same_device(*arrays: DeviceArray) -> None:
+    devices = {id(a.device) for a in arrays}
+    if len(devices) > 1:
+        raise DeviceArrayError("kernel arguments live on different devices")
+
+
+def require_vector(name: str, arr: DeviceArray, size: int | None = None) -> None:
+    if arr.ndim != 1:
+        raise DeviceArrayError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.size != size:
+        raise DeviceArrayError(f"{name} must have size {size}, got {arr.size}")
+
+
+def require_matrix(name: str, arr: DeviceArray, shape: tuple[int, int] | None = None) -> None:
+    if arr.ndim != 2:
+        raise DeviceArrayError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None and arr.shape != shape:
+        raise DeviceArrayError(f"{name} must have shape {shape}, got {arr.shape}")
+
+
+def require_float_dtype(name: str, arr: DeviceArray) -> np.dtype:
+    if arr.dtype not in (np.float32, np.float64):
+        raise DeviceArrayError(
+            f"{name} must be float32 or float64, got {arr.dtype}"
+        )
+    return arr.dtype
+
+
+def require_same_dtype(*arrays: DeviceArray) -> np.dtype:
+    dtypes = {a.dtype for a in arrays}
+    if len(dtypes) > 1:
+        raise DeviceArrayError(f"mixed dtypes in kernel arguments: {dtypes}")
+    return arrays[0].dtype

@@ -1,0 +1,246 @@
+"""The simulated SIMT device: clock, allocator, launch path, statistics.
+
+A :class:`Device` owns
+
+- a **simulated clock** advanced by the analytic cost model on every kernel
+  launch and memory transfer (this is the "GPU time" the benchmarks report);
+- an **allocator** tracking live device memory against the modeled card's
+  global-memory capacity;
+- **statistics**: per-kernel launch counts, modeled seconds, FLOPs and bytes,
+  plus transfer totals — the source of the paper's kernel-breakdown figure.
+
+Functionally, kernels execute real NumPy work on the arrays' device-resident
+backing store, so results are exact while time is modeled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError, InvalidLaunchError
+from repro.gpu.kernel import DEFAULT_BLOCK, launch_config
+from repro.gpu.memory import DeviceArray
+from repro.perfmodel.gpu_model import GpuCostModel, GpuModelParams
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import GTX280_PARAMS
+
+
+@dataclasses.dataclass
+class KernelRecord:
+    """Aggregate statistics of one kernel (by name)."""
+
+    launches: int = 0
+    seconds: float = 0.0
+    flops: float = 0.0
+    bytes: float = 0.0
+
+    def add(self, seconds: float, cost: OpCost) -> None:
+        self.launches += 1
+        self.seconds += seconds
+        self.flops += cost.flops
+        self.bytes += cost.bytes_total
+
+
+@dataclasses.dataclass
+class DeviceStats:
+    """Cumulative device statistics since creation or :meth:`reset`."""
+
+    kernel_launches: int = 0
+    kernel_seconds: float = 0.0
+    by_kernel: dict[str, KernelRecord] = dataclasses.field(default_factory=dict)
+    htod_bytes: int = 0
+    dtoh_bytes: int = 0
+    dtod_bytes: int = 0
+    transfer_seconds: float = 0.0
+    allocations: int = 0
+    frees: int = 0
+    bytes_in_use: int = 0
+    peak_bytes_in_use: int = 0
+    sections: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def record_kernel(self, name: str, seconds: float, cost: OpCost) -> None:
+        self.kernel_launches += 1
+        self.kernel_seconds += seconds
+        rec = self.by_kernel.setdefault(name, KernelRecord())
+        rec.add(seconds, cost)
+
+    def kernel_breakdown(self) -> dict[str, float]:
+        """Kernel name -> modeled seconds (copy)."""
+        return {name: rec.seconds for name, rec in self.by_kernel.items()}
+
+    def reset(self) -> None:
+        live = self.bytes_in_use  # allocations survive a stats reset
+        self.__init__()  # type: ignore[misc]
+        self.bytes_in_use = live
+        self.peak_bytes_in_use = live
+
+
+class Device:
+    """A simulated CUDA-class device.
+
+    Parameters
+    ----------
+    params:
+        Hardware model parameters; defaults to the paper's GTX 280.
+    enforce_memory_limit:
+        When True (default), allocating past the modeled card's global
+        memory raises :class:`DeviceMemoryError`, exactly like ``cudaMalloc``
+        returning ``cudaErrorMemoryAllocation``.
+    """
+
+    def __init__(
+        self,
+        params: GpuModelParams = GTX280_PARAMS,
+        *,
+        enforce_memory_limit: bool = True,
+    ):
+        self.params = params
+        self.model = GpuCostModel(params)
+        self.enforce_memory_limit = enforce_memory_limit
+        self.clock = 0.0
+        self.stats = DeviceStats()
+        self._section_stack: list[tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    def alloc(self, shape, dtype=np.float32) -> DeviceArray:
+        """Allocate an uninitialised device array (``cudaMalloc``)."""
+        dtype = np.dtype(dtype)
+        shape = (shape,) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        self._reserve(nbytes)
+        data = np.empty(shape, dtype=dtype)
+        return DeviceArray(self, data)
+
+    def zeros(self, shape, dtype=np.float32) -> DeviceArray:
+        """Allocate and zero-fill (``cudaMalloc`` + ``cudaMemset``)."""
+        arr = self.alloc(shape, dtype)
+        self.memset(arr, 0)
+        return arr
+
+    def to_device(self, host: np.ndarray, dtype=None) -> DeviceArray:
+        """Allocate on device and copy a host array in (HtoD transfer)."""
+        host = np.asarray(host)
+        if dtype is not None:
+            host = host.astype(dtype, copy=False)
+        if host.dtype == np.float16 or not np.issubdtype(host.dtype, np.number):
+            raise TypeError(f"unsupported device dtype {host.dtype}")
+        arr = self.alloc(host.shape, host.dtype)
+        arr.copy_from_host(host)
+        return arr
+
+    def memset(self, arr: DeviceArray, value: int) -> None:
+        """``cudaMemset``: fill with a byte value (0 fills with zeros)."""
+        arr._check_live()
+        arr.data.fill(value)
+        seconds = self.model.dtod_time(arr.nbytes) / 2.0  # write-only traffic
+        self._advance(seconds)
+        self.stats.record_kernel(
+            "memset", seconds, OpCost(bytes_written=arr.nbytes, threads=max(1, arr.size))
+        )
+
+    def _reserve(self, nbytes: int) -> None:
+        limit = self.params.global_mem_bytes
+        if (
+            self.enforce_memory_limit
+            and self.stats.bytes_in_use + nbytes > limit
+        ):
+            raise DeviceMemoryError(
+                f"device OOM on {self.params.name}: requested {nbytes} B with "
+                f"{self.stats.bytes_in_use} B in use of {limit} B"
+            )
+        self.stats.allocations += 1
+        self.stats.bytes_in_use += nbytes
+        self.stats.peak_bytes_in_use = max(
+            self.stats.peak_bytes_in_use, self.stats.bytes_in_use
+        )
+
+    def _release(self, nbytes: int) -> None:
+        self.stats.frees += 1
+        self.stats.bytes_in_use -= nbytes
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        name: str,
+        body: Callable[[], None],
+        cost: OpCost,
+        *,
+        dtype=np.float32,
+        block: int = DEFAULT_BLOCK,
+    ) -> None:
+        """Launch a kernel: run ``body`` functionally, advance the clock.
+
+        ``cost.threads`` is the logical work size; the launch configuration
+        (grid size) is derived from it and validated against device limits.
+        """
+        cfg = launch_config(cost.threads, block, self.params)
+        if cfg.grid > 65535 * 65535:  # 2D grid limit of the modeled hardware
+            raise InvalidLaunchError(f"grid of {cfg.grid} blocks exceeds device limits")
+        body()
+        seconds = self.model.kernel_time(cost, np.dtype(dtype), cfg.block)
+        self._advance(seconds)
+        self.stats.record_kernel(name, seconds, cost)
+
+    # ------------------------------------------------------------------
+    # transfers (called by DeviceArray; accounted here)
+    # ------------------------------------------------------------------
+
+    def _record_transfer(self, direction: str, nbytes: int) -> float:
+        if direction == "dtod":
+            seconds = self.model.dtod_time(nbytes)
+            self.stats.dtod_bytes += nbytes
+        else:
+            seconds = self.model.transfer_time(nbytes)
+            if direction == "htod":
+                self.stats.htod_bytes += nbytes
+            else:
+                self.stats.dtoh_bytes += nbytes
+        self.stats.transfer_seconds += seconds
+        self._advance(seconds)
+        return seconds
+
+    # ------------------------------------------------------------------
+    # clock and sections
+    # ------------------------------------------------------------------
+
+    def _advance(self, seconds: float) -> None:
+        self.clock += seconds
+
+    def synchronize(self) -> float:
+        """``cudaDeviceSynchronize``; returns the current device time."""
+        return self.clock
+
+    @contextlib.contextmanager
+    def timed_section(self, name: str) -> Iterator[None]:
+        """Accumulate the device time spent inside the block under ``name``.
+
+        Used by the solver to attribute kernel time to algorithm phases
+        (pricing / ftran / ratio-test / update) for the breakdown figure.
+        """
+        start = self.clock
+        try:
+            yield
+        finally:
+            delta = self.clock - start
+            self.stats.sections[name] = self.stats.sections.get(name, 0.0) + delta
+
+    def reset_stats(self) -> None:
+        """Zero the statistics and the clock; allocations stay live."""
+        self.stats.reset()
+        self.clock = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Device {self.params.name!r} clock={self.clock:.6f}s "
+            f"mem={self.stats.bytes_in_use}/{self.params.global_mem_bytes}B>"
+        )

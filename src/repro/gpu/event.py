@@ -1,0 +1,71 @@
+"""CUDA-event-style timing on the simulated device clock.
+
+Mirrors the ``cudaEventRecord`` / ``cudaEventElapsedTime`` idiom the paper's
+measurements would use.  Streams are provided for API fidelity; the simulated
+device executes a single in-order stream, which matches how the solver uses
+the hardware (each simplex step depends on the previous one).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import DeviceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import Device
+
+
+class Event:
+    """Records a point on the device timeline."""
+
+    def __init__(self, device: "Device"):
+        self.device = device
+        self._time: float | None = None
+
+    def record(self) -> "Event":
+        """Capture the current device time; returns self for chaining."""
+        self._time = self.device.clock
+        return self
+
+    @property
+    def is_recorded(self) -> bool:
+        return self._time is not None
+
+    @property
+    def time(self) -> float:
+        if self._time is None:
+            raise DeviceError("event queried before being recorded")
+        return self._time
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """Seconds between ``earlier`` and this event (``cudaEventElapsedTime``,
+        but in seconds rather than milliseconds)."""
+        if earlier.device is not self.device:
+            raise DeviceError("events recorded on different devices")
+        return self.time - earlier.time
+
+
+class Stream:
+    """An in-order execution stream.
+
+    The simulated device is single-stream; this class exists so code
+    structured around streams ports verbatim.  ``synchronize`` returns the
+    device clock like :meth:`Device.synchronize`.
+    """
+
+    def __init__(self, device: "Device"):
+        self.device = device
+
+    def synchronize(self) -> float:
+        return self.device.synchronize()
+
+    def event(self) -> Event:
+        return Event(self.device).record()
+
+
+def elapsed(device: "Device", start: Event, end: Event | None = None) -> float:
+    """Convenience: seconds from ``start`` to ``end`` (or to *now*)."""
+    if end is None:
+        end = Event(device).record()
+    return end.elapsed_since(start)

@@ -1,0 +1,142 @@
+"""CUDA-style occupancy calculator for the modeled devices.
+
+Given a kernel's resource usage (threads per block, registers per thread,
+shared memory per block), computes how many blocks fit on one SM and the
+resulting occupancy — the fraction of the SM's resident-warp capacity in
+use.  This is the tool CUDA developers use to pick block sizes; here it both
+documents the modeled hardware's limits and feeds the block-size advisor
+used by tests and examples.
+
+Modeled per-SM limits follow the GT200 generation (compute capability 1.3):
+
+- 32768 registers, allocated per warp at warp-size × registers/thread
+  granularity (rounded to 512-register units),
+- 16 KiB shared memory in 512-byte allocation units,
+- at most 8 resident blocks, 32 resident warps, 1024 resident threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import InvalidLaunchError
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.presets import GTX280_PARAMS
+
+#: Per-SM register file of the GT200 generation.
+REGISTERS_PER_SM = 32768
+#: Register allocation granularity (units of 512 registers per block).
+REGISTER_ALLOC_UNIT = 512
+#: Shared-memory allocation granularity.
+SHARED_ALLOC_UNIT = 512
+#: Maximum resident blocks per SM.
+MAX_BLOCKS_PER_SM = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of an occupancy query."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float
+    #: Which resource caps blocks_per_sm: 'threads', 'registers',
+    #: 'shared_memory', 'blocks'.
+    limiter: str
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= 1.0 - 1e-12
+
+
+def occupancy(
+    block_threads: int,
+    registers_per_thread: int = 16,
+    shared_bytes_per_block: int = 0,
+    params: GpuModelParams = GTX280_PARAMS,
+) -> OccupancyResult:
+    """Compute the occupancy of a kernel configuration on a modeled device."""
+    if block_threads < 1:
+        raise InvalidLaunchError("block must have at least one thread")
+    if block_threads > params.max_threads_per_block:
+        raise InvalidLaunchError(
+            f"block of {block_threads} exceeds device limit "
+            f"{params.max_threads_per_block}"
+        )
+    if registers_per_thread < 0 or shared_bytes_per_block < 0:
+        raise InvalidLaunchError("resource usage must be non-negative")
+
+    warp = params.warp_size
+    warps_per_block = -(-block_threads // warp)
+
+    # thread / warp limit
+    max_warps = params.max_threads_per_sm // warp
+    by_threads = max_warps // warps_per_block if warps_per_block else MAX_BLOCKS_PER_SM
+
+    # register limit (allocated per block, rounded up to the unit)
+    if registers_per_thread > 0:
+        regs_per_block = warps_per_block * warp * registers_per_thread
+        regs_per_block = -(-regs_per_block // REGISTER_ALLOC_UNIT) * REGISTER_ALLOC_UNIT
+        by_registers = REGISTERS_PER_SM // regs_per_block if regs_per_block else 10**9
+    else:
+        by_registers = 10**9  # unconstrained
+
+    # shared memory limit
+    if shared_bytes_per_block > 0:
+        shared = -(-shared_bytes_per_block // SHARED_ALLOC_UNIT) * SHARED_ALLOC_UNIT
+        if shared > params.shared_mem_per_block:
+            raise InvalidLaunchError(
+                f"{shared_bytes_per_block} B shared exceeds the per-block "
+                f"limit {params.shared_mem_per_block} B"
+            )
+        by_shared = params.shared_mem_per_block // shared
+    else:
+        by_shared = 10**9  # unconstrained
+
+    candidates = {
+        "threads": by_threads,
+        "registers": by_registers,
+        "shared_memory": by_shared,
+        "blocks": MAX_BLOCKS_PER_SM,
+    }
+    blocks = min(candidates.values())
+    if blocks == 0:
+        # a single block that oversubscribes registers can never launch
+        raise InvalidLaunchError(
+            "kernel resource usage prevents any block from residing on an SM"
+        )
+    limiter = min(candidates, key=lambda k: candidates[k])
+
+    warps_resident = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps_resident,
+        threads_per_sm=warps_resident * warp,
+        occupancy=min(1.0, warps_resident / max_warps),
+        limiter=limiter,
+    )
+
+
+def best_block_size(
+    registers_per_thread: int = 16,
+    shared_bytes_per_block: int = 0,
+    params: GpuModelParams = GTX280_PARAMS,
+    candidates: tuple[int, ...] = (64, 128, 192, 256, 384, 512),
+) -> tuple[int, OccupancyResult]:
+    """Pick the candidate block size with the highest occupancy (ties go to
+    the larger block, which amortises block-scheduling overhead)."""
+    best: tuple[int, OccupancyResult] | None = None
+    for block in candidates:
+        if block > params.max_threads_per_block:
+            continue
+        try:
+            result = occupancy(block, registers_per_thread,
+                               shared_bytes_per_block, params)
+        except InvalidLaunchError:
+            continue
+        if best is None or (result.occupancy, block) > (best[1].occupancy, best[0]):
+            best = (block, result)
+    if best is None:
+        raise InvalidLaunchError("no candidate block size fits on the device")
+    return best

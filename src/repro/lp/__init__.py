@@ -1,0 +1,25 @@
+"""LP modelling layer: problems, standard form, scaling, formats, workloads.
+
+- :mod:`~repro.lp.problem`        — :class:`LPProblem`: general-form LPs
+  (mixed senses, variable bounds, min/max orientation, dense or sparse A).
+- :mod:`~repro.lp.standard_form`  — conversion to the simplex standard form
+  ``min c'x s.t. Ax = b, x >= 0, b >= 0`` with full solution recovery.
+- :mod:`~repro.lp.scaling`        — geometric-mean problem scaling.
+- :mod:`~repro.lp.mps`            — MPS reader/writer.
+- :mod:`~repro.lp.generators`     — reproducible workload generators (random
+  dense/sparse, degenerate, Klee–Minty, transportation, NETLIB-like suite).
+"""
+
+from repro.lp.problem import LPProblem, ConstraintSense, Bounds
+from repro.lp.standard_form import StandardFormLP, to_standard_form
+from repro.lp.scaling import ScalingResult, geometric_mean_scaling
+
+__all__ = [
+    "LPProblem",
+    "ConstraintSense",
+    "Bounds",
+    "StandardFormLP",
+    "to_standard_form",
+    "ScalingResult",
+    "geometric_mean_scaling",
+]

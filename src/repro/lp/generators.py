@@ -1,0 +1,342 @@
+"""Reproducible LP workload generators.
+
+The paper evaluates on randomly generated dense LPs of increasing size; the
+generators here produce that family plus the structured instances used by
+the wider evaluation: sparse random LPs, degenerate instances (ratio-test
+ties), the Klee–Minty cube (worst-case pivoting), Beale's cycling example
+(anti-cycling tests), transportation problems (equality constraints that
+force phase 1) and a NETLIB-like synthetic suite spanning shapes and
+densities.
+
+Every generator takes an integer ``seed`` and is deterministic given it.
+
+Feasibility/boundedness guarantees: the random families draw A from a
+strictly positive range with ``x >= 0`` and ``A x <= b``, ``b > 0`` — the
+origin is feasible and every variable is bounded by each row, so the LP is
+feasible and bounded for *any* objective, which lets benchmarks maximise a
+positive objective (the interesting direction) without ever generating a
+degenerate-by-accident unbounded instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lp.problem import Bounds, ConstraintSense, LPProblem
+from repro.sparse.coo import CooMatrix
+
+
+def random_dense_lp(
+    m: int,
+    n: int,
+    seed: int = 0,
+    *,
+    name: str | None = None,
+) -> LPProblem:
+    """The paper's workload: a random dense LP, feasible and bounded.
+
+    maximise cᵀx  s.t.  A x <= b, x >= 0, with A ∈ U(0.1, 1.1)^{m×n},
+    b ∈ U(n/2, n), c ∈ U(0.1, 1.1).
+    """
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be positive")
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0.1, 1.1, size=(m, n))
+    b = rng.uniform(n / 2.0, float(n), size=m)
+    c = rng.uniform(0.1, 1.1, size=n)
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=[ConstraintSense.LE] * m,
+        b=b,
+        bounds=Bounds.nonnegative(n),
+        maximize=True,
+        name=name or f"dense-{m}x{n}-s{seed}",
+    )
+
+
+def random_sparse_lp(
+    m: int,
+    n: int,
+    density: float = 0.05,
+    seed: int = 0,
+    *,
+    name: str | None = None,
+) -> LPProblem:
+    """A random sparse LP with the same feasible/bounded guarantees.
+
+    Each row receives ``max(2, round(density * n))`` strictly positive
+    entries at distinct random columns; every column is additionally touched
+    at least once so no variable is unconstrained.  A is returned in CSC
+    (the solver's preferred column-access format).
+    """
+    if m < 1 or n < 1:
+        raise ValueError("m and n must be positive")
+    if not 0.0 < density <= 1.0:
+        raise ValueError("density must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    per_row = max(2, min(n, round(density * n)))
+
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    for i in range(m):
+        chosen = rng.choice(n, size=per_row, replace=False)
+        rows.append(np.full(per_row, i, dtype=np.int64))
+        cols.append(chosen.astype(np.int64))
+    # guarantee column coverage: give each uncovered column one entry
+    covered = np.zeros(n, dtype=bool)
+    covered[np.concatenate(cols)] = True
+    missing = np.where(~covered)[0]
+    if missing.size:
+        extra_rows = rng.integers(0, m, size=missing.size)
+        rows.append(extra_rows.astype(np.int64))
+        cols.append(missing.astype(np.int64))
+
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = rng.uniform(0.1, 1.1, size=row.size)
+    a = CooMatrix((m, n), row, col, val).tocsc()
+
+    b = rng.uniform(per_row / 2.0, float(per_row), size=m)
+    c = rng.uniform(0.1, 1.1, size=n)
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=[ConstraintSense.LE] * m,
+        b=b,
+        bounds=Bounds.nonnegative(n),
+        maximize=True,
+        name=name or f"sparse-{m}x{n}-d{density}-s{seed}",
+    )
+
+
+def degenerate_lp(m: int, n: int, seed: int = 0) -> LPProblem:
+    """A primal-degenerate instance: many ratio-test ties.
+
+    Rows are rescaled so that the origin-adjacent vertex has identical
+    ratios b_i / a_i1 across rows, making the first pivots heavily tied —
+    the situation where Bland's rule and deterministic tie-breaking matter.
+    """
+    base = random_dense_lp(m, n, seed)
+    a = base.a_dense().copy()
+    # force b_i / a_{i,0} equal across rows by pinning b to column 0:
+    # the first Dantzig pivot then ties on every row.
+    target = float(np.median(base.b / a[:, 0]))
+    b = a[:, 0] * target
+    return LPProblem(
+        c=base.c,
+        a=a,
+        senses=[ConstraintSense.LE] * m,
+        b=b,
+        bounds=Bounds.nonnegative(n),
+        maximize=True,
+        name=f"degenerate-{m}x{n}-s{seed}",
+    )
+
+
+def klee_minty_lp(d: int) -> LPProblem:
+    """The Klee–Minty cube in d dimensions.
+
+    maximise 2^{d-1} x₁ + 2^{d-2} x₂ + … + x_d subject to the perturbed-cube
+    constraints; Dantzig pricing visits all 2^d vertices, so this is the
+    classic stress test for pricing-rule ablations (A1).
+    """
+    if d < 1:
+        raise ValueError("dimension must be positive")
+    a = np.zeros((d, d))
+    b = np.zeros(d)
+    for i in range(d):
+        for j in range(i):
+            a[i, j] = 2.0 ** (i - j + 1)
+        a[i, i] = 1.0
+        b[i] = 5.0**(i + 1)
+    c = np.array([2.0 ** (d - 1 - j) for j in range(d)])
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=[ConstraintSense.LE] * d,
+        b=b,
+        bounds=Bounds.nonnegative(d),
+        maximize=True,
+        name=f"klee-minty-{d}",
+    )
+
+
+def beale_cycling_lp() -> LPProblem:
+    """Beale's 1955 example on which Dantzig pricing with a naive
+    lowest-index ratio tie-break cycles forever; Bland's rule terminates.
+
+    minimise  -0.75 x₁ + 150 x₂ - 0.02 x₃ + 6 x₄
+    s.t.  0.25 x₁ - 60 x₂ - 0.04 x₃ + 9 x₄ <= 0
+          0.50 x₁ - 90 x₂ - 0.02 x₃ + 3 x₄ <= 0
+          x₃ <= 1,  x >= 0        (optimum -0.05 at x = (0.04, 0, 1, 0))
+    """
+    a = np.array(
+        [
+            [0.25, -60.0, -0.04, 9.0],
+            [0.50, -90.0, -0.02, 3.0],
+            [0.0, 0.0, 1.0, 0.0],
+        ]
+    )
+    b = np.array([0.0, 0.0, 1.0])
+    c = np.array([-0.75, 150.0, -0.02, 6.0])
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=[ConstraintSense.LE] * 3,
+        b=b,
+        bounds=Bounds.nonnegative(4),
+        maximize=False,
+        name="beale-cycling",
+    )
+
+
+def transportation_lp(
+    n_supply: int,
+    n_demand: int,
+    seed: int = 0,
+) -> LPProblem:
+    """A balanced transportation problem (equality constraints, phase 1).
+
+    minimise Σ cᵢⱼ xᵢⱼ  s.t. row sums = supplies, column sums = demands,
+    x >= 0, with Σ supply = Σ demand.  Always feasible and bounded.
+    """
+    if n_supply < 1 or n_demand < 1:
+        raise ValueError("supply and demand counts must be positive")
+    rng = np.random.default_rng(seed)
+    supply = rng.uniform(10.0, 50.0, size=n_supply)
+    demand = rng.uniform(10.0, 50.0, size=n_demand)
+    demand *= supply.sum() / demand.sum()  # balance
+
+    n = n_supply * n_demand
+    m = n_supply + n_demand
+    a = np.zeros((m, n))
+    for i in range(n_supply):
+        a[i, i * n_demand : (i + 1) * n_demand] = 1.0
+    for j in range(n_demand):
+        a[n_supply + j, j::n_demand] = 1.0
+    b = np.concatenate([supply, demand])
+    c = rng.uniform(1.0, 20.0, size=n)
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=[ConstraintSense.EQ] * m,
+        b=b,
+        bounds=Bounds.nonnegative(n),
+        maximize=False,
+        name=f"transport-{n_supply}x{n_demand}-s{seed}",
+    )
+
+
+def blending_lp(n_ingredients: int = 8, n_nutrients: int = 5, seed: int = 0) -> LPProblem:
+    """A diet/blending LP with >= rows (surplus variables + phase 1).
+
+    minimise cost  s.t.  nutrient content >= requirements, blend fraction
+    sums to 1, x >= 0.
+    """
+    rng = np.random.default_rng(seed)
+    content = rng.uniform(0.0, 10.0, size=(n_nutrients, n_ingredients))
+    # requirements set below the achievable mean so the LP is feasible
+    requirement = content.mean(axis=1) * rng.uniform(0.5, 0.9, size=n_nutrients)
+    cost = rng.uniform(1.0, 5.0, size=n_ingredients)
+
+    a = np.vstack([content, np.ones((1, n_ingredients))])
+    b = np.concatenate([requirement, [1.0]])
+    senses = [ConstraintSense.GE] * n_nutrients + [ConstraintSense.EQ]
+    return LPProblem(
+        c=cost,
+        a=a,
+        senses=senses,
+        b=b,
+        bounds=Bounds.nonnegative(n_ingredients),
+        maximize=False,
+        name=f"blend-{n_ingredients}x{n_nutrients}-s{seed}",
+    )
+
+
+def staircase_lp(n_stages: int, stage_size: int = 8, seed: int = 0) -> LPProblem:
+    """A staircase-structured LP (multi-period planning structure).
+
+    Stage t owns a block of variables; its rows couple stage t's block with
+    stage t+1's — the banded-block sparsity pattern of dynamic/multi-period
+    models, which NETLIB is full of.  Feasible and bounded by the same
+    positive-coefficient construction as the random families.
+    """
+    if n_stages < 1 or stage_size < 1:
+        raise ValueError("stages and stage size must be positive")
+    rng = np.random.default_rng(seed)
+    m = n_stages * stage_size
+    n = (n_stages + 1) * stage_size
+    rows: list[np.ndarray] = []
+    cols: list[np.ndarray] = []
+    vals: list[np.ndarray] = []
+    for t in range(n_stages):
+        r0 = t * stage_size
+        c0 = t * stage_size
+        # each stage row touches its own block and the next block
+        for i in range(stage_size):
+            width = 2 * stage_size
+            rows.append(np.full(width, r0 + i, dtype=np.int64))
+            cols.append(np.arange(c0, c0 + width, dtype=np.int64))
+            vals.append(rng.uniform(0.1, 1.1, size=width))
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = np.concatenate(vals)
+    a = CooMatrix((m, n), row, col, val).tocsc()
+    b = rng.uniform(stage_size, 2.0 * stage_size, size=m)
+    c = rng.uniform(0.1, 1.1, size=n)
+    return LPProblem(
+        c=c, a=a, senses=[ConstraintSense.LE] * m, b=b,
+        bounds=Bounds.nonnegative(n), maximize=True,
+        name=f"staircase-{n_stages}x{stage_size}-s{seed}",
+    )
+
+
+def band_lp(m: int, bandwidth: int = 5, seed: int = 0) -> LPProblem:
+    """A banded LP: row i touches columns [i-k, i+k] (tridiagonal-style
+    coupling — discretised-PDE / time-series structure)."""
+    if m < 1 or bandwidth < 1:
+        raise ValueError("size and bandwidth must be positive")
+    rng = np.random.default_rng(seed)
+    n = m
+    rows, cols = [], []
+    for i in range(m):
+        lo = max(0, i - bandwidth)
+        hi = min(n, i + bandwidth + 1)
+        rows.append(np.full(hi - lo, i, dtype=np.int64))
+        cols.append(np.arange(lo, hi, dtype=np.int64))
+    row = np.concatenate(rows)
+    col = np.concatenate(cols)
+    val = rng.uniform(0.1, 1.1, size=row.size)
+    a = CooMatrix((m, n), row, col, val).tocsc()
+    b = rng.uniform(bandwidth, 2.0 * bandwidth, size=m)
+    c = rng.uniform(0.1, 1.1, size=n)
+    return LPProblem(
+        c=c, a=a, senses=[ConstraintSense.LE] * m, b=b,
+        bounds=Bounds.nonnegative(n), maximize=True,
+        name=f"band-{m}w{bandwidth}-s{seed}",
+    )
+
+
+def netlib_synth_suite(seed: int = 0) -> list[LPProblem]:
+    """A NETLIB-like synthetic suite: varied shapes, senses and densities.
+
+    Stands in for the public NETLIB set (no network access in this
+    environment): small-to-medium instances covering all-<= dense rows,
+    sparse rows, equality systems and mixed-sense problems — the structural
+    variety the NETLIB problems exercise.
+    """
+    problems: list[LPProblem] = [
+        random_dense_lp(27, 32, seed=seed, name="synth-afiro"),
+        random_dense_lp(56, 97, seed=seed + 1, name="synth-adlittle"),
+        random_dense_lp(74, 83, seed=seed + 2, name="synth-blend"),
+        random_sparse_lp(173, 262, density=0.08, seed=seed + 3, name="synth-beaconfd"),
+        random_sparse_lp(182, 249, density=0.05, seed=seed + 4, name="synth-brandy"),
+        random_sparse_lp(223, 282, density=0.04, seed=seed + 5, name="synth-e226"),
+        transportation_lp(10, 14, seed=seed + 6),
+        blending_lp(12, 7, seed=seed + 7),
+        degenerate_lp(40, 50, seed=seed + 8),
+        staircase_lp(8, 8, seed=seed + 9),
+        band_lp(120, bandwidth=4, seed=seed + 10),
+    ]
+    return problems

@@ -1,0 +1,322 @@
+"""MPS reader and writer.
+
+Implements the free-format MPS dialect (whitespace-separated fields), which
+also reads well-formed fixed-format files: sections ``NAME``, ``ROWS``
+(``N``/``L``/``G``/``E``), ``COLUMNS``, ``RHS``, ``RANGES`` and ``BOUNDS``
+(``UP``, ``LO``, ``FX``, ``FR``, ``MI``, ``PL``), terminated by ``ENDATA``.
+The first ``N`` row is the objective (minimised, per MPS convention); an
+``OBJSENSE`` section with ``MAX`` flips it.
+
+RANGES follow the standard semantics: for a row with rhs ``b`` and range
+``r``,
+
+========  =========================
+row type  resulting interval
+========  =========================
+L         ``b − |r| <= ax <= b``
+G         ``b <= ax <= b + |r|``
+E, r>=0   ``b <= ax <= b + r``
+E, r<0    ``b + r <= ax <= b``
+========  =========================
+
+implemented by adding the companion inequality as an extra constraint row.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import LPFormatError
+from repro.lp.problem import Bounds, ConstraintSense, LPProblem
+from repro.sparse.coo import CooMatrix
+
+_ROW_SENSE = {"L": ConstraintSense.LE, "G": ConstraintSense.GE, "E": ConstraintSense.EQ}
+_SENSE_ROW = {ConstraintSense.LE: "L", ConstraintSense.GE: "G", ConstraintSense.EQ: "E"}
+
+
+def read_mps(source: "str | Path | io.TextIOBase", *, sparse: bool | None = None) -> LPProblem:
+    """Parse an MPS file (path, string contents, or open text file).
+
+    ``sparse=None`` (default) returns a sparse constraint matrix when the
+    problem's density is below 20% and it has more than 2500 cells.
+    """
+    text = _slurp(source)
+    lines = text.splitlines()
+
+    name = "mps"
+    maximize = False
+    section = None
+    obj_row: str | None = None
+    row_sense: dict[str, ConstraintSense] = {}
+    row_order: list[str] = []
+    col_order: list[str] = []
+    col_index: dict[str, int] = {}
+    entries: list[tuple[str, str, float]] = []  # (row, col, value)
+    obj_coeffs: dict[str, float] = {}
+    rhs: dict[str, float] = {}
+    ranges: dict[str, float] = {}
+    lower: dict[str, float] = {}
+    upper: dict[str, float] = {}
+
+    def ensure_col(colname: str) -> None:
+        if colname not in col_index:
+            col_index[colname] = len(col_order)
+            col_order.append(colname)
+
+    i = 0
+    while i < len(lines):
+        raw = lines[i]
+        i += 1
+        if not raw.strip() or raw.lstrip().startswith("*"):
+            continue
+        is_header = not raw[0].isspace()
+        fields = raw.split()
+        if is_header:
+            section = fields[0].upper()
+            if section == "NAME":
+                name = fields[1] if len(fields) > 1 else "mps"
+            elif section == "ENDATA":
+                break
+            elif section == "OBJSENSE" and len(fields) > 1:
+                maximize = fields[1].upper() in ("MAX", "MAXIMIZE")
+            continue
+
+        if section == "OBJSENSE":
+            maximize = fields[0].upper() in ("MAX", "MAXIMIZE")
+        elif section == "ROWS":
+            if len(fields) < 2:
+                raise LPFormatError(f"bad ROWS line: {raw!r}")
+            kind, rowname = fields[0].upper(), fields[1]
+            if kind == "N":
+                if obj_row is None:
+                    obj_row = rowname
+                # subsequent N rows are ignored (free rows), per convention
+            elif kind in _ROW_SENSE:
+                row_sense[rowname] = _ROW_SENSE[kind]
+                row_order.append(rowname)
+            else:
+                raise LPFormatError(f"unknown row type {kind!r} in {raw!r}")
+        elif section == "COLUMNS":
+            if len(fields) >= 3 and fields[1].upper() == "'MARKER'":
+                raise LPFormatError("integer MARKER sections are not supported (LP only)")
+            if len(fields) < 3 or len(fields) % 2 == 0:
+                raise LPFormatError(f"bad COLUMNS line: {raw!r}")
+            colname = fields[0]
+            ensure_col(colname)
+            for k in range(1, len(fields), 2):
+                rowname, value = fields[k], _num(fields[k + 1], raw)
+                if rowname == obj_row:
+                    obj_coeffs[colname] = obj_coeffs.get(colname, 0.0) + value
+                elif rowname in row_sense:
+                    entries.append((rowname, colname, value))
+                else:
+                    raise LPFormatError(f"COLUMNS references unknown row {rowname!r}")
+        elif section == "RHS":
+            for k in range(1, len(fields), 2):
+                if k + 1 >= len(fields):
+                    raise LPFormatError(f"bad RHS line: {raw!r}")
+                rowname, value = fields[k], _num(fields[k + 1], raw)
+                if rowname == obj_row:
+                    continue  # objective constant: rare, ignored
+                if rowname not in row_sense:
+                    raise LPFormatError(f"RHS references unknown row {rowname!r}")
+                rhs[rowname] = value
+        elif section == "RANGES":
+            for k in range(1, len(fields), 2):
+                if k + 1 >= len(fields):
+                    raise LPFormatError(f"bad RANGES line: {raw!r}")
+                rowname, value = fields[k], _num(fields[k + 1], raw)
+                if rowname not in row_sense:
+                    raise LPFormatError(f"RANGES references unknown row {rowname!r}")
+                ranges[rowname] = value
+        elif section == "BOUNDS":
+            if len(fields) < 3:
+                raise LPFormatError(f"bad BOUNDS line: {raw!r}")
+            btype = fields[0].upper()
+            colname = fields[2]
+            ensure_col(colname)
+            value = _num(fields[3], raw) if len(fields) > 3 else 0.0
+            if btype == "UP":
+                upper[colname] = value
+                if value < 0.0 and colname not in lower:
+                    # classic MPS quirk: UP with negative bound frees the lower bound
+                    lower[colname] = -np.inf
+            elif btype == "LO":
+                lower[colname] = value
+            elif btype == "FX":
+                lower[colname] = value
+                upper[colname] = value
+            elif btype == "FR":
+                lower[colname] = -np.inf
+                upper[colname] = np.inf
+            elif btype == "MI":
+                lower[colname] = -np.inf
+            elif btype == "PL":
+                upper[colname] = np.inf
+            else:
+                raise LPFormatError(f"unsupported bound type {btype!r}")
+        elif section is None:
+            raise LPFormatError(f"data before any section header: {raw!r}")
+        else:
+            raise LPFormatError(f"unsupported section {section!r}")
+
+    if obj_row is None:
+        raise LPFormatError("MPS file has no objective (N) row")
+    if not row_order:
+        raise LPFormatError("MPS file has no constraint rows")
+    if not col_order:
+        raise LPFormatError("MPS file has no columns")
+
+    # RANGES expand into companion rows
+    senses = [row_sense[r] for r in row_order]
+    b = np.array([rhs.get(r, 0.0) for r in row_order])
+    extra_rows: list[tuple[str, ConstraintSense, float]] = []
+    for rowname, r in ranges.items():
+        base = rhs.get(rowname, 0.0)
+        sense = row_sense[rowname]
+        if sense is ConstraintSense.LE:
+            extra_rows.append((rowname, ConstraintSense.GE, base - abs(r)))
+        elif sense is ConstraintSense.GE:
+            extra_rows.append((rowname, ConstraintSense.LE, base + abs(r)))
+        else:  # E row becomes an interval
+            idx = row_order.index(rowname)
+            if r >= 0:
+                senses[idx] = ConstraintSense.GE
+                extra_rows.append((rowname, ConstraintSense.LE, base + r))
+            else:
+                senses[idx] = ConstraintSense.LE
+                extra_rows.append((rowname, ConstraintSense.GE, base + r))
+
+    row_index = {r: i for i, r in enumerate(row_order)}
+    m0 = len(row_order)
+    all_rows: list[int] = []
+    all_cols: list[int] = []
+    all_vals: list[float] = []
+    for rowname, colname, value in entries:
+        all_rows.append(row_index[rowname])
+        all_cols.append(col_index[colname])
+        all_vals.append(value)
+    b_list = list(b)
+    for k, (rowname, sense, bound) in enumerate(extra_rows):
+        new_i = m0 + k
+        senses.append(sense)
+        b_list.append(bound)
+        for rowname2, colname, value in entries:
+            if rowname2 == rowname:
+                all_rows.append(new_i)
+                all_cols.append(col_index[colname])
+                all_vals.append(value)
+
+    m, n = m0 + len(extra_rows), len(col_order)
+    coo = CooMatrix((m, n), all_rows, all_cols, all_vals)
+    density = coo.nnz / max(1, m * n)
+    if sparse is None:
+        sparse = m * n > 2500 and density < 0.2
+    a = coo.tocsc() if sparse else coo.to_dense()
+
+    c = np.array([obj_coeffs.get(col, 0.0) for col in col_order])
+    lo = np.array([lower.get(col, 0.0) for col in col_order])
+    hi = np.array([upper.get(col, np.inf) for col in col_order])
+
+    return LPProblem(
+        c=c,
+        a=a,
+        senses=senses,
+        b=np.asarray(b_list),
+        bounds=Bounds(lo, hi),
+        maximize=maximize,
+        name=name,
+        var_names=col_order,
+    )
+
+
+def write_mps(problem: LPProblem, target: "str | Path | io.TextIOBase | None" = None) -> str:
+    """Serialise an :class:`LPProblem` to free-format MPS.
+
+    Returns the MPS text; also writes it to ``target`` when given.
+    Range constraints never appear (the problem model has none); bounds are
+    emitted as the minimal set of UP/LO/FX/FR/MI records.
+    """
+    out = io.StringIO()
+    w = out.write
+    w(f"NAME {problem.name}\n")
+    if problem.maximize:
+        w("OBJSENSE\n    MAX\n")
+    w("ROWS\n")
+    w(" N  COST\n")
+    row_names = [f"R{i}" for i in range(problem.num_constraints)]
+    for i, sense in enumerate(problem.senses):
+        w(f" {_SENSE_ROW[sense]}  {row_names[i]}\n")
+
+    w("COLUMNS\n")
+    a = problem.a_dense()
+    for j in range(problem.num_vars):
+        col = problem.variable_name(j)
+        pairs: list[tuple[str, float]] = []
+        if problem.c[j] != 0.0:
+            pairs.append(("COST", problem.c[j]))
+        for i in np.nonzero(a[:, j])[0]:
+            pairs.append((row_names[i], a[i, j]))
+        for k in range(0, len(pairs), 2):
+            chunk = pairs[k : k + 2]
+            body = "   ".join(f"{r} {v:.17g}" for r, v in chunk)
+            w(f"    {col}   {body}\n")
+
+    w("RHS\n")
+    for i, bi in enumerate(problem.b):
+        if bi != 0.0:
+            w(f"    RHS   {row_names[i]} {bi:.17g}\n")
+
+    lo, hi = problem.bounds.lower, problem.bounds.upper
+    records: list[str] = []
+    for j in range(problem.num_vars):
+        col = problem.variable_name(j)
+        l, u = lo[j], hi[j]
+        if l == 0.0 and np.isposinf(u):
+            continue  # default bounds
+        if l == u:
+            records.append(f" FX BND {col} {l:.17g}")
+            continue
+        if np.isneginf(l) and np.isposinf(u):
+            records.append(f" FR BND {col}")
+            continue
+        if np.isneginf(l):
+            records.append(f" MI BND {col}")
+        elif l != 0.0:
+            records.append(f" LO BND {col} {l:.17g}")
+        if not np.isposinf(u):
+            records.append(f" UP BND {col} {u:.17g}")
+    if records:
+        w("BOUNDS\n")
+        for rec in records:
+            w(rec + "\n")
+    w("ENDATA\n")
+
+    text = out.getvalue()
+    if target is not None:
+        if isinstance(target, (str, Path)):
+            Path(target).write_text(text)
+        else:
+            target.write(text)
+    return text
+
+
+def _slurp(source: "str | Path | io.TextIOBase") -> str:
+    if isinstance(source, io.TextIOBase):
+        return source.read()
+    if isinstance(source, Path):
+        return source.read_text()
+    # str: a path if it points at an existing file, else raw contents
+    if "\n" not in source and Path(source).exists():
+        return Path(source).read_text()
+    return source
+
+
+def _num(token: str, line: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise LPFormatError(f"bad numeric field {token!r} in line {line!r}") from None

@@ -1,0 +1,122 @@
+"""Post-optimal analysis: duals, reduced costs and optimality certificates.
+
+Every solver in the library terminates with a basis; this module turns that
+basis into the full LP certificate, independently of which machine produced
+it:
+
+- **row duals**  y solving  Bᵀy = c_B  (the simplex multipliers at optimum),
+- **reduced costs**  d = c − Aᵀy  (non-negative over nonbasic columns at an
+  optimum of a minimisation),
+- **duality gap**  cᵀx − bᵀy  (zero at an exact optimum — strong duality),
+- **complementary slackness** violation (max |xⱼ·dⱼ|).
+
+Because the computation starts from the basis *columns* (not from any
+solver-internal inverse), it doubles as an independent check of the solver's
+numerical state: a drifted B⁻¹ shows up as a non-zero gap here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SingularBasisError
+from repro.simplex.common import PreparedLP
+
+
+@dataclasses.dataclass
+class Certificate:
+    """Optimality certificate of a basic solution in standard form."""
+
+    #: Simplex multipliers (standard-form row duals), length m.
+    y: np.ndarray
+    #: Reduced costs over all standard-form columns, length n.
+    reduced_costs: np.ndarray
+    #: cᵀx − bᵀy in the standard form (0 at an exact optimum).
+    duality_gap: float
+    #: max |x_j · d_j| over all columns (0 under complementary slackness).
+    complementary_slackness: float
+    #: min_j d_j over nonbasic columns (>= -tol certifies optimality).
+    min_nonbasic_reduced_cost: float
+
+    def is_optimal_certificate(self, tol: float = 1e-6) -> bool:
+        """True when the certificate proves (approximate) optimality."""
+        return (
+            self.min_nonbasic_reduced_cost >= -tol
+            and abs(self.duality_gap) <= tol * (1.0 + abs(self.duality_gap))
+            and self.complementary_slackness <= tol
+        )
+
+
+def certificate_from_basis(
+    prep: PreparedLP,
+    basis: np.ndarray,
+    x_std: np.ndarray,
+) -> Certificate:
+    """Compute the full certificate from the final basis and primal point.
+
+    Works in the (possibly scaled) standard form the solver ran on; callers
+    map back via :meth:`~repro.lp.standard_form.StandardFormLP.recover_duals`
+    and :meth:`~repro.lp.scaling.ScalingResult.unscale_duals`.
+    """
+    basis = np.asarray(basis, dtype=np.int64)
+    m, n = prep.m, prep.n_total
+    c_full = np.concatenate([prep.c, np.zeros(m)])  # artificials cost 0 here
+    b_matrix = prep.basis_matrix(basis)
+    try:
+        y = np.linalg.solve(b_matrix.T, c_full[basis])
+    except np.linalg.LinAlgError:
+        raise SingularBasisError("final basis is singular; no certificate") from None
+
+    d = prep.c - prep.price_all(y)
+    in_basis = np.zeros(n, dtype=bool)
+    real = basis[basis < n]
+    in_basis[real] = True
+
+    z_primal = float(prep.c @ x_std)
+    z_dual = float(prep.b @ y)
+    gap = z_primal - z_dual
+
+    cs = float(np.max(np.abs(x_std * d), initial=0.0))
+    nonbasic = ~in_basis
+    min_d = float(d[nonbasic].min()) if nonbasic.any() else 0.0
+
+    return Certificate(
+        y=y,
+        reduced_costs=d,
+        duality_gap=gap,
+        complementary_slackness=cs,
+        min_nonbasic_reduced_cost=min_d,
+    )
+
+
+def attach_certificate(result, prep: PreparedLP) -> None:
+    """Compute and attach the certificate + original-space duals to an
+    optimal :class:`~repro.result.SolveResult` (no-op otherwise).
+
+    Adds:
+
+    - ``result.extra["certificate"]`` — the standard-form certificate,
+    - ``result.extra["duals"]`` — duals of the *original* constraints,
+    - ``result.extra["reduced_costs_std"]`` — standard-form reduced costs.
+    """
+    if not result.is_optimal or "basis" not in result.extra:
+        return
+    basis = result.extra["basis"]
+    x_std = result.extra.get("x_std")
+    if x_std is None:
+        return
+    # The certificate is computed against *unscaled* standard-form data so
+    # that duals recover directly; build an unscaled view when needed.
+    if prep.scaling is not None:
+        unscaled = PreparedLP(
+            std=prep.std, scaling=None, a=prep.std.a, b=prep.std.b,
+            c=prep.std.c, m=prep.m, n_total=prep.n_total,
+        )
+        cert = certificate_from_basis(unscaled, basis, x_std)
+    else:
+        cert = certificate_from_basis(prep, basis, x_std)
+    result.extra["certificate"] = cert
+    result.extra["reduced_costs_std"] = cert.reduced_costs
+    result.extra["duals"] = prep.std.recover_duals(cert.y)

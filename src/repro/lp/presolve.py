@@ -1,0 +1,295 @@
+"""Presolve: problem reductions applied before the simplex method.
+
+Classic safe reductions, applied to fixpoint:
+
+1. **Empty rows** — ``0 {<=,>=,=} b``: drop if satisfied, else the problem
+   is proven infeasible.
+2. **Fixed variables** (``lo == hi``) — substitute the value out.
+3. **Singleton rows** — a row with one nonzero is just a bound on that
+   variable: tighten the bound and drop the row (contradictory bounds prove
+   infeasibility).
+4. **Empty columns** — a variable in no constraint moves to whichever bound
+   minimises the objective; an unbounded improving direction proves the
+   problem unbounded.
+5. **Duplicate rows** — identical (row, sense) pairs keep only the tightest
+   rhs.
+
+Every reduction records enough to reconstruct the removed variables, so
+``postsolve`` returns a solution in the *original* variable space.
+
+Usage::
+
+    outcome = presolve(lp)
+    if outcome.status is PresolveStatus.REDUCED:
+        result = solve(outcome.reduced, ...)
+        x_original = outcome.postsolve(result.x)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.lp.problem import Bounds, ConstraintSense, LPProblem
+
+#: Feasibility tolerance for constant-row checks.
+_FEAS_TOL = 1e-9
+
+
+class PresolveStatus(enum.Enum):
+    """Outcome of the presolve pass."""
+
+    #: Reductions applied (possibly none); ``reduced`` holds the problem.
+    REDUCED = "reduced"
+    #: A constraint was proven unsatisfiable.
+    INFEASIBLE = "infeasible"
+    #: An improving direction with no finite bound was found.
+    UNBOUNDED = "unbounded"
+    #: Everything was eliminated; ``fixed_solution`` is the full answer.
+    SOLVED = "solved"
+
+
+@dataclasses.dataclass
+class PresolveOutcome:
+    """Result of :func:`presolve`."""
+
+    status: PresolveStatus
+    reduced: LPProblem | None
+    #: Original index of each surviving variable.
+    kept_vars: np.ndarray
+    #: value of each eliminated variable, keyed by original index.
+    fixed_values: dict[int, float]
+    #: number of rows/cols removed, per rule (diagnostics).
+    log: dict[str, int]
+    #: Objective constant contributed by eliminated variables.
+    objective_offset: float
+    n_original: int
+
+    def postsolve(self, x_reduced: np.ndarray | None) -> np.ndarray | None:
+        """Map a reduced-space solution back to the original variables."""
+        if x_reduced is None:
+            return None
+        x = np.zeros(self.n_original)
+        for orig, value in self.fixed_values.items():
+            x[orig] = value
+        x[self.kept_vars] = np.asarray(x_reduced, dtype=np.float64)
+        return x
+
+    @property
+    def rows_removed(self) -> int:
+        return sum(v for k, v in self.log.items() if k.startswith("rows"))
+
+    @property
+    def cols_removed(self) -> int:
+        return len(self.fixed_values)
+
+
+def presolve(problem: LPProblem, max_passes: int = 10) -> PresolveOutcome:
+    """Apply the reduction rules to fixpoint (at most ``max_passes``)."""
+    a = problem.a_dense().copy()
+    b = problem.b.copy()
+    senses = list(problem.senses)
+    c = problem.c.copy()
+    lower = problem.bounds.lower.copy()
+    upper = problem.bounds.upper.copy()
+    # work in minimisation orientation for rule 4; flip back at the end
+    c_min = -c if problem.maximize else c
+
+    n = problem.num_vars
+    kept = np.ones(n, dtype=bool)
+    row_alive = np.ones(len(b), dtype=bool)
+    fixed: dict[int, float] = {}
+    log = {"rows_empty": 0, "rows_singleton": 0, "rows_duplicate": 0,
+           "cols_fixed": 0, "cols_empty": 0}
+
+    def fix_variable(j: int, value: float) -> None:
+        fixed[j] = value
+        kept[j] = False
+        nonlocal b
+        b = b - a[:, j] * value
+        a[:, j] = 0.0
+
+    for _ in range(max_passes):
+        changed = False
+
+        # rule 2: fixed variables
+        for j in np.nonzero(kept)[0]:
+            if lower[j] == upper[j]:
+                fix_variable(int(j), float(lower[j]))
+                log["cols_fixed"] += 1
+                changed = True
+
+        # rule 1: empty rows
+        for i in np.nonzero(row_alive)[0]:
+            if np.any(a[i, kept] != 0.0):
+                continue
+            rhs = b[i]
+            sense = senses[i]
+            ok = (
+                (sense is ConstraintSense.LE and 0.0 <= rhs + _FEAS_TOL)
+                or (sense is ConstraintSense.GE and 0.0 >= rhs - _FEAS_TOL)
+                or (sense is ConstraintSense.EQ and abs(rhs) <= _FEAS_TOL)
+            )
+            if not ok:
+                return _failed(PresolveStatus.INFEASIBLE, kept, fixed, log, n)
+            row_alive[i] = False
+            log["rows_empty"] += 1
+            changed = True
+
+        # rule 3: singleton rows -> bounds
+        for i in np.nonzero(row_alive)[0]:
+            nz = np.nonzero(a[i, :] * kept)[0]
+            if nz.size != 1:
+                continue
+            j = int(nz[0])
+            coeff = a[i, j]
+            rhs = b[i] / coeff
+            sense = senses[i]
+            if coeff < 0 and sense is not ConstraintSense.EQ:
+                sense = sense.flipped()
+            if sense is ConstraintSense.LE:
+                upper[j] = min(upper[j], rhs)
+            elif sense is ConstraintSense.GE:
+                lower[j] = max(lower[j], rhs)
+            else:
+                lower[j] = max(lower[j], rhs)
+                upper[j] = min(upper[j], rhs)
+            if lower[j] > upper[j] + _FEAS_TOL:
+                return _failed(PresolveStatus.INFEASIBLE, kept, fixed, log, n)
+            row_alive[i] = False
+            log["rows_singleton"] += 1
+            changed = True
+
+        # rule 4: empty columns
+        for j in np.nonzero(kept)[0]:
+            if np.any(a[row_alive, j] != 0.0):
+                continue
+            cj = c_min[j]
+            if cj > 0:
+                target = lower[j]
+            elif cj < 0:
+                target = upper[j]
+            else:
+                target = lower[j] if np.isfinite(lower[j]) else (
+                    upper[j] if np.isfinite(upper[j]) else 0.0
+                )
+            if not np.isfinite(target):
+                return _failed(PresolveStatus.UNBOUNDED, kept, fixed, log, n)
+            fix_variable(int(j), float(target))
+            log["cols_empty"] += 1
+            changed = True
+
+        # rule 5: duplicate rows (same coefficients and sense)
+        alive_idx = np.nonzero(row_alive)[0]
+        seen: dict[bytes, int] = {}
+        for i in alive_idx:
+            key = a[i, :].tobytes() + senses[i].value.encode()
+            if key in seen:
+                k = seen[key]
+                if senses[i] is ConstraintSense.LE:
+                    b[k] = min(b[k], b[i])
+                elif senses[i] is ConstraintSense.GE:
+                    b[k] = max(b[k], b[i])
+                else:
+                    if abs(b[k] - b[i]) > _FEAS_TOL:
+                        return _failed(PresolveStatus.INFEASIBLE, kept, fixed, log, n)
+                row_alive[i] = False
+                log["rows_duplicate"] += 1
+                changed = True
+            else:
+                seen[key] = int(i)
+
+        if not changed:
+            break
+
+    kept_vars = np.nonzero(kept)[0]
+    offset = float(sum(problem.c[j] * v for j, v in fixed.items()))
+
+    if kept_vars.size == 0:
+        return PresolveOutcome(
+            status=PresolveStatus.SOLVED,
+            reduced=None,
+            kept_vars=kept_vars,
+            fixed_values=fixed,
+            log=log,
+            objective_offset=offset,
+            n_original=n,
+        )
+
+    rows = np.nonzero(row_alive)[0]
+    reduced = LPProblem(
+        c=problem.c[kept_vars],
+        a=a[np.ix_(rows, kept_vars)],
+        senses=[senses[i] for i in rows] if rows.size else [ConstraintSense.LE],
+        b=b[rows] if rows.size else np.array([0.0]),
+        bounds=Bounds(lower[kept_vars], upper[kept_vars]),
+        maximize=problem.maximize,
+        name=problem.name + "+presolved",
+    ) if rows.size else LPProblem(
+        # no rows left: keep a vacuous constraint so the model stays valid
+        c=problem.c[kept_vars],
+        a=np.zeros((1, kept_vars.size)),
+        senses=[ConstraintSense.LE],
+        b=np.array([0.0]),
+        bounds=Bounds(lower[kept_vars], upper[kept_vars]),
+        maximize=problem.maximize,
+        name=problem.name + "+presolved",
+    )
+
+    return PresolveOutcome(
+        status=PresolveStatus.REDUCED,
+        reduced=reduced,
+        kept_vars=kept_vars,
+        fixed_values=fixed,
+        log=log,
+        objective_offset=offset,
+        n_original=n,
+    )
+
+
+def _failed(status, kept, fixed, log, n) -> PresolveOutcome:
+    return PresolveOutcome(
+        status=status,
+        reduced=None,
+        kept_vars=np.nonzero(kept)[0],
+        fixed_values=fixed,
+        log=log,
+        objective_offset=0.0,
+        n_original=n,
+    )
+
+
+def solve_with_presolve(problem: LPProblem, method: str = "gpu-revised", **options):
+    """Convenience: presolve, solve the reduction, postsolve the answer.
+
+    Returns a :class:`~repro.result.SolveResult` in the original space.
+    Infeasibility/unboundedness proven by presolve short-circuits the solver.
+    """
+    from repro.result import SolveResult
+    from repro.solve import solve as _solve
+    from repro.status import SolveStatus
+
+    outcome = presolve(problem)
+    if outcome.status is PresolveStatus.INFEASIBLE:
+        return SolveResult(status=SolveStatus.INFEASIBLE, solver=f"presolve+{method}")
+    if outcome.status is PresolveStatus.UNBOUNDED:
+        return SolveResult(status=SolveStatus.UNBOUNDED, solver=f"presolve+{method}")
+    if outcome.status is PresolveStatus.SOLVED:
+        x = outcome.postsolve(np.zeros(0))
+        result = SolveResult(
+            status=SolveStatus.OPTIMAL,
+            objective=outcome.objective_offset,
+            x=x,
+            solver=f"presolve+{method}",
+        )
+        return result
+
+    result = _solve(outcome.reduced, method=method, **options)
+    if result.is_optimal:
+        result.x = outcome.postsolve(result.x)
+        result.objective = result.objective + outcome.objective_offset
+    result.solver = f"presolve+{result.solver}"
+    result.extra["presolve_log"] = outcome.log
+    return result

@@ -1,0 +1,283 @@
+"""General-form LP problems.
+
+An :class:`LPProblem` is
+
+.. math::
+
+    \\min_x \\ (\\text{or } \\max_x)\\ c^T x \\quad \\text{s.t.} \\quad
+    A_i x \\ \\{\\le, =, \\ge\\}\\ b_i, \\qquad l \\le x \\le u
+
+with a dense or sparse constraint matrix.  This is the user-facing surface;
+solvers consume the :class:`~repro.lp.standard_form.StandardFormLP` produced
+by :func:`~repro.lp.standard_form.to_standard_form`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import LPBoundsError, LPDimensionError
+from repro.sparse.base import SparseMatrix
+
+
+class ConstraintSense(enum.Enum):
+    """Row sense of one linear constraint."""
+
+    LE = "<="
+    EQ = "="
+    GE = ">="
+
+    @classmethod
+    def parse(cls, token: "str | ConstraintSense") -> "ConstraintSense":
+        """Accepts '<=', '<', '=', '==', '>=', '>' or an existing sense."""
+        if isinstance(token, ConstraintSense):
+            return token
+        mapping = {
+            "<=": cls.LE,
+            "<": cls.LE,
+            "=": cls.EQ,
+            "==": cls.EQ,
+            ">=": cls.GE,
+            ">": cls.GE,
+        }
+        try:
+            return mapping[token.strip()]
+        except (KeyError, AttributeError):
+            raise LPDimensionError(f"unknown constraint sense {token!r}") from None
+
+    def flipped(self) -> "ConstraintSense":
+        """Sense after multiplying the row by -1."""
+        if self is ConstraintSense.LE:
+            return ConstraintSense.GE
+        if self is ConstraintSense.GE:
+            return ConstraintSense.LE
+        return ConstraintSense.EQ
+
+
+@dataclasses.dataclass
+class Bounds:
+    """Per-variable bounds ``lower <= x <= upper`` (±inf allowed)."""
+
+    lower: np.ndarray
+    upper: np.ndarray
+
+    @classmethod
+    def nonnegative(cls, n: int) -> "Bounds":
+        """The default LP bounds: 0 <= x < inf."""
+        return cls(np.zeros(n), np.full(n, np.inf))
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[float | None, float | None]]) -> "Bounds":
+        """Build from scipy-style (lo, hi) pairs; ``None`` means unbounded."""
+        lower = np.array([(-np.inf if lo is None else lo) for lo, _ in pairs], dtype=np.float64)
+        upper = np.array([(np.inf if hi is None else hi) for _, hi in pairs], dtype=np.float64)
+        return cls(lower, upper)
+
+    def validate(self, n: int) -> None:
+        if self.lower.shape != (n,) or self.upper.shape != (n,):
+            raise LPDimensionError(
+                f"bounds must have length {n}, got {self.lower.shape}/{self.upper.shape}"
+            )
+        bad = self.lower > self.upper
+        if bad.any():
+            j = int(np.argmax(bad))
+            raise LPBoundsError(
+                f"variable {j} has contradictory bounds "
+                f"[{self.lower[j]}, {self.upper[j]}]"
+            )
+
+    def copy(self) -> "Bounds":
+        return Bounds(self.lower.copy(), self.upper.copy())
+
+
+@dataclasses.dataclass
+class LPProblem:
+    """A general-form linear program.
+
+    Attributes
+    ----------
+    c:
+        Objective coefficients, length n.
+    a:
+        Constraint matrix, m×n — a dense ndarray or any library sparse
+        matrix (:class:`~repro.sparse.csr.CsrMatrix` etc.).
+    senses:
+        Length-m array of :class:`ConstraintSense`.
+    b:
+        Right-hand sides, length m.
+    bounds:
+        Variable bounds; default 0 <= x < inf.
+    maximize:
+        Objective orientation; results are always reported in this
+        orientation.
+    name / var_names:
+        Optional labels used by the MPS writer and reports.
+    """
+
+    c: np.ndarray
+    a: "np.ndarray | SparseMatrix"
+    senses: list[ConstraintSense]
+    b: np.ndarray
+    bounds: Bounds
+    maximize: bool = False
+    name: str = "lp"
+    var_names: list[str] | None = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=np.float64)
+        self.b = np.asarray(self.b, dtype=np.float64)
+        if self.c.ndim != 1:
+            raise LPDimensionError("c must be a vector")
+        if self.b.ndim != 1:
+            raise LPDimensionError("b must be a vector")
+        if not isinstance(self.a, SparseMatrix):
+            self.a = np.asarray(self.a, dtype=np.float64)
+            if self.a.ndim != 2:
+                raise LPDimensionError("A must be a matrix")
+        m, n = self.a.shape
+        if self.c.size != n:
+            raise LPDimensionError(f"c has length {self.c.size}, A has {n} columns")
+        if self.b.size != m:
+            raise LPDimensionError(f"b has length {self.b.size}, A has {m} rows")
+        self.senses = [ConstraintSense.parse(s) for s in self.senses]
+        if len(self.senses) != m:
+            raise LPDimensionError(
+                f"{len(self.senses)} senses for {m} constraints"
+            )
+        self.bounds.validate(n)
+        if self.var_names is not None and len(self.var_names) != n:
+            raise LPDimensionError("var_names length mismatch")
+        if not np.all(np.isfinite(self.c)):
+            raise LPDimensionError("c must be finite")
+        if not np.all(np.isfinite(self.b)):
+            raise LPDimensionError("b must be finite")
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def minimize(
+        cls,
+        c,
+        a_ub=None,
+        b_ub=None,
+        a_eq=None,
+        b_eq=None,
+        bounds: Bounds | Sequence[tuple[float | None, float | None]] | None = None,
+        name: str = "lp",
+    ) -> "LPProblem":
+        """scipy.optimize.linprog-style constructor (minimisation)."""
+        return cls._build(c, a_ub, b_ub, a_eq, b_eq, bounds, maximize=False, name=name)
+
+    @classmethod
+    def maximize_problem(
+        cls,
+        c,
+        a_ub=None,
+        b_ub=None,
+        a_eq=None,
+        b_eq=None,
+        bounds: Bounds | Sequence[tuple[float | None, float | None]] | None = None,
+        name: str = "lp",
+    ) -> "LPProblem":
+        """Like :meth:`minimize` but maximising c'x."""
+        return cls._build(c, a_ub, b_ub, a_eq, b_eq, bounds, maximize=True, name=name)
+
+    @classmethod
+    def _build(cls, c, a_ub, b_ub, a_eq, b_eq, bounds, *, maximize, name):
+        c = np.asarray(c, dtype=np.float64)
+        n = c.size
+        blocks: list[np.ndarray] = []
+        rhs: list[np.ndarray] = []
+        senses: list[ConstraintSense] = []
+        if a_ub is not None:
+            a_ub = np.atleast_2d(np.asarray(a_ub, dtype=np.float64))
+            b_ub = np.atleast_1d(np.asarray(b_ub, dtype=np.float64))
+            blocks.append(a_ub)
+            rhs.append(b_ub)
+            senses.extend([ConstraintSense.LE] * a_ub.shape[0])
+        if a_eq is not None:
+            a_eq = np.atleast_2d(np.asarray(a_eq, dtype=np.float64))
+            b_eq = np.atleast_1d(np.asarray(b_eq, dtype=np.float64))
+            blocks.append(a_eq)
+            rhs.append(b_eq)
+            senses.extend([ConstraintSense.EQ] * a_eq.shape[0])
+        if not blocks:
+            raise LPDimensionError("problem has no constraints")
+        a = np.vstack(blocks)
+        b = np.concatenate(rhs)
+        if bounds is None:
+            bnd = Bounds.nonnegative(n)
+        elif isinstance(bounds, Bounds):
+            bnd = bounds
+        else:
+            bnd = Bounds.from_pairs(bounds)
+        return cls(c=c, a=a, senses=senses, b=b, bounds=bnd, maximize=maximize, name=name)
+
+    # -- structural properties ------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        return int(self.c.size)
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.b.size)
+
+    @property
+    def is_sparse(self) -> bool:
+        return isinstance(self.a, SparseMatrix)
+
+    def a_dense(self) -> np.ndarray:
+        """The constraint matrix as a dense ndarray (copy for sparse A)."""
+        if isinstance(self.a, SparseMatrix):
+            return self.a.to_dense()
+        return np.asarray(self.a)
+
+    def a_matvec(self, x: np.ndarray) -> np.ndarray:
+        if isinstance(self.a, SparseMatrix):
+            return self.a.matvec(x)
+        return self.a @ x
+
+    # -- evaluation ----------------------------------------------------------
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """c'x in the problem's own orientation (no sign games)."""
+        return float(self.c @ np.asarray(x, dtype=np.float64))
+
+    def constraint_violation(self, x: np.ndarray) -> float:
+        """Max violation of constraints and bounds at x (0 when feasible)."""
+        x = np.asarray(x, dtype=np.float64)
+        ax = self.a_matvec(x)
+        worst = 0.0
+        for i, sense in enumerate(self.senses):
+            if sense is ConstraintSense.LE:
+                worst = max(worst, ax[i] - self.b[i])
+            elif sense is ConstraintSense.GE:
+                worst = max(worst, self.b[i] - ax[i])
+            else:
+                worst = max(worst, abs(ax[i] - self.b[i]))
+        worst = max(worst, float(np.max(self.bounds.lower - x, initial=0.0)))
+        worst = max(worst, float(np.max(x - self.bounds.upper, initial=0.0)))
+        return float(worst)
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        return self.constraint_violation(x) <= tol
+
+    # -- misc ---------------------------------------------------------------
+
+    def variable_name(self, j: int) -> str:
+        if self.var_names is not None:
+            return self.var_names[j]
+        return f"x{j}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "sparse" if self.is_sparse else "dense"
+        sense = "max" if self.maximize else "min"
+        return (
+            f"<LPProblem {self.name!r} {sense} {kind} "
+            f"m={self.num_constraints} n={self.num_vars}>"
+        )

@@ -1,0 +1,51 @@
+"""Analytic machine performance models.
+
+The reproduction has no 2009-era GPU (or CPU) to run on, so machine time is
+*modeled from first principles* while the algorithms themselves run for real:
+iteration counts, pivot sequences and operation counts are genuine, and each
+operation is charged to an analytic roofline-style model of the target
+machine (GT200-class GPU for the paper's solver, Core-2-era CPU for the
+sequential comparator).  This preserves the *shape* of the paper's results —
+who wins, by roughly what factor, and where the CPU/GPU crossover falls —
+which is exactly what the reproduction protocol asks for.
+
+Contents
+--------
+- :class:`~repro.perfmodel.ops.OpCost` — a machine-neutral description of one
+  operation (FLOPs, bytes moved, parallel width, coalescing).
+- :class:`~repro.perfmodel.gpu_model.GpuCostModel` — SIMT kernel timing:
+  launch overhead + max(compute, memory) with occupancy, device-fill and
+  coalescing corrections; PCIe transfer timing.
+- :class:`~repro.perfmodel.cpu_model.CpuCostModel` — sequential roofline:
+  max(compute, memory) + per-call overhead.
+- :mod:`~repro.perfmodel.presets` — calibrated parameter sets: GTX 280,
+  GTX 8800, Tesla C1060 and a Core 2 Quad-class host.
+"""
+
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.gpu_model import GpuCostModel, GpuModelParams
+from repro.perfmodel.cpu_model import CpuCostModel, CpuModelParams
+from repro.perfmodel.presets import (
+    GTX280_PARAMS,
+    GTX8800_PARAMS,
+    TESLA_C1060_PARAMS,
+    CORE2_CPU_PARAMS,
+    MODERN_CPU_PARAMS,
+    gpu_model_preset,
+    cpu_model_preset,
+)
+
+__all__ = [
+    "OpCost",
+    "GpuCostModel",
+    "GpuModelParams",
+    "CpuCostModel",
+    "CpuModelParams",
+    "GTX280_PARAMS",
+    "GTX8800_PARAMS",
+    "TESLA_C1060_PARAMS",
+    "CORE2_CPU_PARAMS",
+    "MODERN_CPU_PARAMS",
+    "gpu_model_preset",
+    "cpu_model_preset",
+]

@@ -1,0 +1,104 @@
+"""Machine-neutral operation cost descriptors.
+
+Every kernel launch on the simulated device — and every BLAS-style operation
+in the CPU baselines — produces an :class:`OpCost` describing *what the
+operation does physically*: floating-point work, memory traffic, available
+parallelism and access-pattern quality.  Machine models turn an ``OpCost``
+into seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class OpCost:
+    """Physical cost of one operation, independent of the machine.
+
+    Attributes
+    ----------
+    flops:
+        Floating-point operations performed (multiply-add counts as 2).
+    bytes_read / bytes_written:
+        Bytes moved from/to the main memory of the machine (device global
+        memory on the GPU, DRAM on the CPU).  Cache/shared-memory reuse should
+        already be discounted by the caller — these are *main-memory* bytes.
+    threads:
+        Number of logical parallel work items.  On the GPU this drives the
+        device-fill correction (a 64-thread kernel cannot saturate 30 SMs);
+        ignored by sequential CPU models.
+    coalesced_fraction:
+        Fraction of memory traffic that is fully coalesced (GPU) /
+        unit-stride (CPU).  Non-coalesced traffic is charged an amplification
+        factor by the model.
+    divergent_fraction:
+        Fraction of warps that suffer branch divergence; divergent warps
+        execute both sides of a branch, doubling their compute cost.
+    """
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    threads: int = 1
+    coalesced_fraction: float = 1.0
+    divergent_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_read < 0 or self.bytes_written < 0:
+            raise ValueError("OpCost fields must be non-negative")
+        if self.threads < 1:
+            raise ValueError("OpCost.threads must be >= 1")
+        if not 0.0 <= self.coalesced_fraction <= 1.0:
+            raise ValueError("coalesced_fraction must lie in [0, 1]")
+        if not 0.0 <= self.divergent_fraction <= 1.0:
+            raise ValueError("divergent_fraction must lie in [0, 1]")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    def scaled(self, factor: float) -> "OpCost":
+        """Return a copy with work and traffic scaled by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return dataclasses.replace(
+            self,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+        )
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        """Combine two costs executed back-to-back (threads = max, traffic
+        quality = traffic-weighted average)."""
+        if not isinstance(other, OpCost):
+            return NotImplemented
+        total_bytes = self.bytes_total + other.bytes_total
+        if total_bytes > 0:
+            coalesced = (
+                self.coalesced_fraction * self.bytes_total
+                + other.coalesced_fraction * other.bytes_total
+            ) / total_bytes
+        else:
+            coalesced = 1.0
+        total_threads = max(self.threads, other.threads)
+        total_flops = self.flops + other.flops
+        if total_flops > 0:
+            divergent = (
+                self.divergent_fraction * self.flops
+                + other.divergent_fraction * other.flops
+            ) / total_flops
+        else:
+            divergent = 0.0
+        return OpCost(
+            flops=total_flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            threads=total_threads,
+            coalesced_fraction=coalesced,
+            divergent_fraction=divergent,
+        )
+
+
+ZERO_COST = OpCost()

@@ -1,0 +1,104 @@
+"""Solver options shared by every simplex implementation in the library."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SolverError
+
+#: Pricing rules accepted by ``SolverOptions.pricing``.
+PRICING_RULES = ("dantzig", "bland", "hybrid", "devex", "steepest-edge")
+
+#: Ratio tests accepted by ``SolverOptions.ratio_test``.
+RATIO_TESTS = ("standard", "harris")
+
+#: Basis-update strategies of the revised solvers.
+BASIS_UPDATES = ("explicit", "pfi", "lu")
+
+
+@dataclasses.dataclass(frozen=True)
+class SolverOptions:
+    """Configuration knobs common to all solvers.
+
+    Attributes
+    ----------
+    pricing:
+        Entering-variable rule.  ``dantzig`` (most negative reduced cost),
+        ``bland`` (lowest index, anti-cycling), ``hybrid`` (Dantzig with an
+        automatic Bland fallback on objective stalls), ``devex`` and
+        ``steepest-edge`` (tableau solvers only — they need the updated
+        column norms the tableau carries).
+    ratio_test:
+        ``standard`` (min ratio, lowest-index tie-break) or ``harris``
+        (two-pass with feasibility tolerance; picks the largest pivot among
+        near-minimal ratios for stability).
+    basis_update:
+        Revised solvers only: ``explicit`` keeps B⁻¹ explicitly and applies
+        rank-1 eta updates (the paper's scheme); ``pfi`` keeps a product-form
+        eta file over a refactorised base.
+    max_iterations:
+        Per-phase iteration cap; 0 means the dimension-derived default
+        ``50 * (m + n)``.
+    tol_reduced_cost / tol_pivot / tol_zero:
+        Optimality, pivot-admissibility and round-to-zero tolerances.
+    stall_window:
+        Iterations without objective improvement before ``hybrid`` pricing
+        switches to Bland (and after escaping the stall, back).
+    refactor_period:
+        Revised solvers: rebuild B⁻¹ (or the PFI base) from the basis
+        columns every this many pivots; 0 disables.
+    scale:
+        Apply geometric-mean scaling to the standard-form data.
+    dtype:
+        Arithmetic precision: float64 (CPU default) or float32 (the GPU's
+        fast path; the F4 experiment flips this).
+    """
+
+    pricing: str = "dantzig"
+    ratio_test: str = "standard"
+    basis_update: str = "explicit"
+    max_iterations: int = 0
+    tol_reduced_cost: float = 1e-9
+    tol_pivot: float = 1e-9
+    tol_zero: float = 1e-11
+    stall_window: int = 40
+    refactor_period: int = 100
+    scale: bool = False
+    dtype: type = np.float64
+    #: Record a per-pivot trace (phase, iteration, entering, leaving row,
+    #: step, objective) into ``result.extra["trace"]``.  Off by default —
+    #: traces are O(iterations) host memory.
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pricing not in PRICING_RULES:
+            raise SolverError(
+                f"unknown pricing rule {self.pricing!r}; choose from {PRICING_RULES}"
+            )
+        if self.ratio_test not in RATIO_TESTS:
+            raise SolverError(
+                f"unknown ratio test {self.ratio_test!r}; choose from {RATIO_TESTS}"
+            )
+        if self.basis_update not in BASIS_UPDATES:
+            raise SolverError(
+                f"unknown basis update {self.basis_update!r}; choose from {BASIS_UPDATES}"
+            )
+        if self.max_iterations < 0:
+            raise SolverError("max_iterations must be >= 0")
+        for name in ("tol_reduced_cost", "tol_pivot", "tol_zero"):
+            if getattr(self, name) < 0:
+                raise SolverError(f"{name} must be non-negative")
+        if np.dtype(self.dtype) not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise SolverError("dtype must be float32 or float64")
+
+    def replace(self, **overrides) -> "SolverOptions":
+        """A copy with the given fields replaced (validates again)."""
+        return dataclasses.replace(self, **overrides)
+
+    def iteration_cap(self, m: int, n: int) -> int:
+        """The effective per-phase iteration limit for an m×n problem."""
+        if self.max_iterations > 0:
+            return self.max_iterations
+        return 50 * (m + n)

@@ -1,0 +1,221 @@
+"""Entering-variable (pricing) rules.
+
+A pricing rule looks at the reduced costs of the *eligible* columns and
+picks the entering variable — the decision that dominates simplex iteration
+counts.  Rules implemented:
+
+- **Dantzig**: most negative reduced cost.  Fast convergence in practice,
+  can cycle on degenerate problems.
+- **Bland**: lowest-index column with negative reduced cost.  Provably
+  anti-cycling, often slow.
+- **Hybrid**: Dantzig until the objective stalls for ``stall_window``
+  iterations, then Bland until progress resumes — the practical compromise.
+- **Devex** (tableau solvers): Dantzig on reference-framework-weighted
+  reduced costs ``d_j² / w_j`` with the classic multiplicative weight update.
+- **Steepest edge** (tableau solvers): exact edge norms from the updated
+  tableau columns, ``d_j² / (1 + ‖ᾱ_j‖²)``.
+
+All rules receive the full reduced-cost vector plus an eligibility mask and
+return a *global column index* (or ``None`` at optimality).  Ties break to
+the lowest index everywhere, keeping every solver in the library pivot-for-
+pivot deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class PricingRule(abc.ABC):
+    """Stateful entering-variable rule over a fixed column set."""
+
+    #: Rules that need the updated tableau column (ᾱ) per pivot.
+    needs_tableau: bool = False
+
+    @abc.abstractmethod
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        """Pick the entering column.
+
+        Parameters
+        ----------
+        d:
+            Reduced costs for every column (basic columns included; they are
+            excluded via ``eligible``).
+        eligible:
+            Boolean mask of columns allowed to enter.
+        tol:
+            Optimality tolerance: a column qualifies when ``d_j < -tol``.
+
+        Returns the global column index, or ``None`` when no column
+        qualifies (current basis optimal).
+        """
+
+    def notify_pivot(
+        self,
+        q: int,
+        p_row: int,
+        alpha: np.ndarray | None,
+        improved: bool,
+    ) -> None:
+        """Called after each pivot: entering column ``q``, pivot row
+        ``p_row``, the updated entering column ``alpha`` (``None`` for
+        revised solvers that don't carry the tableau) and whether the
+        objective strictly improved."""
+
+    def reset(self, n_cols: int) -> None:
+        """Re-initialise any per-column state for a phase with n columns."""
+
+
+class DantzigRule(PricingRule):
+    """Most negative reduced cost, lowest index on ties."""
+
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        masked = np.where(eligible, d, np.inf)
+        q = int(np.argmin(masked))
+        return q if masked[q] < -tol else None
+
+
+class BlandRule(PricingRule):
+    """Lowest-index negative reduced cost (anti-cycling)."""
+
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        hits = np.nonzero(eligible & (d < -tol))[0]
+        return int(hits[0]) if hits.size else None
+
+
+class HybridRule(PricingRule):
+    """Dantzig with an automatic Bland fallback on objective stalls.
+
+    Counts consecutive non-improving pivots; at ``stall_window`` it switches
+    to Bland (guaranteeing escape from any cycle), and switches back to
+    Dantzig after ``recovery`` improving pivots.
+    """
+
+    def __init__(self, stall_window: int = 40, recovery: int = 5):
+        if stall_window < 1:
+            raise SolverError("stall_window must be >= 1")
+        self.stall_window = stall_window
+        self.recovery = recovery
+        self._dantzig = DantzigRule()
+        self._bland = BlandRule()
+        self._stalled = 0
+        self._improved_streak = 0
+        self._using_bland = False
+        #: Number of Dantzig→Bland switches (reported as bland_activations).
+        self.activations = 0
+
+    def reset(self, n_cols: int) -> None:
+        self._stalled = 0
+        self._improved_streak = 0
+        self._using_bland = False
+
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        rule = self._bland if self._using_bland else self._dantzig
+        return rule.select(d, eligible, tol)
+
+    def notify_pivot(self, q, p_row, alpha, improved) -> None:
+        if improved:
+            self._stalled = 0
+            if self._using_bland:
+                self._improved_streak += 1
+                if self._improved_streak >= self.recovery:
+                    self._using_bland = False
+                    self._improved_streak = 0
+        else:
+            self._stalled += 1
+            self._improved_streak = 0
+            if not self._using_bland and self._stalled >= self.stall_window:
+                self._using_bland = True
+                self.activations += 1
+                self._stalled = 0
+
+
+class DevexRule(PricingRule):
+    """Devex pricing (Harris 1973) with the multiplicative weight update.
+
+    Approximates steepest-edge using reference weights ``w_j`` updated from
+    the pivot column only — no extra BTRANs.  Requires the updated entering
+    column each pivot, so it is offered by the tableau solvers.
+    """
+
+    needs_tableau = True
+
+    def __init__(self):
+        self._weights: np.ndarray | None = None
+        self._alpha_row: np.ndarray | None = None
+
+    def reset(self, n_cols: int) -> None:
+        self._weights = np.ones(n_cols)
+
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        if self._weights is None or self._weights.size != d.size:
+            self.reset(d.size)
+        negative = eligible & (d < -tol)
+        if not negative.any():
+            return None
+        score = np.where(negative, d * d / self._weights, -np.inf)
+        return int(np.argmax(score))
+
+    def set_pivot_row(self, alpha_row: np.ndarray) -> None:
+        """Provide the pivot row ᾱ_{p,·} (over all columns) for the update."""
+        self._alpha_row = alpha_row
+
+    def notify_pivot(self, q, p_row, alpha, improved) -> None:
+        if self._weights is None or self._alpha_row is None:
+            return
+        w_q = self._weights[q]
+        a_pq = self._alpha_row[q]
+        if abs(a_pq) < 1e-300:
+            return
+        ratio = (self._alpha_row / a_pq) ** 2 * w_q
+        self._weights = np.maximum(self._weights, ratio)
+        self._weights[q] = max(w_q / (a_pq * a_pq), 1.0)
+        self._alpha_row = None
+
+
+class SteepestEdgeRule(PricingRule):
+    """Exact steepest edge from the updated tableau columns.
+
+    Picks ``argmax d_j² / γ_j`` with ``γ_j = 1 + ‖ᾱ_j‖²``; the tableau
+    solver hands the full updated tableau in via :meth:`set_tableau`.
+    """
+
+    needs_tableau = True
+
+    def __init__(self):
+        self._gamma: np.ndarray | None = None
+
+    def reset(self, n_cols: int) -> None:
+        self._gamma = None
+
+    def set_tableau(self, tableau: np.ndarray) -> None:
+        """Recompute γ from the current updated tableau (m × n)."""
+        self._gamma = 1.0 + np.sum(tableau * tableau, axis=0)
+
+    def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
+        if self._gamma is None:
+            raise SolverError("steepest-edge rule used without tableau data")
+        negative = eligible & (d < -tol)
+        if not negative.any():
+            return None
+        score = np.where(negative, d * d / self._gamma, -np.inf)
+        return int(np.argmax(score))
+
+
+def make_pricing_rule(name: str, stall_window: int = 40) -> PricingRule:
+    """Instantiate a pricing rule by option name."""
+    if name == "dantzig":
+        return DantzigRule()
+    if name == "bland":
+        return BlandRule()
+    if name == "hybrid":
+        return HybridRule(stall_window=stall_window)
+    if name == "devex":
+        return DevexRule()
+    if name == "steepest-edge":
+        return SteepestEdgeRule()
+    raise SolverError(f"unknown pricing rule {name!r}")

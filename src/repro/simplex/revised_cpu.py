@@ -1,0 +1,327 @@
+"""Dense two-phase revised simplex on the CPU.
+
+This is the paper's sequential comparator: the same algorithm the GPU solver
+parallelises, running against NumPy (standing in for an optimized CPU BLAS)
+with modeled 2009-era CPU time recorded per operation.
+
+Algorithm (per iteration):
+
+1. **BTRAN**    π = c_Bᵀ B⁻¹                     (basis representation)
+2. **pricing**  d = c − πᵀA; entering column q   (pricing rule)
+3. **FTRAN**    α = B⁻¹ a_q
+4. **ratio**    leaving row p, step θ            (ratio test)
+5. **update**   β, z, B⁻¹, basis index sets
+
+Phase 1 minimises the sum of implicit artificial variables; artificials are
+driven out of the basis before phase 2 (rows that cannot be driven out are
+redundant and keep their artificial pinned at zero).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import SingularBasisError, SolverError
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.basis import make_basis
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    extract_solution,
+    initial_basis,
+    phase1_costs,
+    phase2_costs,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.simplex.pricing import HybridRule, make_pricing_rule
+from repro.simplex.ratio import run_ratio_test
+from repro.status import SolveStatus
+
+
+class RevisedSimplexSolver:
+    """CPU revised simplex (dense or sparse standard-form data)."""
+
+    name = "revised-cpu"
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        cpu_params: CpuModelParams = CORE2_CPU_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        if self.options.pricing in ("devex", "steepest-edge"):
+            raise SolverError(
+                f"pricing {self.options.pricing!r} needs the updated tableau; "
+                "use the tableau solver"
+            )
+        self.recorder = CpuCostRecorder(
+            CpuCostModel(cpu_params), dtype=self.options.dtype
+        )
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: "LPProblem | StandardFormLP",
+        initial_basis_hint: np.ndarray | None = None,
+    ) -> SolveResult:
+        """Solve; ``initial_basis_hint`` warm-starts from a previous basis
+        (e.g. ``previous_result.extra["basis"]``).  A hint that is singular
+        or infeasible silently falls back to the cold crash basis."""
+        t_wall = time.perf_counter()
+        self.recorder.reset()
+        opts = self.options
+        prep = prepare(problem, opts)
+        m, n = prep.m, prep.n_total
+
+        basisrep = make_basis(opts.basis_update, m, self.recorder)
+        basis, needs_phase1 = initial_basis(prep)
+        beta = prep.b.astype(np.float64).copy()
+        stats = IterationStats()
+        self._trace: list[tuple] = []
+        self._phase = 1
+
+        if initial_basis_hint is not None:
+            from repro.errors import SingularBasisError as _SBE
+            from repro.simplex.common import validate_warm_basis
+
+            warm = validate_warm_basis(prep, initial_basis_hint)
+            try:
+                basisrep.refactorize(prep.basis_matrix(warm))
+                warm_beta = basisrep.ftran(prep.b)
+                if warm_beta.min() >= -1e-7:
+                    basis = warm
+                    beta = np.clip(warm_beta, 0.0, None)
+                    needs_phase1 = bool(np.any(warm >= n))
+                    stats.refactorizations += 1
+                else:
+                    basisrep.reset_identity()  # infeasible hint: cold start
+            except _SBE:
+                basisrep.reset_identity()
+
+        in_basis = np.zeros(n + m, dtype=bool)
+        in_basis[basis] = True
+
+        if needs_phase1:
+            status, z1, iters = self._run_phase(
+                prep, basisrep, basis, in_basis, beta, phase1_costs(prep), stats
+            )
+            stats.phase1_iterations = iters
+            if status is not SolveStatus.OPTIMAL:
+                # Phase 1 is bounded below by 0; unboundedness here is a
+                # numerical artefact, surfaced as such.
+                if status is SolveStatus.UNBOUNDED:
+                    status = SolveStatus.NUMERICAL
+                return self._finish(status, prep, basis, beta, stats, t_wall)
+            feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+            if z1 > PHASE1_TOL * feas_scale:
+                return self._finish(
+                    SolveStatus.INFEASIBLE, prep, basis, beta, stats, t_wall,
+                    extra={"phase1_objective": z1},
+                )
+            self._drive_out_artificials(prep, basisrep, basis, in_basis, beta)
+
+        self._phase = 2
+        status, z2, iters = self._run_phase(
+            prep, basisrep, basis, in_basis, beta, phase2_costs(prep), stats
+        )
+        stats.phase2_iterations = iters
+        return self._finish(status, prep, basis, beta, stats, t_wall)
+
+    # ------------------------------------------------------------------
+
+    def _pricing_cost(self, prep: PreparedLP) -> OpCost:
+        w = np.dtype(self.options.dtype).itemsize
+        if prep.is_sparse:
+            nnz = prep.nnz
+            return OpCost(
+                flops=2 * nnz,
+                bytes_read=nnz * (w + 4) + prep.m * w,
+                bytes_written=prep.n_total * w,
+            )
+        return OpCost(
+            flops=2 * prep.m * prep.n_total,
+            bytes_read=(prep.m * prep.n_total + prep.m) * w,
+            bytes_written=prep.n_total * w,
+        )
+
+    def _run_phase(
+        self,
+        prep: PreparedLP,
+        basisrep,
+        basis: np.ndarray,
+        in_basis: np.ndarray,
+        beta: np.ndarray,
+        c_full: np.ndarray,
+        stats: IterationStats,
+    ) -> tuple[SolveStatus, float, int]:
+        opts = self.options
+        m, n = prep.m, prep.n_total
+        w = np.dtype(opts.dtype).itemsize
+        rule = make_pricing_rule(opts.pricing, opts.stall_window)
+        rule.reset(n)
+        cap = opts.iteration_cap(m, n)
+        z = float(c_full[basis] @ beta)
+        iters = 0
+        pricing_cost = self._pricing_cost(prep)
+
+        while iters < cap:
+            iters += 1
+
+            # 1-2: BTRAN + pricing
+            pi = basisrep.btran(c_full[basis])
+            d = c_full[:n] - prep.price_all(pi)
+            self.recorder.charge("pricing", pricing_cost)
+            eligible = ~in_basis[:n]
+            q = rule.select(d, eligible, opts.tol_reduced_cost)
+            if q is None:
+                return SolveStatus.OPTIMAL, z, iters
+
+            # 3: FTRAN
+            a_q = prep.column(q)
+            alpha = basisrep.ftran(a_q)
+
+            # 4: ratio test
+            rr = run_ratio_test(opts.ratio_test, beta, alpha, basis, opts.tol_pivot)
+            self.recorder.charge(
+                "ratio", OpCost(flops=m, bytes_read=2 * m * w, bytes_written=m * w)
+            )
+            if rr.unbounded:
+                return SolveStatus.UNBOUNDED, z, iters
+            if rr.ties > 1:
+                stats.degenerate_steps += 1
+
+            # 5: update
+            theta = rr.theta
+            try:
+                basisrep.update(alpha, rr.row, opts.tol_pivot)
+            except SingularBasisError:
+                if not self._recover(prep, basisrep, basis, beta, stats):
+                    return SolveStatus.NUMERICAL, z, iters
+                continue
+            beta -= theta * alpha
+            beta[rr.row] = theta
+            np.clip(beta, 0.0, None, out=beta)  # round-off guard; β >= 0 invariant
+            self.recorder.charge(
+                "update.beta",
+                OpCost(flops=2 * m, bytes_read=2 * m * w, bytes_written=m * w),
+            )
+            improvement = theta * float(-d[q])
+            z += theta * float(d[q])
+            if opts.trace:
+                self._trace.append(
+                    (self._phase, iters, int(q), int(rr.row), float(theta), float(z))
+                )
+            in_basis[basis[rr.row]] = False
+            in_basis[q] = True
+            basis[rr.row] = q
+            rule.notify_pivot(q, rr.row, None, improvement > 1e-12 * (1.0 + abs(z)))
+
+            if (
+                opts.refactor_period
+                and basisrep.updates_since_refactor >= opts.refactor_period
+            ):
+                if not self._recover(prep, basisrep, basis, beta, stats):
+                    return SolveStatus.NUMERICAL, z, iters
+                z = float(c_full[basis] @ beta)
+
+        if isinstance(rule, HybridRule):
+            stats.bland_activations += rule.activations
+        return SolveStatus.ITERATION_LIMIT, z, iters
+
+    def _recover(self, prep, basisrep, basis, beta, stats) -> bool:
+        """Refactorise from the basis columns and recompute β; False when the
+        basis is genuinely singular (unrecoverable)."""
+        try:
+            basisrep.refactorize(prep.basis_matrix(basis))
+        except SingularBasisError:
+            return False
+        stats.refactorizations += 1
+        beta[:] = basisrep.ftran(prep.b)
+        np.clip(beta, 0.0, None, out=beta)
+        return True
+
+    def _drive_out_artificials(
+        self, prep: PreparedLP, basisrep, basis, in_basis, beta
+    ) -> None:
+        """Pivot zero-valued basic artificials out in favour of real columns.
+
+        Rows where no real nonbasic column has a nonzero entry in the
+        transformed row are redundant: their artificial stays basic at zero
+        (it can never grow — phase 2 keeps its cost at 0 and β_p = 0).
+        """
+        m, n = prep.m, prep.n_total
+        for p in np.nonzero(basis >= n)[0]:
+            e_p = np.zeros(m)
+            e_p[p] = 1.0
+            row_binv = basisrep.btran(e_p)
+            alpha_row = prep.row_all(row_binv)
+            self.recorder.charge("driveout", self._pricing_cost(prep))
+            candidates = np.nonzero(
+                (~in_basis[:n]) & (np.abs(alpha_row) > 1e-7)
+            )[0]
+            if candidates.size == 0:
+                continue  # redundant row
+            # best pivot magnitude first for stability
+            for j in candidates[np.argsort(-np.abs(alpha_row[candidates]))]:
+                alpha = basisrep.ftran(prep.column(int(j)))
+                try:
+                    basisrep.update(alpha, int(p), self.options.tol_pivot)
+                except SingularBasisError:
+                    continue
+                theta = beta[p] / alpha[p] if alpha[p] != 0 else 0.0
+                beta -= theta * alpha
+                beta[p] = theta
+                np.clip(beta, 0.0, None, out=beta)
+                in_basis[basis[p]] = False
+                in_basis[int(j)] = True
+                basis[p] = int(j)
+                break
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        prep: PreparedLP,
+        basis: np.ndarray,
+        beta: np.ndarray,
+        stats: IterationStats,
+        t_wall: float,
+        extra: dict | None = None,
+    ) -> SolveResult:
+        timing = TimingStats(
+            modeled_seconds=self.recorder.total_seconds,
+            wall_seconds=time.perf_counter() - t_wall,
+            kernel_breakdown=dict(self.recorder.by_op),
+        )
+        result = SolveResult(
+            status=status,
+            iterations=stats,
+            timing=timing,
+            solver=self.name,
+            extra=extra or {},
+        )
+        if self.options.trace:
+            result.extra["trace"] = list(self._trace)
+        if status is SolveStatus.OPTIMAL:
+            x, objective, x_std = extract_solution(prep, basis, beta)
+            result.x = x
+            result.objective = objective
+            result.residuals = SolveResult.compute_residuals(
+                prep.std.a, prep.std.b, x_std
+            )
+            result.extra["basis"] = basis.copy()
+            result.extra["x_std"] = x_std
+            from repro.lp.postsolve import attach_certificate
+
+            attach_certificate(result, prep)
+        return result

@@ -1,0 +1,263 @@
+"""Dense two-phase full-tableau simplex on the CPU.
+
+The textbook method the thesis literature ports first: the whole updated
+tableau ``T = B⁻¹A`` is kept and transformed by Gauss–Jordan elimination
+around each pivot — O(m·n) work per iteration regardless of sparsity, which
+is exactly the inefficiency the revised method (and the paper) avoids.  It
+serves as (a) an independent correctness oracle, (b) the host of the exact
+steepest-edge / Devex pricing rules (they need updated columns), and (c) the
+CPU side of the A3 tableau-vs-revised ablation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    extract_solution,
+    initial_basis,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.simplex.pricing import (
+    DevexRule,
+    HybridRule,
+    SteepestEdgeRule,
+    make_pricing_rule,
+)
+from repro.simplex.ratio import run_ratio_test
+from repro.status import SolveStatus
+
+
+class TableauSimplexSolver:
+    """CPU dense full-tableau simplex."""
+
+    name = "tableau-cpu"
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        cpu_params: CpuModelParams = CORE2_CPU_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        self.recorder = CpuCostRecorder(
+            CpuCostModel(cpu_params), dtype=self.options.dtype
+        )
+
+    # ------------------------------------------------------------------
+
+    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
+        t_wall = time.perf_counter()
+        self.recorder.reset()
+        opts = self.options
+        prep = prepare(problem, opts)
+        m, n = prep.m, prep.n_total
+
+        basis, needs_phase1 = initial_basis(prep)
+        # Materialise the tableau; artificial identity block only if needed.
+        n_cols = n + (m if needs_phase1 else 0)
+        tableau = np.zeros((m, n_cols))
+        tableau[:, :n] = prep.a.to_dense() if prep.is_sparse else np.asarray(prep.a)
+        if needs_phase1:
+            tableau[:, n:] = np.eye(m)
+        beta = prep.b.astype(np.float64).copy()
+        in_basis = np.zeros(n_cols, dtype=bool)
+        in_basis[basis] = True
+        stats = IterationStats()
+        artificial = np.zeros(n_cols, dtype=bool)
+        artificial[n:] = True
+
+        if needs_phase1:
+            c1 = np.zeros(n_cols)
+            c1[n:] = 1.0
+            status, z1, iters = self._run_phase(
+                prep, tableau, beta, basis, in_basis, c1, ~artificial, stats
+            )
+            stats.phase1_iterations = iters
+            if status is not SolveStatus.OPTIMAL:
+                if status is SolveStatus.UNBOUNDED:
+                    status = SolveStatus.NUMERICAL
+                return self._finish(status, prep, basis, beta, stats, t_wall)
+            feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+            if z1 > PHASE1_TOL * feas_scale:
+                return self._finish(
+                    SolveStatus.INFEASIBLE, prep, basis, beta, stats, t_wall,
+                    extra={"phase1_objective": z1},
+                )
+            self._drive_out_artificials(tableau, beta, basis, in_basis, n)
+
+        c2 = np.zeros(n_cols)
+        c2[:n] = prep.c
+        status, z2, iters = self._run_phase(
+            prep, tableau, beta, basis, in_basis, c2, ~artificial, stats
+        )
+        stats.phase2_iterations = iters
+        return self._finish(status, prep, basis, beta, stats, t_wall)
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        prep: PreparedLP,
+        tableau: np.ndarray,
+        beta: np.ndarray,
+        basis: np.ndarray,
+        in_basis: np.ndarray,
+        c_full: np.ndarray,
+        enterable: np.ndarray,
+        stats: IterationStats,
+    ) -> tuple[SolveStatus, float, int]:
+        opts = self.options
+        m, n_cols = tableau.shape
+        w = np.dtype(opts.dtype).itemsize
+        rule = make_pricing_rule(opts.pricing, opts.stall_window)
+        rule.reset(n_cols)
+        cap = opts.iteration_cap(m, n_cols)
+
+        # reduced costs of the *current* tableau (basis may be non-trivial
+        # when entering phase 2)
+        d = c_full - c_full[basis] @ tableau
+        z = float(c_full[basis] @ beta)
+        self.recorder.charge(
+            "pricing.recompute",
+            OpCost(flops=2 * m * n_cols, bytes_read=m * n_cols * w,
+                   bytes_written=n_cols * w),
+        )
+        iters = 0
+        while iters < cap:
+            iters += 1
+            if isinstance(rule, SteepestEdgeRule):
+                rule.set_tableau(tableau)
+                self.recorder.charge(
+                    "pricing.edge_norms",
+                    OpCost(flops=2 * m * n_cols, bytes_read=m * n_cols * w,
+                           bytes_written=n_cols * w),
+                )
+            eligible = enterable & ~in_basis
+            q = rule.select(d, eligible, opts.tol_reduced_cost)
+            self.recorder.charge(
+                "pricing.select",
+                OpCost(flops=n_cols, bytes_read=n_cols * w, bytes_written=w),
+            )
+            if q is None:
+                return SolveStatus.OPTIMAL, z, iters
+
+            alpha = tableau[:, q]
+            rr = run_ratio_test(opts.ratio_test, beta, alpha, basis, opts.tol_pivot)
+            self.recorder.charge(
+                "ratio", OpCost(flops=m, bytes_read=2 * m * w, bytes_written=m * w)
+            )
+            if rr.unbounded:
+                return SolveStatus.UNBOUNDED, z, iters
+            if rr.ties > 1:
+                stats.degenerate_steps += 1
+
+            p, theta = rr.row, rr.theta
+            if isinstance(rule, DevexRule):
+                rule.set_pivot_row(tableau[p, :].copy())
+
+            # Gauss–Jordan elimination around (p, q)
+            piv = tableau[p, q]
+            row_p = tableau[p, :] / piv
+            beta_p = beta[p] / piv
+            col = tableau[:, q].copy()
+            tableau -= np.outer(col, row_p)
+            tableau[p, :] = row_p
+            beta -= col * beta_p
+            beta[p] = beta_p
+            np.clip(beta, 0.0, None, out=beta)
+            dq = d[q]
+            d -= dq * row_p
+            d[q] = 0.0
+            z += theta * dq
+            self.recorder.charge(
+                "pivot.eliminate",
+                OpCost(
+                    flops=2 * m * n_cols + 4 * n_cols + 4 * m,
+                    bytes_read=(m * n_cols + 2 * n_cols + 2 * m) * w,
+                    bytes_written=(m * n_cols + n_cols + m) * w,
+                ),
+            )
+
+            improvement = theta * float(-dq)
+            in_basis[basis[p]] = False
+            in_basis[q] = True
+            basis[p] = q
+            rule.notify_pivot(q, p, None, improvement > 1e-12 * (1.0 + abs(z)))
+
+        if isinstance(rule, HybridRule):
+            stats.bland_activations += rule.activations
+        return SolveStatus.ITERATION_LIMIT, z, iters
+
+    @staticmethod
+    def _drive_out_artificials(tableau, beta, basis, in_basis, n) -> None:
+        """Pivot zero-valued artificial basics onto real columns in place."""
+        m = tableau.shape[0]
+        for p in np.nonzero(basis >= n)[0]:
+            row = tableau[p, :n]
+            candidates = np.nonzero((~in_basis[:n]) & (np.abs(row) > 1e-7))[0]
+            if candidates.size == 0:
+                continue  # redundant row
+            q = int(candidates[np.argmax(np.abs(row[candidates]))])
+            piv = tableau[p, q]
+            row_p = tableau[p, :] / piv
+            beta_p = beta[p] / piv
+            col = tableau[:, q].copy()
+            tableau -= np.outer(col, row_p)
+            tableau[p, :] = row_p
+            beta -= col * beta_p
+            beta[p] = beta_p
+            np.clip(beta, 0.0, None, out=beta)
+            in_basis[basis[p]] = False
+            in_basis[q] = True
+            basis[p] = q
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self,
+        status: SolveStatus,
+        prep: PreparedLP,
+        basis: np.ndarray,
+        beta: np.ndarray,
+        stats: IterationStats,
+        t_wall: float,
+        extra: dict | None = None,
+    ) -> SolveResult:
+        timing = TimingStats(
+            modeled_seconds=self.recorder.total_seconds,
+            wall_seconds=time.perf_counter() - t_wall,
+            kernel_breakdown=dict(self.recorder.by_op),
+        )
+        result = SolveResult(
+            status=status,
+            iterations=stats,
+            timing=timing,
+            solver=self.name,
+            extra=extra or {},
+        )
+        if status is SolveStatus.OPTIMAL:
+            # Artificial basics (redundant rows) sit at zero; they are
+            # filtered by extract_solution's `basis < n_total` mask.
+            x, objective, x_std = extract_solution(prep, basis, beta)
+            result.x = x
+            result.objective = objective
+            result.residuals = SolveResult.compute_residuals(
+                prep.std.a, prep.std.b, x_std
+            )
+            result.extra["basis"] = basis.copy()
+            result.extra["x_std"] = x_std
+            from repro.lp.postsolve import attach_certificate
+
+            attach_certificate(result, prep)
+        return result

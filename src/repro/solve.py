@@ -1,0 +1,122 @@
+"""Top-level solve façade: one entry point, every solver behind it.
+
+``solve(problem, method=...)`` dispatches to:
+
+- ``"tableau"``      — CPU dense tableau simplex (baseline).
+- ``"revised"``      — CPU dense revised simplex (the paper's comparator).
+- ``"revised-bounded"`` — CPU revised simplex with native upper-bound
+  handling (bound flips instead of extra rows).
+- ``"gpu-revised"``  — the paper's contribution: revised simplex on the
+  simulated GPU.
+- ``"gpu-tableau"``  — full-tableau simplex on the simulated GPU (the A3
+  ablation design point).
+
+All methods accept the same :class:`~repro.simplex.options.SolverOptions`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import UnknownMethodError
+from repro.lp.problem import LPProblem
+from repro.result import SolveResult
+from repro.simplex.options import SolverOptions
+
+
+def _solve_tableau(problem, options, initial_basis=None) -> SolveResult:
+    from repro.errors import SolverError
+    from repro.simplex.tableau import TableauSimplexSolver
+
+    if initial_basis is not None:
+        raise SolverError("warm starts are supported by the revised solvers only")
+    return TableauSimplexSolver(options).solve(problem)
+
+
+def _solve_revised(problem, options, initial_basis=None) -> SolveResult:
+    from repro.simplex.revised_cpu import RevisedSimplexSolver
+
+    return RevisedSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
+
+
+def _solve_revised_bounded(problem, options, initial_basis=None) -> SolveResult:
+    from repro.errors import SolverError
+    from repro.simplex.bounded import BoundedRevisedSimplexSolver
+
+    if initial_basis is not None:
+        raise SolverError("the bounded solver does not support warm starts yet")
+    return BoundedRevisedSimplexSolver(options).solve(problem)
+
+
+def _solve_dual(problem, options, initial_basis=None) -> SolveResult:
+    from repro.simplex.dual import DualSimplexSolver
+
+    return DualSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
+
+
+def _solve_gpu_revised(problem, options, initial_basis=None) -> SolveResult:
+    from repro.core.gpu_revised_simplex import GpuRevisedSimplex
+
+    return GpuRevisedSimplex(options=options).solve(
+        problem, initial_basis_hint=initial_basis
+    )
+
+
+def _solve_gpu_revised_bounded(problem, options, initial_basis=None) -> SolveResult:
+    from repro.core.gpu_bounded_simplex import GpuBoundedRevisedSimplex
+    from repro.errors import SolverError
+
+    if initial_basis is not None:
+        raise SolverError("the bounded solvers do not support warm starts yet")
+    return GpuBoundedRevisedSimplex(options=options).solve(problem)
+
+
+def _solve_gpu_tableau(problem, options, initial_basis=None) -> SolveResult:
+    from repro.errors import SolverError
+    from repro.core.gpu_tableau_simplex import GpuTableauSimplex
+
+    if initial_basis is not None:
+        raise SolverError("warm starts are supported by the revised solvers only")
+    return GpuTableauSimplex(options=options).solve(problem)
+
+
+_METHODS: dict[str, Callable[..., SolveResult]] = {
+    "tableau": _solve_tableau,
+    "revised": _solve_revised,
+    "revised-bounded": _solve_revised_bounded,
+    "dual": _solve_dual,
+    "gpu-revised": _solve_gpu_revised,
+    "gpu-revised-bounded": _solve_gpu_revised_bounded,
+    "gpu-tableau": _solve_gpu_tableau,
+}
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`solve`'s ``method`` argument."""
+    return sorted(_METHODS)
+
+
+def solve(
+    problem: LPProblem,
+    method: str = "gpu-revised",
+    options: SolverOptions | None = None,
+    initial_basis=None,
+    **option_overrides,
+) -> SolveResult:
+    """Solve an LP with the chosen method.
+
+    Keyword overrides are applied on top of ``options`` (or the defaults),
+    e.g. ``solve(lp, method="revised", pricing="bland", max_iterations=500)``.
+    ``initial_basis`` warm-starts the revised solvers from a previous basis
+    (take it from ``previous_result.extra["basis"]``).
+    """
+    if not isinstance(problem, LPProblem):
+        raise TypeError(f"expected LPProblem, got {type(problem).__name__}")
+    try:
+        runner = _METHODS[method]
+    except KeyError:
+        raise UnknownMethodError(
+            f"unknown method {method!r}; available: {available_methods()}"
+        ) from None
+    opts = (options or SolverOptions()).replace(**option_overrides)
+    return runner(problem, opts, initial_basis)

@@ -1,0 +1,98 @@
+"""Shared behaviour of the sparse matrix formats."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+
+
+class SparseMatrix(abc.ABC):
+    """Abstract base: shape/nnz bookkeeping and format-neutral helpers."""
+
+    shape: tuple[int, int]
+
+    @property
+    @abc.abstractmethod
+    def nnz(self) -> int:
+        """Number of stored entries (explicit zeros count until pruned)."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense ndarray."""
+
+    @abc.abstractmethod
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Return ``A @ x``."""
+
+    @abc.abstractmethod
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """Return ``A.T @ y``."""
+
+    @property
+    def density(self) -> float:
+        """nnz / (rows * cols); 0 for an empty shape."""
+        cells = self.shape[0] * self.shape[1]
+        return self.nnz / cells if cells else 0.0
+
+    # -- shared validation --------------------------------------------------
+
+    @staticmethod
+    def _validate_shape(shape) -> tuple[int, int]:
+        try:
+            m, n = (int(shape[0]), int(shape[1]))
+        except (TypeError, IndexError, ValueError):
+            raise SparseFormatError(f"shape must be a pair, got {shape!r}") from None
+        if m < 0 or n < 0:
+            raise SparseFormatError(f"shape must be non-negative, got {(m, n)}")
+        return m, n
+
+    @staticmethod
+    def _as_index_array(name: str, arr, n_expected: int | None = None) -> np.ndarray:
+        out = np.asarray(arr)
+        if out.ndim != 1:
+            raise SparseFormatError(f"{name} must be 1-D")
+        if out.size and not np.issubdtype(out.dtype, np.integer):
+            if not np.all(out == out.astype(np.int64)):
+                raise SparseFormatError(f"{name} must contain integers")
+        out = out.astype(np.int64, copy=False)
+        if n_expected is not None and out.size != n_expected:
+            raise SparseFormatError(
+                f"{name} must have length {n_expected}, got {out.size}"
+            )
+        return out
+
+    @staticmethod
+    def _as_value_array(name: str, arr, n_expected: int | None = None) -> np.ndarray:
+        out = np.asarray(arr, dtype=np.float64)
+        if out.ndim != 1:
+            raise SparseFormatError(f"{name} must be 1-D")
+        if n_expected is not None and out.size != n_expected:
+            raise SparseFormatError(
+                f"{name} must have length {n_expected}, got {out.size}"
+            )
+        return out
+
+    def _matvec_check(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise SparseFormatError(
+                f"matvec operand has shape {x.shape}, expected ({self.shape[1]},)"
+            )
+        return x
+
+    def _rmatvec_check(self, y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (self.shape[0],):
+            raise SparseFormatError(
+                f"rmatvec operand has shape {y.shape}, expected ({self.shape[0]},)"
+            )
+        return y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.shape[0]}x{self.shape[1]} "
+            f"nnz={self.nnz} ({100 * self.density:.2f}%)>"
+        )

@@ -1,0 +1,138 @@
+"""COO (coordinate list) sparse format.
+
+The construction-friendly format: three parallel vectors of row indices,
+column indices and values.  Duplicate coordinates are summed on request (the
+usual assembly semantics); entries are kept sorted row-major for fast
+conversion to CSR.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.base import SparseMatrix
+
+
+class CooMatrix(SparseMatrix):
+    """Sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    shape:
+        (rows, cols).
+    row, col, val:
+        Parallel entry vectors.  Indices are validated against ``shape``.
+    sum_duplicates:
+        When True (default) duplicate (row, col) pairs are summed, matching
+        finite-element-style assembly; when False duplicates raise.
+    """
+
+    def __init__(self, shape, row, col, val, *, sum_duplicates: bool = True):
+        self.shape = self._validate_shape(shape)
+        row = self._as_index_array("row", row)
+        col = self._as_index_array("col", col, row.size)
+        val = self._as_value_array("val", val, row.size)
+        m, n = self.shape
+        if row.size:
+            if row.min(initial=0) < 0 or (m == 0 and row.size) or (row.size and row.max() >= m):
+                raise SparseFormatError("row index out of range")
+            if col.min(initial=0) < 0 or (n == 0 and col.size) or (col.size and col.max() >= n):
+                raise SparseFormatError("column index out of range")
+
+        # canonical order: row-major, then column
+        order = np.lexsort((col, row))
+        row, col, val = row[order], col[order], val[order]
+
+        if row.size > 1:
+            dup = (row[1:] == row[:-1]) & (col[1:] == col[:-1])
+            if dup.any():
+                if not sum_duplicates:
+                    raise SparseFormatError("duplicate coordinates in COO data")
+                # Segment-sum duplicates into their first occurrence.
+                keys = row * max(n, 1) + col
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                summed = np.zeros(uniq.size, dtype=np.float64)
+                np.add.at(summed, inverse, val)
+                row = (uniq // max(n, 1)).astype(np.int64)
+                col = (uniq % max(n, 1)).astype(np.int64)
+                val = summed
+
+        self.row = row
+        self.col = col
+        self.val = val
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tol: float = 0.0) -> "CooMatrix":
+        """Build from a dense array, dropping entries with |a| <= tol."""
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise SparseFormatError("from_dense expects a 2-D array")
+        mask = np.abs(dense) > tol
+        row, col = np.nonzero(mask)
+        return cls(dense.shape, row, col, dense[mask])
+
+    @classmethod
+    def empty(cls, shape) -> "CooMatrix":
+        return cls(shape, [], [], [])
+
+    # -- SparseMatrix API -------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return self.val.size
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(out, (self.row, self.col), self.val)
+        return out
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = self._matvec_check(x)
+        out = np.zeros(self.shape[0], dtype=np.float64)
+        np.add.at(out, self.row, self.val * x[self.col])
+        return out
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        y = self._rmatvec_check(y)
+        out = np.zeros(self.shape[1], dtype=np.float64)
+        np.add.at(out, self.col, self.val * y[self.row])
+        return out
+
+    # -- conversions ---------------------------------------------------------
+
+    def tocsr(self):
+        from repro.sparse.csr import CsrMatrix
+
+        m, _ = self.shape
+        indptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(indptr, self.row + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        # entries already row-major sorted, so data order is CSR order
+        return CsrMatrix(self.shape, indptr, self.col.copy(), self.val.copy())
+
+    def tocsc(self):
+        from repro.sparse.csc import CscMatrix
+
+        _, n = self.shape
+        order = np.lexsort((self.row, self.col))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, self.col + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return CscMatrix(self.shape, indptr, self.row[order], self.val[order])
+
+    def transpose(self) -> "CooMatrix":
+        return CooMatrix(
+            (self.shape[1], self.shape[0]), self.col, self.row, self.val
+        )
+
+    def prune(self, tol: float = 0.0) -> "CooMatrix":
+        """Return a copy without entries of magnitude <= tol.
+
+        Rank-1 basis updates steadily create explicit (near-)zeros; pruning
+        them keeps sparse iteration cost proportional to true fill.
+        """
+        keep = np.abs(self.val) > tol
+        return CooMatrix(self.shape, self.row[keep], self.col[keep], self.val[keep])

@@ -1,0 +1,40 @@
+"""Solver termination statuses shared by every solver in the library."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an LP solve.
+
+    The simplex method terminates in exactly one of these states.  The first
+    three mirror the classical trichotomy of linear programming (optimal,
+    infeasible, unbounded); the remaining states are operational.
+    """
+
+    #: An optimal basic feasible solution was found.
+    OPTIMAL = "optimal"
+    #: Phase 1 terminated with a positive artificial objective: the
+    #: constraint system has no feasible point.
+    INFEASIBLE = "infeasible"
+    #: A column with negative reduced cost has no positive pivot ratio: the
+    #: objective can be decreased without bound.
+    UNBOUNDED = "unbounded"
+    #: The iteration limit was reached before any of the above.
+    ITERATION_LIMIT = "iteration_limit"
+    #: Numerical difficulty prevented further progress (singular basis that
+    #: refactorization could not repair, or an invalid pivot).
+    NUMERICAL = "numerical"
+
+    @property
+    def is_terminal_success(self) -> bool:
+        """True when the status conveys a definitive mathematical answer."""
+        return self in (
+            SolveStatus.OPTIMAL,
+            SolveStatus.INFEASIBLE,
+            SolveStatus.UNBOUNDED,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,81 @@
+"""Tests for report persistence (text / Markdown / CSV bundles)."""
+
+import pytest
+
+from repro.bench.record import report_to_markdown, save_all, save_report
+from repro.bench.tables import Report, Table
+
+
+@pytest.fixture
+def sample_report():
+    r = Report("T9", "Sample experiment")
+    t = r.add_table(Table(["size", "ms"], title="main results"))
+    t.add_row(64, 1.25)
+    t.add_row(128, 4.5)
+    r.add_note("a single-line note")
+    r.add_note("series:\n 1 | # 1\n 2 | ## 2\n")
+    return r
+
+
+class TestMarkdown:
+    def test_structure(self, sample_report):
+        md = report_to_markdown(sample_report)
+        assert md.startswith("## [T9] Sample experiment")
+        assert "| size | ms |" in md
+        assert "| 64 | 1.25 |" in md
+        assert "> a single-line note" in md
+        assert "```" in md  # multiline note preformatted
+
+    def test_table_title(self, sample_report):
+        assert "**main results**" in report_to_markdown(sample_report)
+
+
+class TestSaveReport:
+    def test_bundle_written(self, sample_report, tmp_path):
+        paths = save_report(sample_report, tmp_path)
+        names = {p.name for p in paths}
+        assert "t9.txt" in names
+        assert "t9.md" in names
+        assert any(n.startswith("t9-") and n.endswith(".csv") for n in names)
+        for p in paths:
+            assert p.exists()
+            assert p.read_text().strip()
+
+    def test_csv_contents(self, sample_report, tmp_path):
+        paths = save_report(sample_report, tmp_path)
+        csv = next(p for p in paths if p.suffix == ".csv")
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "size,ms"
+        assert lines[1] == "64,1.25"
+
+    def test_directory_created(self, sample_report, tmp_path):
+        target = tmp_path / "deep" / "dir"
+        save_report(sample_report, target)
+        assert target.exists()
+
+
+class TestSaveAll:
+    def test_runs_selected_experiment(self, tmp_path):
+        out = save_all(tmp_path, ["t1"])
+        assert "t1" in out
+        assert (tmp_path / "t1.txt").exists()
+        assert "GTX 280" in (tmp_path / "t1.txt").read_text()
+
+    def test_unknown_experiment(self, tmp_path):
+        with pytest.raises(KeyError):
+            save_all(tmp_path, ["zz9"])
+
+
+class TestCliIntegration:
+    def test_out_flag(self, tmp_path, capsys):
+        from repro.bench.experiments import main
+
+        assert main(["t1", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "t1.md").exists()
+
+    def test_out_flag_missing_dir(self, capsys):
+        from repro.bench.experiments import main
+
+        assert main(["t1", "--out"]) == 2

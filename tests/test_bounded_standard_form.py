@@ -1,0 +1,83 @@
+"""Tests for the bounded standard-form variant (bounds kept as bounds)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp.problem import Bounds, LPProblem
+from repro.lp.standard_form import to_standard_form
+
+
+def boxed_lp(n=4, m=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return LPProblem(
+        c=rng.normal(size=n),
+        a=rng.normal(size=(m, n)),
+        senses=["<="] * m,
+        b=np.abs(rng.normal(size=m)) + 1,
+        bounds=Bounds(np.zeros(n), rng.uniform(1, 3, n)),
+    )
+
+
+class TestBoundedVariant:
+    def test_no_extra_rows(self):
+        lp = boxed_lp(n=5, m=3)
+        rows_form = to_standard_form(lp)
+        bnd_form = to_standard_form(lp, range_bounds_as_rows=False)
+        assert rows_form.num_rows == 3 + 5  # one bound row per variable
+        assert bnd_form.num_rows == 3
+
+    def test_upper_vector_contents(self):
+        lp = boxed_lp(n=4, m=2, seed=1)
+        std = to_standard_form(lp, range_bounds_as_rows=False)
+        u = std.upper_bounds()
+        # structural columns carry hi - lo; slacks are unbounded
+        np.testing.assert_allclose(u[:4], lp.bounds.upper)
+        assert np.all(np.isposinf(u[4:]))
+
+    def test_default_has_no_upper_vector(self):
+        std = to_standard_form(boxed_lp())
+        assert std.upper is None
+        assert np.all(np.isposinf(std.upper_bounds()))
+
+    def test_shifted_range_bound(self):
+        lp = LPProblem(
+            c=[1.0], a=[[1.0]], senses=["<="], b=[10.0],
+            bounds=Bounds(np.array([2.0]), np.array([5.0])),
+        )
+        std = to_standard_form(lp, range_bounds_as_rows=False)
+        assert std.num_rows == 1
+        assert std.upper_bounds()[0] == pytest.approx(3.0)  # hi - lo
+        # recovery adds the shift back
+        x = std.recover_x(np.array([3.0, 0.0]))
+        assert x[0] == pytest.approx(5.0)
+
+    def test_free_and_upper_only_unaffected(self):
+        lp = LPProblem(
+            c=[1.0, 1.0], a=[[1.0, 1.0]], senses=["<="], b=[4.0],
+            bounds=Bounds(np.array([-np.inf, -np.inf]),
+                          np.array([np.inf, 2.0])),
+        )
+        std = to_standard_form(lp, range_bounds_as_rows=False)
+        # free split + reflected upper-only: no finite column bounds appear
+        assert np.all(np.isposinf(std.upper_bounds()))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 6), m=st.integers(1, 4), seed=st.integers(0, 2**31))
+def test_both_encodings_describe_the_same_polytope(n, m, seed):
+    """A point feasible for the bounded encoding maps to a feasible point of
+    the rows encoding with equal objective (and vice versa via recovery)."""
+    lp = boxed_lp(n=n, m=m, seed=seed)
+    rows_form = to_standard_form(lp)
+    bnd_form = to_standard_form(lp, range_bounds_as_rows=False)
+    rng = np.random.default_rng(seed)
+    # random point within the bounded encoding's box
+    u = bnd_form.upper_bounds()
+    x_bnd = np.where(np.isfinite(u), rng.uniform(0, 1, u.size) * np.where(np.isfinite(u), u, 1.0), rng.uniform(0, 2, u.size))
+    x_orig = bnd_form.recover_x(x_bnd)
+    # objective computed through either encoding agrees with the direct value
+    z_bnd = float(bnd_form.c @ x_bnd) + bnd_form.constant
+    c_min = -lp.c if lp.maximize else lp.c
+    assert z_bnd == pytest.approx(float(c_min @ x_orig), rel=1e-9, abs=1e-9)

@@ -1,0 +1,134 @@
+"""Tests for the dual simplex and the warm re-optimisation workflow."""
+
+import numpy as np
+import pytest
+
+from conftest import assert_matches_oracle, scipy_oracle
+from repro import solve
+from repro.errors import SolverError
+from repro.lp.generators import random_dense_lp, random_sparse_lp
+from repro.lp.problem import LPProblem
+from repro.simplex.dual import DualSimplexSolver
+from repro.simplex.options import SolverOptions
+from repro.status import SolveStatus
+
+
+def perturb_rhs(lp, factors):
+    return LPProblem(c=lp.c, a=lp.a_dense(), senses=lp.senses,
+                     b=lp.b * factors, bounds=lp.bounds, maximize=lp.maximize,
+                     name=lp.name + "+rhs")
+
+
+class TestWarmReoptimisation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_rhs_perturbation_reaches_oracle(self, seed):
+        lp = random_dense_lp(20, 30, seed=seed)
+        first = solve(lp, method="revised")
+        rng = np.random.default_rng(seed)
+        lp2 = perturb_rhs(lp, rng.uniform(0.7, 1.2, 20))
+        r = solve(lp2, method="dual", initial_basis=first.extra["basis"])
+        assert_matches_oracle(lp2, r)
+
+    def test_fewer_iterations_than_cold(self):
+        lp = random_dense_lp(40, 60, seed=11)
+        first = solve(lp, method="revised")
+        lp2 = perturb_rhs(lp, np.linspace(0.85, 1.1, 40))
+        cold = solve(lp2, method="revised")
+        warm = solve(lp2, method="dual", initial_basis=first.extra["basis"])
+        assert warm.solver == "dual-cpu"  # no fallback occurred
+        assert warm.iterations.total_iterations < cold.iterations.total_iterations
+
+    def test_unperturbed_restart_is_instant(self):
+        lp = random_dense_lp(15, 20, seed=3)
+        first = solve(lp, method="revised")
+        again = solve(lp, method="dual", initial_basis=first.extra["basis"])
+        assert again.iterations.total_iterations <= 1
+        assert again.objective == pytest.approx(first.objective)
+
+    def test_sparse_instance(self):
+        lp = random_sparse_lp(25, 40, density=0.2, seed=5)
+        first = solve(lp, method="revised")
+        lp2 = perturb_rhs(lp, np.linspace(0.8, 1.05, 25))
+        r = solve(lp2, method="dual", initial_basis=first.extra["basis"])
+        assert_matches_oracle(lp2, r)
+
+    def test_rhs_shrunk_to_infeasible(self):
+        """Forcing a >= -style conflict via negative rhs on an eq row."""
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_ub=[[1.0, 1.0]], b_ub=[1.0],
+            a_eq=[[1.0, 1.0]], b_eq=[1.0],
+        )
+        first = solve(lp, method="revised")
+        assert first.is_optimal
+        # now demand sum = 3 while keeping sum <= 1: infeasible
+        lp2 = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_ub=[[1.0, 1.0]], b_ub=[1.0],
+            a_eq=[[1.0, 1.0]], b_eq=[3.0],
+        )
+        r = solve(lp2, method="dual", initial_basis=first.extra["basis"])
+        assert r.status is SolveStatus.INFEASIBLE
+
+
+class TestStartHandling:
+    def test_cold_start_falls_back_when_dual_infeasible(self):
+        """Random max-LPs have dual-infeasible slack bases: fallback runs."""
+        lp = random_dense_lp(12, 16, seed=1)
+        r = solve(lp, method="dual")
+        assert r.is_optimal
+        assert "primal-fallback" in r.solver
+        assert "dual_fallback_reason" in r.extra
+
+    def test_fallback_disabled_raises(self):
+        lp = random_dense_lp(12, 16, seed=1)
+        solver = DualSimplexSolver(SolverOptions(), allow_primal_fallback=False)
+        with pytest.raises(SolverError):
+            solver.solve(lp)
+
+    def test_cold_start_succeeds_when_slack_basis_dual_feasible(self):
+        """min with c >= 0 over <= rows: the slack basis is dual feasible
+        and primal feasible, so the dual solver accepts and stops at once."""
+        lp = LPProblem.minimize(
+            c=[2.0, 3.0], a_ub=[[1.0, 1.0], [1.0, 2.0]], b_ub=[4.0, 6.0],
+        )
+        r = solve(lp, method="dual")
+        assert r.is_optimal
+        assert r.solver == "dual-cpu"
+        assert r.objective == pytest.approx(0.0)  # x = 0 is optimal
+
+    def test_genuine_dual_cold_start(self):
+        """c >= 0 minimisation with >= rows: slack basis dual feasible but
+        primal infeasible — the dual simplex's textbook use case, no warm
+        hint needed."""
+        lp = LPProblem.minimize(
+            c=[3.0, 2.0],
+            a_ub=[[-1.0, -1.0], [-2.0, -1.0]],  # x+y >= 4, 2x+y >= 5
+            b_ub=[-4.0, -5.0],
+        )
+        ref = scipy_oracle(lp)
+        # standard form flips these rows; the crash basis is artificial-free?
+        r = solve(lp, method="dual")
+        assert r.is_optimal
+        assert r.objective == pytest.approx(ref, rel=1e-8)
+
+    def test_certificate_attached(self):
+        lp = random_dense_lp(10, 14, seed=2)
+        first = solve(lp, method="revised")
+        lp2 = perturb_rhs(lp, np.linspace(0.9, 1.05, 10))
+        r = solve(lp2, method="dual", initial_basis=first.extra["basis"])
+        if r.solver == "dual-cpu" and r.is_optimal:
+            assert r.extra["certificate"].is_optimal_certificate(1e-6)
+
+    def test_bad_pricing_rejected(self):
+        with pytest.raises(SolverError):
+            DualSimplexSolver(SolverOptions(pricing="devex"))
+
+    @pytest.mark.parametrize("rule", ["dantzig", "bland"])
+    def test_row_choice_rules(self, rule):
+        lp = random_dense_lp(15, 20, seed=6)
+        first = solve(lp, method="revised")
+        lp2 = perturb_rhs(lp, np.linspace(0.8, 1.1, 15))
+        r = solve(lp2, method="dual", pricing=rule,
+                  initial_basis=first.extra["basis"])
+        assert_matches_oracle(lp2, r)

@@ -1,0 +1,55 @@
+"""Tests for the CUDA-event-style timing API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import Device
+from repro.gpu.event import Event, Stream, elapsed
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import GTX280_PARAMS
+
+
+def test_record_and_elapsed(device):
+    e0 = Event(device).record()
+    device.launch("k", lambda: None, OpCost(flops=1e6, threads=1024))
+    e1 = Event(device).record()
+    assert e1.elapsed_since(e0) == pytest.approx(device.clock - e0.time)
+    assert e1.elapsed_since(e0) > 0
+
+
+def test_unrecorded_event_raises(device):
+    e = Event(device)
+    assert not e.is_recorded
+    with pytest.raises(DeviceError):
+        _ = e.time
+
+
+def test_cross_device_elapsed_rejected(device):
+    other = Device(GTX280_PARAMS)
+    e0 = Event(device).record()
+    e1 = Event(other).record()
+    with pytest.raises(DeviceError):
+        e1.elapsed_since(e0)
+
+
+def test_stream_synchronize_and_event(device):
+    s = Stream(device)
+    e = s.event()
+    assert e.is_recorded
+    assert s.synchronize() == device.clock
+
+
+def test_elapsed_helper_to_now(device):
+    e0 = Event(device).record()
+    device.launch("k", lambda: None, OpCost(flops=1e6, threads=1024))
+    assert elapsed(device, e0) == pytest.approx(device.clock - e0.time)
+
+
+def test_event_chaining_measures_kernel(device):
+    """The cudaEvent idiom: record-launch-record brackets the kernel."""
+    start = Event(device).record()
+    device.launch("k", lambda: None, OpCost(flops=1e9, threads=30720))
+    end = Event(device).record()
+    measured = end.elapsed_since(start)
+    assert measured == pytest.approx(device.stats.by_kernel["k"].seconds)

@@ -1,0 +1,91 @@
+"""Tests for the occupancy calculator."""
+
+import pytest
+
+from repro.errors import InvalidLaunchError
+from repro.gpu.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    OccupancyResult,
+    best_block_size,
+    occupancy,
+)
+from repro.perfmodel.presets import GTX280_PARAMS, GTX8800_PARAMS
+
+
+class TestOccupancy:
+    def test_full_occupancy_256_threads(self):
+        """256 threads x 4 blocks = 1024 = GT200's thread capacity."""
+        r = occupancy(256, registers_per_thread=16)
+        assert r.blocks_per_sm == 4
+        assert r.threads_per_sm == 1024
+        assert r.is_full
+
+    def test_thread_limited(self):
+        r = occupancy(512, registers_per_thread=8)
+        assert r.blocks_per_sm == 2
+        assert r.limiter == "threads"
+        assert r.is_full
+
+    def test_register_limited(self):
+        # 256 threads * 64 regs = 16384 regs/block -> 2 blocks of 32768
+        r = occupancy(256, registers_per_thread=64)
+        assert r.blocks_per_sm == 2
+        assert r.limiter == "registers"
+        assert r.occupancy == pytest.approx(0.5)
+
+    def test_shared_memory_limited(self):
+        # 8 KiB/block of 16 KiB -> 2 blocks
+        r = occupancy(128, registers_per_thread=8, shared_bytes_per_block=8192)
+        assert r.blocks_per_sm == 2
+        assert r.limiter == "shared_memory"
+
+    def test_block_count_limited(self):
+        # tiny blocks: the 8-block cap binds before threads do
+        r = occupancy(32, registers_per_thread=4)
+        assert r.blocks_per_sm == MAX_BLOCKS_PER_SM
+        assert r.limiter == "blocks"
+        assert r.occupancy == pytest.approx(8 * 1 / 32)
+
+    def test_partial_warp_rounds_up(self):
+        r = occupancy(48, registers_per_thread=4)  # 1.5 warps -> 2 warps
+        assert r.warps_per_sm == r.blocks_per_sm * 2
+
+    def test_shared_over_limit_raises(self):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(64, shared_bytes_per_block=17 * 1024)
+
+    def test_register_starvation_raises(self):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(512, registers_per_thread=128)  # 65536 regs > file
+
+    def test_bad_block_raises(self):
+        with pytest.raises(InvalidLaunchError):
+            occupancy(0)
+        with pytest.raises(InvalidLaunchError):
+            occupancy(1024, params=GTX280_PARAMS)  # > 512 limit
+
+    def test_g80_lower_capacity(self):
+        r280 = occupancy(256, 16, params=GTX280_PARAMS)
+        r880 = occupancy(256, 16, params=GTX8800_PARAMS)
+        assert r880.threads_per_sm < r280.threads_per_sm  # 768 vs 1024
+
+
+class TestBestBlockSize:
+    def test_default_kernel_prefers_large_full_blocks(self):
+        block, result = best_block_size(registers_per_thread=16)
+        assert result.is_full
+        assert block >= 256  # ties resolved toward larger blocks
+
+    def test_register_heavy_kernel_prefers_smaller(self):
+        block_light, _ = best_block_size(registers_per_thread=8)
+        block_heavy, res_heavy = best_block_size(registers_per_thread=60)
+        assert res_heavy.occupancy <= 1.0
+        assert block_heavy <= block_light or res_heavy.occupancy < 1.0
+
+    def test_impossible_kernel_raises(self):
+        with pytest.raises(InvalidLaunchError):
+            best_block_size(registers_per_thread=4096)
+
+    def test_returns_occupancy_result(self):
+        _, result = best_block_size()
+        assert isinstance(result, OccupancyResult)

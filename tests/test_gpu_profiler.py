@@ -1,0 +1,127 @@
+"""Tests for the kernel-timeline profiler."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpu import blas
+from repro.gpu.profiler import Profile, TimelineEvent, profile
+
+
+class TestRecording:
+    def test_kernels_and_transfers_recorded(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(64))
+            y = device.to_device(np.ones(64))
+            blas.axpy(2.0, x, y)
+            y.copy_to_host()
+        names = {e.name for e in prof.events}
+        assert "blas.axpy" in names
+        assert "memcpy.htod" in names
+        assert "memcpy.dtoh" in names
+        assert len(prof.kernels()) >= 1
+        assert len(prof.transfers()) >= 3
+
+    def test_timeline_is_ordered_and_contiguous(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(128))
+            blas.scal(2.0, x)
+            blas.scal(0.5, x)
+        starts = [e.start for e in prof.events]
+        assert starts == sorted(starts)
+        # the simulated device serialises: no gaps, no overlap
+        assert prof.gaps() == pytest.approx(0.0, abs=1e-15)
+        for a, b in zip(prof.events, prof.events[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_durations_match_clock(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(64))
+            blas.scal(2.0, x)
+        assert prof.total_time == pytest.approx(device.clock)
+
+    def test_instrumentation_removed_after_block(self, device):
+        with profile(device):
+            pass
+        before = device.clock
+        x = device.to_device(np.ones(8))
+        blas.scal(2.0, x)
+        assert device.clock > before  # device still works normally
+
+    def test_costs_carried(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(100))
+            blas.scal(2.0, x)
+        scal_events = [e for e in prof.events if e.name == "blas.scal"]
+        assert scal_events[0].flops == 100
+
+
+class TestReports:
+    def test_summary_format(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(64))
+            blas.scal(2.0, x)
+        text = prof.summary()
+        assert "events" in text
+        assert "blas.scal" in text
+        assert "%" in text
+
+    def test_by_name_sums(self, device):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(64))
+            blas.scal(2.0, x)
+            blas.scal(2.0, x)
+        totals = prof.by_name()
+        scal_events = [e for e in prof.events if e.name == "blas.scal"]
+        assert totals["blas.scal"] == pytest.approx(
+            sum(e.duration for e in scal_events)
+        )
+
+    def test_chrome_trace_export(self, device, tmp_path):
+        with profile(device) as prof:
+            x = device.to_device(np.ones(64))
+            blas.scal(2.0, x)
+        path = tmp_path / "trace.json"
+        text = prof.to_chrome_trace(path)
+        data = json.loads(path.read_text())
+        assert data == json.loads(text)
+        assert data["traceEvents"]
+        event = data["traceEvents"][0]
+        assert {"name", "ph", "ts", "dur", "pid", "tid"} <= set(event)
+        assert event["ph"] == "X"
+
+    def test_transfer_events_on_own_track(self, device):
+        with profile(device) as prof:
+            device.to_device(np.ones(16))
+        data = json.loads(prof.to_chrome_trace())
+        tids = {e["cat"]: e["tid"] for e in data["traceEvents"]}
+        assert tids.get("transfer") == 1
+
+
+class TestWholeSolveProfile:
+    def test_profile_a_solve(self):
+        from repro.core.gpu_revised_simplex import GpuRevisedSimplex
+        from repro.gpu.device import Device
+        from repro.lp.generators import random_dense_lp
+        from repro.simplex.options import SolverOptions
+
+        dev = Device()
+        solver = GpuRevisedSimplex(SolverOptions(dtype=np.float64), device=dev)
+        with profile(dev) as prof:
+            result = solver.solve(random_dense_lp(24, 32, seed=1))
+        assert result.is_optimal
+        # profiler total equals the solver's modeled time
+        assert prof.total_time == pytest.approx(result.timing.modeled_seconds)
+        # the pricing GEMV is on the timeline
+        assert "blas.gemv_t" in prof.by_name()
+
+    def test_empty_profile(self):
+        prof = Profile()
+        assert prof.total_time == 0.0
+        assert prof.gaps() == 0.0
+        assert "0 events" in prof.summary()
+
+    def test_event_end(self):
+        e = TimelineEvent(name="k", start=1.0, duration=0.5, kind="kernel")
+        assert e.end == 1.5

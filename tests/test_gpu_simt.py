@@ -1,0 +1,168 @@
+"""Thread-level SIMT interpreter tests: the ground truth for block kernels."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, InvalidLaunchError
+from repro.gpu.simt import (
+    SharedMemory,
+    SimtBarrierError,
+    SimtEngine,
+    simt_block_sum,
+    simt_dot_partial,
+    simt_ratio_test,
+    simt_vector_add,
+)
+from repro.perfmodel.gpu_model import GpuModelParams
+
+
+@pytest.fixture
+def engine() -> SimtEngine:
+    return SimtEngine()
+
+
+class TestVectorAdd:
+    def test_exact(self, engine, rng):
+        n = 1000
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        out = np.zeros(n)
+        stats = engine.run(simt_vector_add, 4, 256, x, y, out)
+        np.testing.assert_allclose(out, x + y)
+        assert stats.blocks == 4
+        assert stats.threads == 1024
+
+    def test_guard_clause_handles_partial_block(self, engine):
+        x = np.ones(10)
+        out = np.zeros(10)
+        engine.run(simt_vector_add, 1, 32, x, x, out)  # 22 idle threads
+        np.testing.assert_allclose(out, 2.0)
+
+
+class TestBlockReduction:
+    def test_block_sum_matches_numpy(self, engine, rng):
+        n, block = 1000, 128
+        grid = -(-n // block)
+        x = rng.normal(size=n)
+        partials = np.zeros(grid)
+        stats = engine.run(simt_block_sum, grid, block, x, partials)
+        assert partials.sum() == pytest.approx(x.sum())
+        # one barrier after load + one per tree level (log2(128) = 7)
+        assert stats.barriers == grid * (1 + 7)
+
+    def test_dot_partial_grid_stride(self, engine, rng):
+        n = 700
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        partials = np.zeros(2)
+        engine.run(simt_dot_partial, 2, 64, x, y, partials)
+        assert partials.sum() == pytest.approx(float(x @ y))
+
+    def test_warp_count(self, engine):
+        x = np.ones(256)
+        partials = np.zeros(2)
+        stats = engine.run(simt_block_sum, 2, 128, x, partials)
+        assert stats.warps == 2 * 4  # 128 threads = 4 warps per block
+
+
+class TestRatioTestKernel:
+    def test_matches_block_kernel(self, engine, device, rng):
+        """The SIMT per-thread body and the block-level kernel agree."""
+        from repro.core.gpu_kernels import ratio_kernel
+
+        m = 300
+        beta = np.abs(rng.normal(size=m))
+        alpha = rng.normal(size=m)
+        tol = 1e-9
+
+        simt_out = np.zeros(m)
+        engine.run(simt_ratio_test, -(-m // 128), 128, beta, alpha, simt_out, tol)
+
+        b = device.to_device(beta)
+        a = device.to_device(alpha)
+        r = device.zeros(m, np.float64)
+        ratio_kernel(device, b, a, r, tol)
+        np.testing.assert_allclose(r.data, simt_out)
+
+
+class TestBarrierSemantics:
+    def test_barrier_divergence_detected(self, engine):
+        def bad_kernel(t):
+            if t.thread_idx == 0:
+                return  # exits before the barrier the others reach
+            yield
+
+        with pytest.raises(SimtBarrierError):
+            engine.run(bad_kernel, 1, 4)
+
+    def test_uniform_exit_ok(self, engine):
+        def fine_kernel(t):
+            yield
+            yield
+
+        stats = engine.run(fine_kernel, 2, 8)
+        assert stats.barriers == 2 * 2
+
+    def test_launch_limits(self, engine):
+        with pytest.raises(InvalidLaunchError):
+            engine.run(simt_vector_add, 0, 32, np.zeros(1), np.zeros(1), np.zeros(1))
+        with pytest.raises(InvalidLaunchError):
+            engine.run(simt_vector_add, 1, 4096, np.zeros(1), np.zeros(1), np.zeros(1))
+
+
+class TestSharedMemory:
+    def test_same_array_per_block(self, engine):
+        seen = []
+
+        def k(t):
+            s = t.shared.alloc("buf", 4)
+            seen.append((t.block_idx, s))
+            return
+            yield
+
+        engine.run(k, 2, 3)
+        # 3 threads share within a block; blocks get distinct buffers
+        block0 = [s for b, s in seen if b == 0]
+        block1 = [s for b, s in seen if b == 1]
+        assert all(s is block0[0] for s in block0)
+        assert all(s is block1[0] for s in block1)
+        assert block0[0] is not block1[0]
+
+    def test_overflow(self):
+        shared = SharedMemory(limit_bytes=64)
+        shared.alloc("a", 8, np.float64)  # 64 bytes: exactly fits
+        with pytest.raises(DeviceError):
+            shared.alloc("b", 1, np.float64)
+
+    def test_alloc_idempotent(self):
+        shared = SharedMemory(limit_bytes=1024)
+        a = shared.alloc("x", 4)
+        b = shared.alloc("x", 4)
+        assert a is b
+
+
+class TestThreadCtx:
+    def test_indexing(self, engine):
+        records = []
+
+        def k(t):
+            records.append((t.global_id, t.warp_id, t.lane))
+            return
+            yield
+
+        engine.run(k, 2, 64)
+        gids = [r[0] for r in records]
+        assert gids == list(range(128))
+        assert records[33][1] == 1  # thread 33 is in warp 1
+        assert records[33][2] == 1  # lane 1
+
+    def test_custom_params(self):
+        engine = SimtEngine(GpuModelParams(warp_size=16, max_threads_per_block=64))
+        records = []
+
+        def k(t):
+            records.append(t.warp_id)
+            return
+            yield
+
+        stats = engine.run(k, 1, 32)
+        assert stats.warps == 2
+        assert records[16] == 1

@@ -1,0 +1,119 @@
+"""Device-resident sparse matrices and SpMV kernel tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DeviceArrayError
+from repro.gpu.sparse_kernels import (
+    DeviceCscMatrix,
+    DeviceCsrMatrix,
+    spmv_csc_t,
+    spmv_csr,
+)
+from repro.sparse import CscMatrix, CsrMatrix
+
+
+@pytest.fixture
+def host_dense():
+    return sp.random(17, 23, density=0.25, random_state=5).toarray()
+
+
+class TestDeviceCsr:
+    def test_upload_roundtrip(self, device, host_dense):
+        host = CsrMatrix.from_dense(host_dense)
+        d = DeviceCsrMatrix(device, host, dtype=np.float64)
+        back = d.to_host()
+        np.testing.assert_allclose(back.to_dense(), host_dense)
+
+    def test_upload_accounts_transfers(self, device, host_dense):
+        host = CsrMatrix.from_dense(host_dense)
+        before = device.stats.htod_bytes
+        d = DeviceCsrMatrix(device, host)
+        assert device.stats.htod_bytes - before == d.nbytes
+
+    def test_spmv(self, device, host_dense, rng):
+        host = CsrMatrix.from_dense(host_dense)
+        d = DeviceCsrMatrix(device, host, dtype=np.float64)
+        xh = rng.normal(size=23)
+        x = device.to_device(xh)
+        y = device.zeros(17, np.float64)
+        spmv_csr(d, x, y)
+        np.testing.assert_allclose(y.data, host_dense @ xh, atol=1e-10)
+
+    def test_spmv_shape_check(self, device, host_dense):
+        d = DeviceCsrMatrix(device, CsrMatrix.from_dense(host_dense), np.float64)
+        x = device.zeros(17, np.float64)  # wrong side
+        y = device.zeros(17, np.float64)
+        with pytest.raises(DeviceArrayError):
+            spmv_csr(d, x, y)
+
+    def test_spmv_flops_proportional_to_nnz(self, device, host_dense):
+        host = CsrMatrix.from_dense(host_dense)
+        d = DeviceCsrMatrix(device, host, np.float32)
+        x = device.zeros(23, np.float32)
+        y = device.zeros(17, np.float32)
+        spmv_csr(d, x, y)
+        assert device.stats.by_kernel["sparse.spmv_csr"].flops == 2 * host.nnz
+
+    def test_free(self, device, host_dense):
+        before = device.stats.bytes_in_use
+        d = DeviceCsrMatrix(device, CsrMatrix.from_dense(host_dense))
+        assert device.stats.bytes_in_use > before
+        d.free()
+        assert device.stats.bytes_in_use == before
+        assert d.data.is_freed
+        assert d.indptr.is_freed
+        assert d.indices.is_freed
+
+
+class TestDeviceCsc:
+    def test_spmv_transpose(self, device, host_dense, rng):
+        host = CscMatrix.from_dense(host_dense)
+        d = DeviceCscMatrix(device, host, dtype=np.float64)
+        xh = rng.normal(size=17)
+        x = device.to_device(xh)
+        y = device.zeros(23, np.float64)
+        spmv_csc_t(d, x, y)
+        np.testing.assert_allclose(y.data, host_dense.T @ xh, atol=1e-10)
+
+    def test_spmv_t_with_empty_columns(self, device):
+        dense = np.array([[1.0, 0.0, 2.0], [0.0, 0.0, 3.0]])
+        d = DeviceCscMatrix(device, CscMatrix.from_dense(dense), np.float64)
+        x = device.to_device(np.array([1.0, 1.0]))
+        y = device.zeros(3, np.float64)
+        spmv_csc_t(d, x, y)
+        np.testing.assert_allclose(y.data, [1.0, 0.0, 5.0])
+
+    def test_getcol_device(self, device, host_dense):
+        host = CscMatrix.from_dense(host_dense)
+        d = DeviceCscMatrix(device, host, dtype=np.float64)
+        out = device.zeros(17, np.float64)
+        nnz = d.getcol_device(4, out)
+        np.testing.assert_allclose(out.data, host_dense[:, 4])
+        assert nnz == np.count_nonzero(host_dense[:, 4])
+
+    def test_getcol_overwrites_previous(self, device, host_dense):
+        host = CscMatrix.from_dense(host_dense)
+        d = DeviceCscMatrix(device, host, dtype=np.float64)
+        out = device.zeros(17, np.float64)
+        d.getcol_device(0, out)
+        d.getcol_device(1, out)
+        np.testing.assert_allclose(out.data, host_dense[:, 1])
+
+    def test_getcol_out_of_range(self, device, host_dense):
+        d = DeviceCscMatrix(device, CscMatrix.from_dense(host_dense), np.float64)
+        out = device.zeros(17, np.float64)
+        with pytest.raises(DeviceArrayError):
+            d.getcol_device(99, out)
+
+    def test_getcol_wrong_length(self, device, host_dense):
+        d = DeviceCscMatrix(device, CscMatrix.from_dense(host_dense), np.float64)
+        out = device.zeros(5, np.float64)
+        with pytest.raises(DeviceArrayError):
+            d.getcol_device(0, out)
+
+    def test_fp32_storage(self, device, host_dense):
+        d = DeviceCscMatrix(device, CscMatrix.from_dense(host_dense), np.float32)
+        assert d.data.dtype == np.float32
+        assert d.indices.dtype == np.int32

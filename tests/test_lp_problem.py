@@ -1,0 +1,137 @@
+"""Tests for the general-form LPProblem model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LPBoundsError, LPDimensionError
+from repro.lp.problem import Bounds, ConstraintSense, LPProblem
+from repro.sparse import CscMatrix
+
+
+class TestConstraintSense:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("<=", ConstraintSense.LE), ("<", ConstraintSense.LE),
+         ("=", ConstraintSense.EQ), ("==", ConstraintSense.EQ),
+         (">=", ConstraintSense.GE), (">", ConstraintSense.GE),
+         (ConstraintSense.LE, ConstraintSense.LE)],
+    )
+    def test_parse(self, token, expected):
+        assert ConstraintSense.parse(token) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(LPDimensionError):
+            ConstraintSense.parse("!=")
+
+    def test_flipped(self):
+        assert ConstraintSense.LE.flipped() is ConstraintSense.GE
+        assert ConstraintSense.GE.flipped() is ConstraintSense.LE
+        assert ConstraintSense.EQ.flipped() is ConstraintSense.EQ
+
+
+class TestBounds:
+    def test_nonnegative(self):
+        b = Bounds.nonnegative(3)
+        assert np.all(b.lower == 0)
+        assert np.all(np.isposinf(b.upper))
+
+    def test_from_pairs_none_means_unbounded(self):
+        b = Bounds.from_pairs([(None, 5.0), (1.0, None), (None, None)])
+        assert np.isneginf(b.lower[0]) and b.upper[0] == 5.0
+        assert b.lower[1] == 1.0 and np.isposinf(b.upper[1])
+        assert np.isneginf(b.lower[2]) and np.isposinf(b.upper[2])
+
+    def test_validate_length(self):
+        with pytest.raises(LPDimensionError):
+            Bounds.nonnegative(2).validate(3)
+
+    def test_validate_contradiction(self):
+        b = Bounds(np.array([2.0]), np.array([1.0]))
+        with pytest.raises(LPBoundsError):
+            b.validate(1)
+
+    def test_copy_independent(self):
+        b = Bounds.nonnegative(2)
+        c = b.copy()
+        c.lower[0] = -1
+        assert b.lower[0] == 0
+
+
+class TestConstruction:
+    def test_minimize_stacks_blocks(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0],
+            a_ub=[[1.0, 0.0]], b_ub=[1.0],
+            a_eq=[[0.0, 1.0]], b_eq=[2.0],
+        )
+        assert lp.num_constraints == 2
+        assert lp.senses == [ConstraintSense.LE, ConstraintSense.EQ]
+        assert not lp.maximize
+
+    def test_maximize_flag(self, textbook_lp):
+        assert textbook_lp.maximize
+
+    def test_no_constraints_rejected(self):
+        with pytest.raises(LPDimensionError):
+            LPProblem.minimize(c=[1.0])
+
+    def test_dimension_checks(self):
+        with pytest.raises(LPDimensionError):
+            LPProblem(c=[1.0], a=[[1.0, 2.0]], senses=["<="], b=[1.0],
+                      bounds=Bounds.nonnegative(1))
+        with pytest.raises(LPDimensionError):
+            LPProblem(c=[1.0, 2.0], a=[[1.0, 2.0]], senses=["<="], b=[1.0, 2.0],
+                      bounds=Bounds.nonnegative(2))
+        with pytest.raises(LPDimensionError):
+            LPProblem(c=[1.0, 2.0], a=[[1.0, 2.0]], senses=["<=", "<="], b=[1.0],
+                      bounds=Bounds.nonnegative(2))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(LPDimensionError):
+            LPProblem.minimize(c=[np.inf, 1.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        with pytest.raises(LPDimensionError):
+            LPProblem.minimize(c=[1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[np.nan])
+
+    def test_var_names_length_checked(self):
+        with pytest.raises(LPDimensionError):
+            LPProblem(c=[1.0], a=[[1.0]], senses=["="], b=[1.0],
+                      bounds=Bounds.nonnegative(1), var_names=["a", "b"])
+
+    def test_sparse_matrix_accepted(self):
+        a = CscMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        lp = LPProblem(c=[1.0, 1.0], a=a, senses=["<=", "<="], b=[1.0, 2.0],
+                       bounds=Bounds.nonnegative(2))
+        assert lp.is_sparse
+        assert np.array_equal(lp.a_dense(), a.to_dense())
+
+
+class TestEvaluation:
+    def test_objective_value(self, textbook_lp):
+        assert textbook_lp.objective_value([2.0, 6.0]) == pytest.approx(36.0)
+
+    def test_feasibility(self, textbook_lp):
+        assert textbook_lp.is_feasible(np.array([2.0, 6.0]))
+        assert not textbook_lp.is_feasible(np.array([5.0, 0.0]))  # x <= 4
+
+    def test_violation_measures_each_sense(self):
+        lp = LPProblem(
+            c=[1.0], a=[[1.0], [1.0], [1.0]], senses=["<=", ">=", "="],
+            b=[1.0, 3.0, 2.0], bounds=Bounds.nonnegative(1),
+        )
+        x = np.array([2.0])
+        # <= violated by 1, >= violated by 1, = satisfied
+        assert lp.constraint_violation(x) == pytest.approx(1.0)
+
+    def test_violation_includes_bounds(self):
+        lp = LPProblem(
+            c=[1.0], a=[[1.0]], senses=["<="], b=[10.0],
+            bounds=Bounds(np.array([2.0]), np.array([4.0])),
+        )
+        assert lp.constraint_violation(np.array([0.0])) == pytest.approx(2.0)
+        assert lp.constraint_violation(np.array([5.0])) == pytest.approx(1.0)
+
+    def test_variable_name(self, textbook_lp):
+        assert textbook_lp.variable_name(0) == "x0"
+        lp = LPProblem(c=[1.0], a=[[1.0]], senses=["<="], b=[1.0],
+                       bounds=Bounds.nonnegative(1), var_names=["prod_a"])
+        assert lp.variable_name(0) == "prod_a"

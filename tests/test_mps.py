@@ -1,0 +1,167 @@
+"""Tests for the MPS reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import LPFormatError
+from repro.lp.mps import read_mps, write_mps
+from repro.lp.problem import ConstraintSense
+
+SAMPLE = """\
+* a classic sample problem
+NAME          TESTPROB
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+ E  MYEQN
+COLUMNS
+    X1   COST 1.0   LIM1 1.0
+    X1   LIM2 1.0
+    X2   COST 2.0   LIM1 1.0
+    X2   MYEQN -1.0
+    X3   COST -1.0   MYEQN 1.0
+RHS
+    RHS   LIM1 4.0   LIM2 1.0
+    RHS   MYEQN 7.0
+BOUNDS
+ UP BND X1 4.0
+ LO BND X2 -1.0
+ENDATA
+"""
+
+
+class TestReader:
+    def test_parse_structure(self):
+        lp = read_mps(SAMPLE)
+        assert lp.name == "TESTPROB"
+        assert lp.num_vars == 3
+        assert lp.num_constraints == 3
+        assert lp.senses == [ConstraintSense.LE, ConstraintSense.GE, ConstraintSense.EQ]
+        assert lp.var_names == ["X1", "X2", "X3"]
+        assert not lp.maximize
+
+    def test_parse_data(self):
+        lp = read_mps(SAMPLE)
+        np.testing.assert_array_equal(lp.c, [1.0, 2.0, -1.0])
+        np.testing.assert_array_equal(lp.b, [4.0, 1.0, 7.0])
+        a = lp.a_dense()
+        np.testing.assert_array_equal(a[0], [1.0, 1.0, 0.0])  # LIM1
+        np.testing.assert_array_equal(a[1], [1.0, 0.0, 0.0])  # LIM2
+        np.testing.assert_array_equal(a[2], [0.0, -1.0, 1.0])  # MYEQN
+
+    def test_parse_bounds(self):
+        lp = read_mps(SAMPLE)
+        assert lp.bounds.upper[0] == 4.0
+        assert lp.bounds.lower[1] == -1.0
+        assert lp.bounds.lower[2] == 0.0  # default
+        assert np.isposinf(lp.bounds.upper[2])
+
+    def test_objsense_max(self):
+        text = SAMPLE.replace("ROWS", "OBJSENSE\n    MAX\nROWS", 1)
+        assert read_mps(text).maximize
+
+    def test_comments_and_blanks_ignored(self):
+        text = "* leading comment\n\n" + SAMPLE
+        assert read_mps(text).num_vars == 3
+
+    def test_fr_mi_fx_bounds(self):
+        text = SAMPLE.replace(
+            "BOUNDS\n UP BND X1 4.0\n LO BND X2 -1.0\n",
+            "BOUNDS\n FR BND X1\n MI BND X2\n FX BND X3 2.5\n",
+        )
+        lp = read_mps(text)
+        assert np.isneginf(lp.bounds.lower[0]) and np.isposinf(lp.bounds.upper[0])
+        assert np.isneginf(lp.bounds.lower[1])
+        assert lp.bounds.lower[2] == lp.bounds.upper[2] == 2.5
+
+    def test_ranges_on_le_row(self):
+        text = SAMPLE.replace("BOUNDS", "RANGES\n    RNG LIM1 2.0\nBOUNDS")
+        lp = read_mps(text)
+        assert lp.num_constraints == 4
+        assert lp.senses[3] is ConstraintSense.GE
+        assert lp.b[3] == pytest.approx(2.0)  # 4 - |2|
+        # companion row duplicates LIM1's coefficients
+        np.testing.assert_array_equal(lp.a_dense()[3], [1.0, 1.0, 0.0])
+
+    def test_ranges_on_eq_row(self):
+        text = SAMPLE.replace("BOUNDS", "RANGES\n    RNG MYEQN 3.0\nBOUNDS")
+        lp = read_mps(text)
+        assert lp.senses[2] is ConstraintSense.GE  # E becomes an interval
+        assert lp.senses[3] is ConstraintSense.LE
+        assert lp.b[3] == pytest.approx(10.0)
+
+    def test_errors(self):
+        with pytest.raises(LPFormatError):
+            read_mps("NAME X\nROWS\n Q  BAD\nENDATA")
+        with pytest.raises(LPFormatError):
+            read_mps("NAME X\nROWS\n N C\n L R\nCOLUMNS\n    X1 NOPE 1.0\nENDATA")
+        with pytest.raises(LPFormatError):
+            read_mps("NAME X\nROWS\n N C\n L R\nCOLUMNS\n    X1 R abc\nENDATA")
+        with pytest.raises(LPFormatError):
+            read_mps("NAME X\nROWS\n N C\nENDATA")  # no constraints
+
+    def test_no_objective_rejected(self):
+        with pytest.raises(LPFormatError):
+            read_mps("NAME X\nROWS\n L R\nCOLUMNS\n    X1 R 1.0\nENDATA")
+
+    def test_sparse_auto_selection(self):
+        lp = read_mps(SAMPLE, sparse=True)
+        assert lp.is_sparse
+        lp2 = read_mps(SAMPLE, sparse=False)
+        assert not lp2.is_sparse
+
+    def test_read_from_file(self, tmp_path):
+        path = tmp_path / "prob.mps"
+        path.write_text(SAMPLE)
+        assert read_mps(path).num_vars == 3
+        assert read_mps(str(path)).num_vars == 3
+
+    def test_read_from_stream(self):
+        assert read_mps(io.StringIO(SAMPLE)).num_vars == 3
+
+
+class TestWriter:
+    def test_roundtrip(self, textbook_lp):
+        text = write_mps(textbook_lp)
+        back = read_mps(text)
+        assert back.maximize == textbook_lp.maximize
+        np.testing.assert_allclose(back.c, textbook_lp.c)
+        np.testing.assert_allclose(back.b, textbook_lp.b)
+        np.testing.assert_allclose(back.a_dense(), textbook_lp.a_dense())
+        assert back.senses == textbook_lp.senses
+
+    def test_roundtrip_with_bounds(self, bounded_vars_lp):
+        back = read_mps(write_mps(bounded_vars_lp))
+        np.testing.assert_allclose(back.bounds.lower, bounded_vars_lp.bounds.lower)
+        np.testing.assert_allclose(back.bounds.upper, bounded_vars_lp.bounds.upper)
+
+    def test_roundtrip_solves_identically(self, bounded_vars_lp):
+        from repro import solve
+
+        back = read_mps(write_mps(bounded_vars_lp))
+        r1 = solve(bounded_vars_lp, method="revised")
+        r2 = solve(back, method="revised")
+        assert r1.objective == pytest.approx(r2.objective)
+
+    def test_write_to_file(self, tmp_path, textbook_lp):
+        path = tmp_path / "out.mps"
+        write_mps(textbook_lp, path)
+        assert read_mps(path).num_vars == 2
+
+    def test_write_to_stream(self, textbook_lp):
+        buf = io.StringIO()
+        write_mps(textbook_lp, buf)
+        assert "ENDATA" in buf.getvalue()
+
+    def test_roundtrip_mps_sample(self):
+        """Parse → write → parse is a fixed point on the data."""
+        lp1 = read_mps(SAMPLE)
+        lp2 = read_mps(write_mps(lp1))
+        np.testing.assert_allclose(lp1.a_dense(), lp2.a_dense())
+        np.testing.assert_allclose(lp1.c, lp2.c)
+        np.testing.assert_allclose(lp1.b, lp2.b)
+        np.testing.assert_allclose(lp1.bounds.lower, lp2.bounds.lower)
+        np.testing.assert_allclose(lp1.bounds.upper, lp2.bounds.upper)

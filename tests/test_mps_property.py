@@ -1,0 +1,77 @@
+"""Property-based MPS round-trip: write → read is lossless for any LPProblem."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lp.mps import read_mps, write_mps
+from repro.lp.problem import Bounds, LPProblem
+
+
+@st.composite
+def round_trippable_lps(draw):
+    """Random general-form LPs with all bound classes and senses."""
+    m = draw(st.integers(1, 8))
+    n = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**31))
+    rng = np.random.default_rng(seed)
+    a = np.round(rng.normal(size=(m, n)) * 3, 6)
+    # MPS drops explicitly-zero columns; keep every variable present by
+    # ensuring each column has at least one nonzero
+    for j in range(n):
+        if not np.any(a[:, j]):
+            a[rng.integers(0, m), j] = 1.0
+    b = np.round(rng.normal(size=m) * 5, 6)
+    c = np.round(rng.normal(size=n) * 2, 6)
+    senses = [draw(st.sampled_from(["<=", ">=", "="])) for _ in range(m)]
+    kinds = [draw(st.sampled_from(["nonneg", "free", "boxed", "upper", "lower", "fixed"]))
+             for _ in range(n)]
+    lower = np.zeros(n)
+    upper = np.full(n, np.inf)
+    for j, kind in enumerate(kinds):
+        if kind == "free":
+            lower[j] = -np.inf
+        elif kind == "boxed":
+            lower[j] = round(rng.uniform(-3, 0), 6)
+            upper[j] = round(lower[j] + rng.uniform(0.5, 4), 6)
+        elif kind == "upper":
+            lower[j] = -np.inf
+            upper[j] = round(rng.uniform(-2, 5), 6)
+        elif kind == "lower":
+            lower[j] = round(rng.uniform(-4, 4), 6)
+        elif kind == "fixed":
+            lower[j] = upper[j] = round(rng.uniform(-2, 2), 6)
+    return LPProblem(
+        c=c, a=a, senses=senses, b=b, bounds=Bounds(lower, upper),
+        maximize=draw(st.booleans()), name="fuzz",
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(lp=round_trippable_lps())
+def test_mps_roundtrip_lossless(lp):
+    back = read_mps(write_mps(lp))
+    assert back.maximize == lp.maximize
+    assert back.num_vars == lp.num_vars
+    assert back.num_constraints == lp.num_constraints
+    np.testing.assert_allclose(back.c, lp.c, atol=1e-12)
+    np.testing.assert_allclose(back.b, lp.b, atol=1e-12)
+    np.testing.assert_allclose(back.a_dense(), lp.a_dense(), atol=1e-12)
+    assert back.senses == lp.senses
+    np.testing.assert_allclose(back.bounds.lower, lp.bounds.lower, atol=1e-12)
+    np.testing.assert_allclose(back.bounds.upper, lp.bounds.upper, atol=1e-12)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(lp=round_trippable_lps())
+def test_mps_roundtrip_solves_identically(lp):
+    from repro import solve
+
+    back = read_mps(write_mps(lp))
+    r1 = solve(lp, method="revised", pricing="hybrid")
+    r2 = solve(back, method="revised", pricing="hybrid")
+    assert r1.status is r2.status
+    if r1.is_optimal:
+        assert abs(r1.objective - r2.objective) <= 1e-9 * (1 + abs(r1.objective))

@@ -1,0 +1,191 @@
+"""Tests for the presolve reductions."""
+
+import numpy as np
+import pytest
+
+from conftest import scipy_oracle
+from repro.lp.generators import random_dense_lp
+from repro.lp.presolve import (
+    PresolveStatus,
+    presolve,
+    solve_with_presolve,
+)
+from repro.lp.problem import Bounds, LPProblem
+
+
+class TestRules:
+    def test_fixed_variable_substituted(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0, 3.0], a_ub=[[1.0, 1.0, 1.0]], b_ub=[10.0],
+            bounds=[(0, None), (0, None), (3.0, 3.0)],
+        )
+        out = presolve(lp)
+        assert out.status is PresolveStatus.REDUCED
+        assert out.reduced.num_vars == 2
+        assert out.fixed_values == {2: 3.0}
+        assert out.objective_offset == pytest.approx(9.0)
+        # rhs adjusted: x0 + x1 <= 10 - 3
+        assert out.reduced.b[0] == pytest.approx(7.0)
+
+    def test_fix_cascade_solves_fully(self):
+        """A fixed variable can cascade singleton-row -> bound -> empty
+        column eliminations until nothing is left."""
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0], a_ub=[[1.0, 1.0]], b_ub=[10.0],
+            bounds=[(0, None), (3.0, 3.0)],
+        )
+        out = presolve(lp)
+        assert out.status is PresolveStatus.SOLVED
+        assert out.objective_offset == pytest.approx(6.0)  # x = (0, 3)
+        np.testing.assert_allclose(out.postsolve(np.zeros(0)), [0.0, 3.0])
+
+    def test_empty_row_dropped(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0], a_ub=[[0.0, 0.0], [1.0, 1.0]], b_ub=[5.0, 2.0],
+        )
+        out = presolve(lp)
+        assert out.log["rows_empty"] == 1
+        assert out.reduced.num_constraints == 1
+
+    def test_empty_row_infeasible(self):
+        lp = LPProblem.minimize(c=[1.0], a_ub=[[0.0]], b_ub=[-5.0])
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_empty_eq_row_infeasible(self):
+        lp = LPProblem.minimize(
+            c=[1.0], a_ub=[[1.0]], b_ub=[1.0],
+            a_eq=[[0.0]], b_eq=[2.0],
+        )
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_singleton_row_becomes_bound(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_ub=[[2.0, 0.0], [1.0, 1.0]],
+            b_ub=[6.0, 10.0],
+        )
+        out = presolve(lp)
+        assert out.log["rows_singleton"] == 1
+        assert out.reduced.num_constraints == 1
+        assert out.reduced.bounds.upper[0] == pytest.approx(3.0)
+
+    def test_singleton_negative_coefficient_flips(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_ub=[[-1.0, 0.0], [1.0, 1.0]],
+            b_ub=[-2.0, 10.0],
+        )
+        out = presolve(lp)
+        # -x <= -2  =>  x >= 2
+        assert out.reduced.bounds.lower[0] == pytest.approx(2.0)
+
+    def test_singleton_contradiction_infeasible(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_ub=[[1.0, 0.0], [-1.0, 0.0], [1.0, 1.0]],
+            b_ub=[1.0, -3.0, 10.0],
+        )
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_empty_column_moved_to_best_bound(self):
+        # x1 appears in no constraint; min c=+1 -> lower bound 0
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0], a_ub=[[1.0, 0.0]], b_ub=[4.0],
+        )
+        out = presolve(lp)
+        assert out.fixed_values[1] == 0.0
+
+    def test_empty_column_unbounded(self):
+        # maximise a free-to-grow variable with no constraints on it
+        lp = LPProblem.maximize_problem(
+            c=[1.0, 1.0], a_ub=[[1.0, 0.0]], b_ub=[4.0],
+        )
+        assert presolve(lp).status is PresolveStatus.UNBOUNDED
+
+    def test_duplicate_rows_keep_tightest(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0], a_ub=[[1.0, 1.0], [1.0, 1.0]], b_ub=[5.0, 3.0],
+        )
+        out = presolve(lp)
+        assert out.log["rows_duplicate"] == 1
+        assert out.reduced.num_constraints == 1
+        assert out.reduced.b[0] == pytest.approx(3.0)
+
+    def test_duplicate_eq_rows_conflicting_infeasible(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 1.0],
+            a_eq=[[1.0, 1.0], [1.0, 1.0]],
+            b_eq=[4.0, 5.0],
+        )
+        assert presolve(lp).status is PresolveStatus.INFEASIBLE
+
+    def test_all_variables_eliminated_solved(self):
+        lp = LPProblem.minimize(
+            c=[2.0], a_ub=[[1.0]], b_ub=[10.0], bounds=[(3.0, 3.0)],
+        )
+        out = presolve(lp)
+        assert out.status is PresolveStatus.SOLVED
+        assert out.objective_offset == pytest.approx(6.0)
+        x = out.postsolve(np.zeros(0))
+        assert x[0] == 3.0
+
+
+class TestPostsolveMapping:
+    def test_roundtrip_indices(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0, 3.0],
+            a_ub=[[1.0, 0.0, 1.0]],
+            b_ub=[5.0],
+            bounds=[(0, None), (1.5, 1.5), (0, None)],
+        )
+        out = presolve(lp)
+        x = out.postsolve(np.array([7.0, 9.0]))
+        np.testing.assert_allclose(x, [7.0, 1.5, 9.0])
+
+    def test_counts(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0], a_ub=[[1.0, 0.0], [0.0, 0.0]], b_ub=[5.0, 1.0],
+            bounds=[(0, None), (2.0, 2.0)],
+        )
+        out = presolve(lp)
+        assert out.cols_removed >= 1
+        assert out.rows_removed >= 1
+
+
+class TestSolveWithPresolve:
+    def test_matches_plain_solve(self):
+        lp = LPProblem.minimize(
+            c=[1.0, 2.0, 0.5],
+            a_ub=[[1.0, 1.0, 0.0], [2.0, 0.0, 0.0], [0.0, 0.0, 0.0]],
+            b_ub=[10.0, 8.0, 1.0],
+            a_eq=[[0.0, 1.0, 1.0]],
+            b_eq=[4.0],
+            bounds=[(0, None), (0, None), (1.0, 1.0)],
+        )
+        ref = scipy_oracle(lp)
+        r = solve_with_presolve(lp, method="revised")
+        assert r.status.value == "optimal"
+        assert r.objective == pytest.approx(ref, rel=1e-8)
+        assert lp.constraint_violation(r.x) <= 1e-8
+
+    def test_presolve_proves_infeasible_without_solver(self, infeasible_lp):
+        r = solve_with_presolve(infeasible_lp, method="revised")
+        assert r.status.value == "infeasible"
+
+    def test_random_instances_unchanged_by_presolve(self):
+        for seed in range(3):
+            lp = random_dense_lp(12, 16, seed=seed)
+            plain = solve_with_presolve(lp, method="revised")
+            ref = scipy_oracle(lp)
+            assert plain.objective == pytest.approx(ref, rel=1e-7)
+
+    def test_gpu_method_through_presolve(self):
+        lp = LPProblem.maximize_problem(
+            c=[3.0, 5.0, 1.0],
+            a_ub=[[1.0, 0.0, 0.0], [0.0, 2.0, 0.0], [3.0, 2.0, 0.0]],
+            b_ub=[4.0, 12.0, 18.0],
+            bounds=[(0, None), (0, None), (2.0, 2.0)],
+        )
+        r = solve_with_presolve(lp, method="gpu-revised", dtype=np.float64)
+        assert r.objective == pytest.approx(38.0)  # 36 + 1*2
+        assert r.solver.startswith("presolve+")

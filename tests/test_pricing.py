@@ -1,0 +1,155 @@
+"""Tests for the entering-variable pricing rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.simplex.pricing import (
+    BlandRule,
+    DantzigRule,
+    DevexRule,
+    HybridRule,
+    SteepestEdgeRule,
+    make_pricing_rule,
+)
+
+ALL = np.ones(5, dtype=bool)
+
+
+class TestDantzig:
+    def test_most_negative(self):
+        d = np.array([1.0, -3.0, -5.0, 2.0, -1.0])
+        assert DantzigRule().select(d, ALL, 1e-9) == 2
+
+    def test_optimal_returns_none(self):
+        d = np.array([0.0, 1.0, 2.0, 0.5, 0.0])
+        assert DantzigRule().select(d, ALL, 1e-9) is None
+
+    def test_tolerance_filters_noise(self):
+        d = np.array([-1e-12, 1.0, 1.0, 1.0, 1.0])
+        assert DantzigRule().select(d, ALL, 1e-9) is None
+
+    def test_eligibility_mask(self):
+        d = np.array([-5.0, -3.0, 0.0, 0.0, 0.0])
+        eligible = np.array([False, True, True, True, True])
+        assert DantzigRule().select(d, eligible, 1e-9) == 1
+
+    def test_tie_breaks_low_index(self):
+        d = np.array([0.0, -2.0, -2.0, 0.0, 0.0])
+        assert DantzigRule().select(d, ALL, 1e-9) == 1
+
+
+class TestBland:
+    def test_lowest_index(self):
+        d = np.array([1.0, -0.001, -100.0, 0.0, 0.0])
+        assert BlandRule().select(d, ALL, 1e-9) == 1
+
+    def test_none_when_nonnegative(self):
+        assert BlandRule().select(np.zeros(5), ALL, 1e-9) is None
+
+    def test_respects_mask(self):
+        d = np.array([-1.0, -1.0, 0.0, 0.0, 0.0])
+        eligible = np.array([False, True, True, True, True])
+        assert BlandRule().select(d, eligible, 1e-9) == 1
+
+
+class TestHybrid:
+    def test_starts_as_dantzig(self):
+        rule = HybridRule(stall_window=3)
+        d = np.array([-0.1, -5.0, 0.0, 0.0, 0.0])
+        assert rule.select(d, ALL, 1e-9) == 1  # most negative, not lowest index
+
+    def test_switches_to_bland_after_stall(self):
+        rule = HybridRule(stall_window=3)
+        d = np.array([-0.1, -5.0, 0.0, 0.0, 0.0])
+        for _ in range(3):
+            rule.notify_pivot(1, 0, None, improved=False)
+        assert rule.activations == 1
+        assert rule.select(d, ALL, 1e-9) == 0  # now Bland: lowest index
+
+    def test_switches_back_after_recovery(self):
+        rule = HybridRule(stall_window=2, recovery=2)
+        for _ in range(2):
+            rule.notify_pivot(1, 0, None, improved=False)
+        assert rule._using_bland
+        for _ in range(2):
+            rule.notify_pivot(1, 0, None, improved=True)
+        assert not rule._using_bland
+
+    def test_improvement_resets_stall_counter(self):
+        rule = HybridRule(stall_window=3)
+        rule.notify_pivot(1, 0, None, improved=False)
+        rule.notify_pivot(1, 0, None, improved=False)
+        rule.notify_pivot(1, 0, None, improved=True)
+        rule.notify_pivot(1, 0, None, improved=False)
+        rule.notify_pivot(1, 0, None, improved=False)
+        assert rule.activations == 0
+
+    def test_bad_window(self):
+        with pytest.raises(SolverError):
+            HybridRule(stall_window=0)
+
+
+class TestDevex:
+    def test_initial_weights_behave_like_dantzig_squared(self):
+        rule = DevexRule()
+        rule.reset(5)
+        d = np.array([0.0, -2.0, -3.0, 0.0, 0.0])
+        assert rule.select(d, ALL, 1e-9) == 2
+
+    def test_weight_update_changes_choice(self):
+        rule = DevexRule()
+        rule.reset(3)
+        ones = np.ones(3, dtype=bool)
+        # pivot on column 2 with a huge pivot row entry for column 1:
+        # column 1's weight grows, demoting it
+        rule.set_pivot_row(np.array([0.0, 100.0, 1.0]))
+        rule.notify_pivot(2, 0, None, improved=True)
+        d = np.array([0.0, -3.0, -2.9])
+        # plain Dantzig would take column 1; Devex demotes it
+        assert rule.select(d, ones, 1e-9) == 2
+
+    def test_optimal_none(self):
+        rule = DevexRule()
+        rule.reset(5)
+        assert rule.select(np.ones(5), ALL, 1e-9) is None
+
+    def test_needs_tableau_flag(self):
+        assert DevexRule.needs_tableau
+        assert SteepestEdgeRule.needs_tableau
+        assert not DantzigRule.needs_tableau
+
+
+class TestSteepestEdge:
+    def test_requires_tableau(self):
+        rule = SteepestEdgeRule()
+        rule.reset(3)
+        with pytest.raises(SolverError):
+            rule.select(np.array([-1.0, 0.0, 0.0]), np.ones(3, dtype=bool), 1e-9)
+
+    def test_edge_norms_demote_long_columns(self):
+        rule = SteepestEdgeRule()
+        rule.reset(2)
+        tableau = np.array([[1.0, 10.0], [0.0, 10.0]])
+        rule.set_tableau(tableau)
+        d = np.array([-1.0, -1.5])
+        # col 1 has much larger norm: -1²/2 > -1.5²/201
+        assert rule.select(d, np.ones(2, dtype=bool), 1e-9) == 0
+
+    def test_optimal_none(self):
+        rule = SteepestEdgeRule()
+        rule.set_tableau(np.eye(2))
+        assert rule.select(np.zeros(2), np.ones(2, dtype=bool), 1e-9) is None
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("dantzig", DantzigRule), ("bland", BlandRule), ("hybrid", HybridRule),
+        ("devex", DevexRule), ("steepest-edge", SteepestEdgeRule),
+    ])
+    def test_make(self, name, cls):
+        assert isinstance(make_pricing_rule(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(SolverError):
+            make_pricing_rule("oracle")

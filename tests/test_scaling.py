@@ -1,0 +1,96 @@
+"""Tests for geometric-mean problem scaling."""
+
+import numpy as np
+import pytest
+
+from repro.lp.scaling import geometric_mean_scaling, scaling_spread
+from repro.sparse import CscMatrix
+
+
+def badly_scaled_matrix():
+    return np.array([[1e6, 2e-4, 0.0], [3e-5, 0.0, 4e5], [0.0, 5e3, 6e-2]])
+
+
+class TestSpread:
+    def test_identity_spread(self):
+        assert scaling_spread(np.eye(3)) == 1.0
+
+    def test_empty(self):
+        assert scaling_spread(np.zeros((2, 2))) == 1.0
+
+    def test_known(self):
+        a = np.array([[1.0, 100.0]])
+        assert scaling_spread(a) == pytest.approx(100.0)
+
+
+class TestScaling:
+    def test_reduces_spread(self):
+        a = badly_scaled_matrix()
+        result = geometric_mean_scaling(a, np.ones(3), np.ones(3))
+        assert scaling_spread(result.a) < scaling_spread(a) / 100
+
+    def test_pow2_factors(self):
+        a = badly_scaled_matrix()
+        result = geometric_mean_scaling(a, np.ones(3), np.ones(3), pow2=True)
+        for s in np.concatenate([result.row_scale, result.col_scale]):
+            assert s > 0
+            assert np.log2(s) == pytest.approx(round(np.log2(s)))
+
+    def test_scaled_system_consistent(self):
+        """A' x' = b'  <=>  A (Cx') = b with x = C x'."""
+        rng = np.random.default_rng(0)
+        a = badly_scaled_matrix()
+        result = geometric_mean_scaling(a, rng.normal(size=3), rng.normal(size=3))
+        x_scaled = rng.normal(size=3)
+        x = result.unscale_x(x_scaled)
+        lhs_scaled = np.asarray(result.a) @ x_scaled
+        lhs_orig = a @ x
+        np.testing.assert_allclose(lhs_scaled / result.row_scale, lhs_orig, rtol=1e-12)
+
+    def test_objective_invariant(self):
+        """c'ᵀ x' = cᵀ x under x = C x'."""
+        rng = np.random.default_rng(1)
+        a = badly_scaled_matrix()
+        c = rng.normal(size=3)
+        result = geometric_mean_scaling(a, np.ones(3), c)
+        x_scaled = rng.normal(size=3)
+        assert float(result.c @ x_scaled) == pytest.approx(
+            float(c @ result.unscale_x(x_scaled)), rel=1e-12
+        )
+
+    def test_sparse_input_stays_sparse(self):
+        a = CscMatrix.from_dense(badly_scaled_matrix())
+        result = geometric_mean_scaling(a, np.ones(3), np.ones(3))
+        assert isinstance(result.a, CscMatrix)
+        assert scaling_spread(result.a) < scaling_spread(a)
+
+    def test_well_scaled_untouched_quickly(self):
+        a = np.array([[1.0, 2.0], [0.5, 1.0]])
+        result = geometric_mean_scaling(a, np.ones(2), np.ones(2))
+        assert scaling_spread(result.a) <= scaling_spread(a) + 1e-12
+
+    def test_unscale_duals(self):
+        a = badly_scaled_matrix()
+        result = geometric_mean_scaling(a, np.ones(3), np.ones(3))
+        y = np.ones(3)
+        np.testing.assert_allclose(result.unscale_duals(y), result.row_scale)
+
+    def test_zero_rows_survive(self):
+        a = np.array([[0.0, 0.0], [1.0, 2.0]])
+        result = geometric_mean_scaling(a, np.ones(2), np.ones(2))
+        np.testing.assert_array_equal(np.asarray(result.a)[0], [0.0, 0.0])
+
+
+def test_scaling_improves_solver_accuracy():
+    """A badly scaled LP solves to the same optimum with scale=True."""
+    from repro import LPProblem, solve
+
+    a = np.array([[1e5, 2e-3], [3.0, 4e4]])
+    b = np.array([1e5, 8e4])
+    c = np.array([1.0, 1.0])
+    lp = LPProblem.maximize_problem(c=c, a_ub=a, b_ub=b)
+    plain = solve(lp, method="revised", scale=False)
+    scaled = solve(lp, method="revised", scale=True)
+    assert plain.status.value == "optimal"
+    assert scaled.status.value == "optimal"
+    assert scaled.objective == pytest.approx(plain.objective, rel=1e-6)

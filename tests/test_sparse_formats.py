@@ -1,0 +1,222 @@
+"""Tests for the COO/CSR/CSC sparse formats (scipy is the oracle)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SparseFormatError
+from repro.sparse import CooMatrix, CscMatrix, CsrMatrix
+
+
+@pytest.fixture
+def small_dense():
+    """The worked example matrix from the sparse-formats literature."""
+    return np.array([[0.0, 1.0, 5.0], [0.0, 0.0, 4.0], [1.0, 0.0, 0.0]])
+
+
+class TestCoo:
+    def test_from_dense(self, small_dense):
+        coo = CooMatrix.from_dense(small_dense)
+        assert coo.nnz == 4
+        assert np.array_equal(coo.row, [0, 0, 1, 2])
+        assert np.array_equal(coo.col, [1, 2, 2, 0])
+        assert np.array_equal(coo.val, [1.0, 5.0, 4.0, 1.0])
+
+    def test_to_dense_roundtrip(self, small_dense):
+        assert np.array_equal(CooMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_canonical_sort(self):
+        coo = CooMatrix((2, 2), [1, 0], [0, 1], [3.0, 4.0])
+        assert np.array_equal(coo.row, [0, 1])
+        assert np.array_equal(coo.val, [4.0, 3.0])
+
+    def test_duplicates_summed(self):
+        coo = CooMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0])
+        assert coo.nnz == 1
+        assert coo.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_rejected_when_asked(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix((2, 2), [0, 0], [1, 1], [2.0, 3.0], sum_duplicates=False)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix((2, 2), [2], [0], [1.0])
+        with pytest.raises(SparseFormatError):
+            CooMatrix((2, 2), [0], [-1], [1.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix((2, 2), [0], [0, 1], [1.0])
+
+    def test_matvec(self, small_dense, rng):
+        x = rng.normal(size=3)
+        coo = CooMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.matvec(x), small_dense @ x)
+
+    def test_rmatvec(self, small_dense, rng):
+        y = rng.normal(size=3)
+        coo = CooMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(coo.rmatvec(y), small_dense.T @ y)
+
+    def test_matvec_shape_check(self, small_dense):
+        coo = CooMatrix.from_dense(small_dense)
+        with pytest.raises(SparseFormatError):
+            coo.matvec(np.zeros(4))
+
+    def test_transpose(self, small_dense):
+        coo = CooMatrix.from_dense(small_dense)
+        assert np.array_equal(coo.transpose().to_dense(), small_dense.T)
+
+    def test_prune(self):
+        coo = CooMatrix((2, 2), [0, 1], [0, 1], [1e-12, 1.0])
+        pruned = coo.prune(1e-9)
+        assert pruned.nnz == 1
+
+    def test_empty(self):
+        coo = CooMatrix.empty((3, 4))
+        assert coo.nnz == 0
+        assert coo.to_dense().shape == (3, 4)
+        assert coo.density == 0.0
+
+    def test_bad_shape(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix((-1, 2), [], [], [])
+        with pytest.raises(SparseFormatError):
+            CooMatrix("nope", [], [], [])
+
+    def test_non_integer_indices_rejected(self):
+        with pytest.raises(SparseFormatError):
+            CooMatrix((2, 2), [0.5], [0], [1.0])
+
+
+class TestCsr:
+    def test_from_dense_structure(self, small_dense):
+        csr = CsrMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.indptr, [0, 2, 3, 4])
+        assert np.array_equal(csr.indices, [1, 2, 2, 0])
+        assert np.array_equal(csr.data, [1.0, 5.0, 4.0, 1.0])
+
+    def test_to_dense(self, small_dense):
+        assert np.array_equal(CsrMatrix.from_dense(small_dense).to_dense(), small_dense)
+
+    def test_eye(self):
+        eye = CsrMatrix.eye(4)
+        assert np.array_equal(eye.to_dense(), np.eye(4))
+
+    def test_matvec_with_empty_rows(self):
+        dense = np.array([[0.0, 0.0], [3.0, 0.0], [0.0, 0.0]])
+        csr = CsrMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.matvec(np.array([2.0, 1.0])), [0.0, 6.0, 0.0])
+
+    def test_matvec_oracle(self, rng):
+        dense = sp.random(23, 17, density=0.2, random_state=7).toarray()
+        csr = CsrMatrix.from_dense(dense)
+        x = rng.normal(size=17)
+        np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-12)
+
+    def test_rmatvec_oracle(self, rng):
+        dense = sp.random(23, 17, density=0.2, random_state=8).toarray()
+        csr = CsrMatrix.from_dense(dense)
+        y = rng.normal(size=23)
+        np.testing.assert_allclose(csr.rmatvec(y), dense.T @ y, atol=1e-12)
+
+    def test_getrow(self, small_dense):
+        csr = CsrMatrix.from_dense(small_dense)
+        cols, vals = csr.getrow(0)
+        assert np.array_equal(cols, [1, 2])
+        assert np.array_equal(vals, [1.0, 5.0])
+
+    def test_getrow_out_of_range(self, small_dense):
+        with pytest.raises(SparseFormatError):
+            CsrMatrix.from_dense(small_dense).getrow(5)
+
+    def test_getcol_dense(self, small_dense):
+        csr = CsrMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csr.getcol_dense(2), [5.0, 4.0, 0.0])
+
+    def test_structural_validation(self):
+        with pytest.raises(SparseFormatError):
+            CsrMatrix((2, 2), [1, 1, 1], [0], [1.0])  # indptr must start at 0
+        with pytest.raises(SparseFormatError):
+            CsrMatrix((2, 2), [0, 2, 1], [0, 1, 0], [1.0, 1.0, 1.0])  # decreasing
+        with pytest.raises(SparseFormatError):
+            CsrMatrix((2, 2), [0, 2, 2], [1, 0], [1.0, 1.0])  # unsorted in row
+        with pytest.raises(SparseFormatError):
+            CsrMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 1.0])  # col out of range
+
+    def test_prune(self):
+        dense = np.array([[1e-15, 2.0], [0.5, 1e-14]])
+        pruned = CsrMatrix.from_dense(dense).prune(1e-9)
+        assert pruned.nnz == 2
+        np.testing.assert_allclose(
+            pruned.to_dense(), np.array([[0.0, 2.0], [0.5, 0.0]])
+        )
+
+    def test_transpose(self, small_dense):
+        csr = CsrMatrix.from_dense(small_dense)
+        assert np.array_equal(csr.transpose().to_dense(), small_dense.T)
+
+
+class TestCsc:
+    def test_from_dense(self, small_dense):
+        csc = CscMatrix.from_dense(small_dense)
+        assert np.array_equal(csc.indptr, [0, 1, 2, 4])
+        assert np.array_equal(csc.indices, [2, 0, 0, 1])
+        assert np.array_equal(csc.data, [1.0, 1.0, 5.0, 4.0])
+
+    def test_getcol(self, small_dense):
+        csc = CscMatrix.from_dense(small_dense)
+        rows, vals = csc.getcol(2)
+        assert np.array_equal(rows, [0, 1])
+        assert np.array_equal(vals, [5.0, 4.0])
+
+    def test_getcol_dense(self, small_dense):
+        csc = CscMatrix.from_dense(small_dense)
+        np.testing.assert_allclose(csc.getcol_dense(0), [0.0, 0.0, 1.0])
+
+    def test_getcol_out_of_range(self, small_dense):
+        with pytest.raises(SparseFormatError):
+            CscMatrix.from_dense(small_dense).getcol(3)
+
+    def test_matvec_rmatvec_oracle(self, rng):
+        dense = sp.random(19, 31, density=0.15, random_state=9).toarray()
+        csc = CscMatrix.from_dense(dense)
+        x, y = rng.normal(size=31), rng.normal(size=19)
+        np.testing.assert_allclose(csc.matvec(x), dense @ x, atol=1e-12)
+        np.testing.assert_allclose(csc.rmatvec(y), dense.T @ y, atol=1e-12)
+
+    def test_col_nnz(self, small_dense):
+        csc = CscMatrix.from_dense(small_dense)
+        assert np.array_equal(csc.col_nnz(), [1, 1, 2])
+
+    def test_transpose(self, small_dense):
+        csc = CscMatrix.from_dense(small_dense)
+        assert np.array_equal(csc.transpose().to_dense(), small_dense.T)
+
+    def test_structural_validation(self):
+        with pytest.raises(SparseFormatError):
+            CscMatrix((2, 2), [0, 1, 2], [3, 0], [1.0, 1.0])  # row out of range
+
+
+class TestConversions:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_conversion_cycle(self, seed):
+        dense = sp.random(13, 29, density=0.25, random_state=seed).toarray()
+        coo = CooMatrix.from_dense(dense)
+        for converted in (
+            coo.tocsr(), coo.tocsc(),
+            coo.tocsr().tocoo(), coo.tocsc().tocoo(),
+            coo.tocsr().tocsc(), coo.tocsc().tocsr(),
+        ):
+            np.testing.assert_allclose(converted.to_dense(), dense)
+
+    def test_nnz_preserved(self):
+        dense = sp.random(10, 10, density=0.3, random_state=3).toarray()
+        coo = CooMatrix.from_dense(dense)
+        assert coo.tocsr().nnz == coo.nnz
+        assert coo.tocsc().nnz == coo.nnz
+
+    def test_density(self):
+        m = CooMatrix((4, 5), [0], [0], [1.0])
+        assert m.density == pytest.approx(1 / 20)

@@ -1,0 +1,92 @@
+"""Property-based tests of the sparse formats against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import CooMatrix, CscMatrix, CsrMatrix
+
+
+@st.composite
+def sparse_instances(draw):
+    """(dense ndarray, density) with controlled size."""
+    m = draw(st.integers(1, 25))
+    n = draw(st.integers(1, 25))
+    seed = draw(st.integers(0, 2**31))
+    density = draw(st.floats(0.0, 0.6))
+    rng = np.random.default_rng(seed)
+    dense = rng.normal(size=(m, n))
+    dense[rng.random(size=(m, n)) > density] = 0.0
+    return dense
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_instances())
+def test_roundtrip_all_formats(dense):
+    coo = CooMatrix.from_dense(dense)
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+    np.testing.assert_array_equal(coo.tocsr().to_dense(), dense)
+    np.testing.assert_array_equal(coo.tocsc().to_dense(), dense)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_instances(), seed=st.integers(0, 2**31))
+def test_matvec_agrees_across_formats(dense, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=dense.shape[1])
+    expected = dense @ x
+    coo = CooMatrix.from_dense(dense)
+    for mat in (coo, coo.tocsr(), coo.tocsc()):
+        np.testing.assert_allclose(mat.matvec(x), expected, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_instances(), seed=st.integers(0, 2**31))
+def test_rmatvec_is_transpose_matvec(dense, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.normal(size=dense.shape[0])
+    expected = dense.T @ y
+    coo = CooMatrix.from_dense(dense)
+    for mat in (coo, coo.tocsr(), coo.tocsc()):
+        np.testing.assert_allclose(mat.rmatvec(y), expected, atol=1e-10)
+        np.testing.assert_allclose(
+            mat.transpose().matvec(y), expected, atol=1e-10
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_instances())
+def test_nnz_counts_nonzeros(dense):
+    coo = CooMatrix.from_dense(dense)
+    assert coo.nnz == np.count_nonzero(dense)
+    assert coo.tocsr().nnz == coo.nnz
+    assert coo.tocsc().nnz == coo.nnz
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_instances())
+def test_csc_column_access_matches_dense(dense):
+    csc = CscMatrix.from_dense(dense)
+    for j in range(dense.shape[1]):
+        np.testing.assert_array_equal(csc.getcol_dense(j), dense[:, j])
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_instances())
+def test_csr_row_access_matches_dense(dense):
+    csr = CsrMatrix.from_dense(dense)
+    for i in range(dense.shape[0]):
+        cols, vals = csr.getrow(i)
+        row = np.zeros(dense.shape[1])
+        row[cols] = vals
+        np.testing.assert_array_equal(row, dense[i])
+
+
+@settings(max_examples=30, deadline=None)
+@given(dense=sparse_instances(), tol=st.floats(0, 1))
+def test_prune_drops_exactly_small_entries(dense, tol):
+    pruned = CooMatrix.from_dense(dense).prune(tol)
+    expected = dense.copy()
+    expected[np.abs(expected) <= tol] = 0.0
+    np.testing.assert_array_equal(pruned.to_dense(), expected)

@@ -1,0 +1,113 @@
+"""Tests for warm-starting the revised solvers from a previous basis."""
+
+import numpy as np
+import pytest
+
+from repro import solve
+from repro.errors import SolverError
+from repro.lp.generators import random_dense_lp
+from repro.lp.problem import LPProblem
+
+
+@pytest.fixture
+def base_lp():
+    return random_dense_lp(30, 40, seed=77)
+
+
+def perturbed(lp, eps=0.01, seed=5):
+    """Same feasible region, slightly different objective."""
+    rng = np.random.default_rng(seed)
+    c = lp.c * (1.0 + eps * rng.normal(size=lp.c.size))
+    return LPProblem(c=c, a=lp.a_dense(), senses=lp.senses, b=lp.b,
+                     bounds=lp.bounds, maximize=lp.maximize,
+                     name=lp.name + "+perturbed")
+
+
+class TestCpuWarmStart:
+    def test_restart_from_optimal_basis_is_instant(self, base_lp):
+        cold = solve(base_lp, method="revised")
+        warm = solve(base_lp, method="revised", initial_basis=cold.extra["basis"])
+        assert warm.is_optimal
+        assert warm.objective == pytest.approx(cold.objective)
+        # re-solving from the optimal basis needs only the optimality check
+        assert warm.iterations.total_iterations <= 1
+
+    def test_perturbed_objective_fewer_iterations(self, base_lp):
+        cold = solve(base_lp, method="revised")
+        lp2 = perturbed(base_lp)
+        cold2 = solve(lp2, method="revised")
+        warm2 = solve(lp2, method="revised", initial_basis=cold.extra["basis"])
+        assert warm2.is_optimal
+        assert warm2.objective == pytest.approx(cold2.objective, rel=1e-8)
+        assert warm2.iterations.total_iterations <= cold2.iterations.total_iterations
+
+    def test_bad_basis_falls_back(self, base_lp):
+        # a singular 'basis' (same column m times is rejected as duplicate;
+        # use distinct columns that are linearly dependent via artificials)
+        m = base_lp.num_constraints
+        junk = np.arange(m)  # first m structural columns: may be singular or
+        # infeasible; either way the solver must still reach the optimum
+        r = solve(base_lp, method="revised", initial_basis=junk)
+        cold = solve(base_lp, method="revised")
+        assert r.objective == pytest.approx(cold.objective, rel=1e-8)
+
+    def test_invalid_basis_shape_rejected(self, base_lp):
+        with pytest.raises(SolverError):
+            solve(base_lp, method="revised", initial_basis=np.arange(3))
+
+    def test_duplicate_basis_rejected(self, base_lp):
+        m = base_lp.num_constraints
+        with pytest.raises(SolverError):
+            solve(base_lp, method="revised", initial_basis=np.zeros(m, dtype=int))
+
+    def test_out_of_range_rejected(self, base_lp):
+        m = base_lp.num_constraints
+        bad = np.arange(m)
+        bad[0] = 10**6
+        with pytest.raises(SolverError):
+            solve(base_lp, method="revised", initial_basis=bad)
+
+
+class TestGpuWarmStart:
+    def test_restart_from_optimal_basis(self, base_lp):
+        cold = solve(base_lp, method="gpu-revised", dtype=np.float64)
+        warm = solve(
+            base_lp, method="gpu-revised", dtype=np.float64,
+            initial_basis=cold.extra["basis"],
+        )
+        assert warm.is_optimal
+        assert warm.iterations.total_iterations <= 1
+        assert warm.objective == pytest.approx(cold.objective)
+
+    def test_cross_machine_warm_start(self, base_lp):
+        """A CPU basis warm-starts the GPU solver (and vice versa)."""
+        cpu = solve(base_lp, method="revised")
+        gpu = solve(
+            base_lp, method="gpu-revised", dtype=np.float64,
+            initial_basis=cpu.extra["basis"],
+        )
+        assert gpu.iterations.total_iterations <= 1
+        back = solve(base_lp, method="revised", initial_basis=gpu.extra["basis"])
+        assert back.iterations.total_iterations <= 1
+
+    def test_perturbed_rhs_warm_start(self, base_lp):
+        cold = solve(base_lp, method="gpu-revised", dtype=np.float64)
+        lp2 = LPProblem(
+            c=base_lp.c, a=base_lp.a_dense(), senses=base_lp.senses,
+            b=base_lp.b * 1.05, bounds=base_lp.bounds,
+            maximize=base_lp.maximize,
+        )
+        warm = solve(
+            lp2, method="gpu-revised", dtype=np.float64,
+            initial_basis=cold.extra["basis"],
+        )
+        cold2 = solve(lp2, method="gpu-revised", dtype=np.float64)
+        assert warm.objective == pytest.approx(cold2.objective, rel=1e-8)
+
+
+class TestUnsupportedMethods:
+    @pytest.mark.parametrize("method", ["tableau", "gpu-tableau"])
+    def test_tableau_methods_reject_warm_start(self, method, base_lp):
+        with pytest.raises(SolverError):
+            solve(base_lp, method=method,
+                  initial_basis=np.arange(base_lp.num_constraints))
