@@ -1,0 +1,19 @@
+# Developer entry points.  The tier-1 gate is `make test` (identical to the
+# ROADMAP's verify line); `make test-batch` is the fast smoke slice covering
+# the repro.batch subsystem, for quick iteration on batching changes.
+
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-batch bench bench-batch
+
+test:  ## tier-1: the full test suite
+	$(PYTHONPATH_SRC) python -m pytest -x -q
+
+test-batch:  ## fast smoke: batch subsystem tests only
+	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
+
+bench:  ## regenerate every evaluation experiment's tables
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only -q
+
+bench-batch:  ## the B1 batched-LP throughput experiment only
+	$(PYTHONPATH_SRC) python -m pytest benchmarks/bench_b1_batch_throughput.py --benchmark-only -q

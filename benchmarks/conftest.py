@@ -25,6 +25,13 @@ def pytest_addoption(parser):
     )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "batch: batched multi-LP experiments (select with -k batch or -m batch)",
+    )
+
+
 @pytest.fixture(scope="session")
 def sweep_sizes(request) -> tuple[int, ...]:
     if request.config.getoption("--full-sweep"):
@@ -35,3 +42,11 @@ def sweep_sizes(request) -> tuple[int, ...]:
 @pytest.fixture(scope="session")
 def breakdown_size(request) -> int:
     return 512 if request.config.getoption("--full-sweep") else 256
+
+
+@pytest.fixture(scope="session")
+def batch_sizes(request) -> tuple[int, ...]:
+    """Batch sizes for the B1 batched-LP throughput experiment."""
+    if request.config.getoption("--full-sweep"):
+        return (2, 4, 8, 16, 32, 64)
+    return (2, 4, 8, 16)

@@ -14,6 +14,9 @@ substrate the paper depends on:
   simplex with several pricing rules and basis-update strategies.
 - ``repro.core``      — the paper's contribution: the GPU revised simplex
   solver (and a GPU tableau simplex design point) with per-kernel timing.
+- ``repro.batch``     — batched multi-LP solving: many LPs on one shared
+  simulated device under sequential or concurrent (stream-interleaved)
+  schedules, plus warm-started re-optimization chains.
 - ``repro.bench``     — the benchmark harness that regenerates every table
   and figure of the paper's evaluation.
 
@@ -39,6 +42,7 @@ from repro.lp.generators import (
     klee_minty_lp,
 )
 from repro.solve import solve, available_methods
+from repro.batch import solve_batch, solve_batch_chain, BatchResult
 from repro.status import SolveStatus
 from repro.result import SolveResult
 
@@ -49,7 +53,10 @@ __all__ = [
     "Bounds",
     "SolveStatus",
     "SolveResult",
+    "BatchResult",
     "solve",
+    "solve_batch",
+    "solve_batch_chain",
     "available_methods",
     "random_dense_lp",
     "random_sparse_lp",

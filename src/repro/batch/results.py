@@ -1,0 +1,168 @@
+"""Result containers for batched multi-LP solves.
+
+A :class:`BatchResult` keeps every per-LP :class:`~repro.result.SolveResult`
+*exactly* as an independent ``solve()`` call would have produced it (that
+determinism is tested property-style), and adds the batch-level accounting:
+the scheduled aggregate machine time, the PCIe transfer total, throughput,
+and the one-time context cost the batch amortizes over its members.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.batch.scheduler import ScheduleOutcome
+from repro.result import SolveResult, merge_kernel_breakdowns
+from repro.status import SolveStatus
+
+
+@dataclasses.dataclass
+class BatchItem:
+    """One LP of the batch: its position, display name and solve result."""
+
+    index: int
+    name: str
+    result: SolveResult
+    #: Whether this solve was warm-started from the previous basis in a
+    #: :func:`~repro.batch.solve_batch_chain` re-optimization stream.
+    warm_started: bool = False
+
+    @property
+    def status(self) -> SolveStatus:
+        return self.result.status
+
+    @property
+    def objective(self) -> float:
+        return self.result.objective
+
+    @property
+    def iterations(self) -> int:
+        return self.result.iterations.total_iterations
+
+
+@dataclasses.dataclass
+class BatchResult:
+    """Outcome of solving a workload of LPs as one batch.
+
+    ``modeled_seconds`` is the scheduled aggregate machine time of the whole
+    batch **including** the one-time ``context_seconds``; it is what a
+    throughput figure should divide by.  ``sequential_seconds`` is the
+    back-to-back sum of the per-LP modeled times (without context) — the
+    yardstick the concurrent schedule is measured against.
+    """
+
+    method: str
+    schedule: str
+    items: list[BatchItem]
+    outcome: ScheduleOutcome
+    context_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self) -> Iterator[BatchItem]:
+        return iter(self.items)
+
+    def __getitem__(self, i: int) -> BatchItem:
+        return self.items[i]
+
+    # -- aggregates --------------------------------------------------------
+
+    @property
+    def results(self) -> list[SolveResult]:
+        """Per-LP results, in submission order."""
+        return [item.result for item in self.items]
+
+    @property
+    def modeled_seconds(self) -> float:
+        return self.context_seconds + self.outcome.makespan_seconds
+
+    @property
+    def sequential_seconds(self) -> float:
+        return self.outcome.sequential_seconds
+
+    @property
+    def transfer_seconds(self) -> float:
+        return self.outcome.transfer_seconds
+
+    @property
+    def all_optimal(self) -> bool:
+        return all(item.status is SolveStatus.OPTIMAL for item in self.items)
+
+    @property
+    def statuses(self) -> dict[str, int]:
+        """Status value -> count across the batch."""
+        counts: dict[str, int] = {}
+        for item in self.items:
+            counts[item.status.value] = counts.get(item.status.value, 0) + 1
+        return counts
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(item.iterations for item in self.items)
+
+    @property
+    def throughput_lps(self) -> float:
+        """Solved LPs per modeled machine second (context included)."""
+        if self.modeled_seconds <= 0.0:
+            return float("inf")
+        return len(self.items) / self.modeled_seconds
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Aggregate speedup of this schedule over back-to-back solves."""
+        return self.outcome.speedup_vs_sequential
+
+    def kernel_breakdown(self) -> dict[str, float]:
+        """Merged per-kernel/section modeled seconds across the batch."""
+        return merge_kernel_breakdowns(
+            *(item.result.timing.kernel_breakdown for item in self.items)
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line batch summary (CLI / example output)."""
+        status = "all optimal" if self.all_optimal else str(self.statuses)
+        sched = self.schedule
+        if self.outcome.n_streams > 1:
+            sched += f" x{self.outcome.n_streams} streams"
+        return (
+            f"batch of {len(self.items)} LPs [{self.method}, {sched}]: "
+            f"{status}, "
+            f"{self.total_iterations} pivots, "
+            f"t_model={self.modeled_seconds * 1e3:.3f}ms "
+            f"({self.speedup_vs_sequential:.2f}x vs sequential, "
+            f"{self.throughput_lps:.1f} LPs/s, "
+            f"bound: {self.outcome.binding_resource})"
+        )
+
+    def render(self) -> str:
+        """Multi-line report: one row per LP plus the aggregate footer."""
+        from repro.bench.tables import Table
+
+        t = Table(
+            ["#", "problem", "status", "objective", "iters", "t_model ms",
+             "warm"]
+        )
+        for item in self.items:
+            t.add_row(
+                item.index,
+                item.name,
+                item.status.value,
+                item.objective if item.result.is_optimal else None,
+                item.iterations,
+                item.result.timing.modeled_seconds * 1e3,
+                "yes" if item.warm_started else "-",
+            )
+        lines = [t.render(), self.summary()]
+        if self.context_seconds:
+            lines.append(
+                f"one-time context setup: {self.context_seconds * 1e3:.1f}ms "
+                f"(amortized over {len(self.items)} LPs)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Batch schedules: how many LP solves share one simulated device.
+
+The batch façade (:func:`repro.batch.solve_batch`) runs every LP of the
+workload on **one shared** :class:`~repro.gpu.device.Device` with timeline
+recording enabled, so after the functional solves it holds, per LP, the
+exact sequence of kernel launches and PCIe transfers the solver issued
+(:class:`~repro.gpu.device.TimelineEvent`).  The schedule then prices the
+*aggregate* machine time of executing those per-LP event streams:
+
+- :class:`SequentialSchedule` — LPs run back to back, one CUDA stream:
+  the aggregate time is simply the sum of the per-LP device clocks.
+
+- :class:`ConcurrentSchedule` — LPs are assigned round-robin to ``n_streams``
+  streams and their launches interleave, the way the batched-LP literature
+  overlaps many small simplex kernels that individually cannot fill the
+  device (Gurung & Ray, arXiv:1802.08557 / arXiv:1609.08114).  The makespan
+  is modeled as the *binding resource* of the interleaved execution — the
+  maximum of four lower bounds, each a real hardware constraint:
+
+  ========================= ==============================================
+  bound                     constraint it models
+  ========================= ==============================================
+  ``copy-engine``           one PCIe copy engine: all HtoD/DtoH transfers
+                            serialize, ``Σ transfer``
+  ``compute-capacity``      the device has finite throughput: kernels
+                            co-run only up to full occupancy,
+                            ``Σ kernel·utilization / capacity``
+  ``stream-critical-path``  events of one stream are dependency-ordered:
+                            ``max over streams of Σ stream events``
+  ``launch-serialization``  the host issues launches serially,
+                            ``launches · launch_overhead``
+  ========================= ==============================================
+
+  ``utilization`` of a kernel is the fraction of the device's resident
+  thread capacity its logical work size occupies (floored at the model's
+  ``min_fill``): two kernels at 2% occupancy overlap almost perfectly, two
+  at 100% do not overlap at all, which is exactly why batching pays off for
+  small LPs and fades for large ones.  Copy/compute overlap (GT200's async
+  engine) is on by default; without it the copy-engine time adds to the
+  compute makespan instead of hiding under it.
+
+Concurrent *kernel* execution across streams is a Fermi-and-later ability
+(on GT200 the same overlap is achieved by fusing the per-LP kernels into one
+batched launch, as the cited papers do); the schedule is therefore labeled
+*reconstructed* in EXPERIMENTS.md, like the other beyond-paper experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.errors import SolverError
+from repro.gpu.device import TimelineEvent
+from repro.perfmodel.gpu_model import GpuModelParams
+
+#: Event kinds that occupy the PCIe copy engine; everything else runs on
+#: the device itself (kernels and device-to-device copies).
+_COPY_KINDS = frozenset({"htod", "dtoh"})
+
+
+@dataclasses.dataclass(frozen=True)
+class LPTimeline:
+    """The machine-time footprint of one LP solve, ready for scheduling.
+
+    ``busy_seconds`` is the utilization-weighted device time — the device-
+    seconds of throughput the solve actually consumes, as opposed to
+    ``device_seconds``, the time it *occupies* the device when running alone.
+    """
+
+    index: int
+    kernel_launches: int
+    transfer_seconds: float
+    device_seconds: float
+    busy_seconds: float
+    total_seconds: float
+
+    @staticmethod
+    def from_events(
+        index: int,
+        events: Sequence[TimelineEvent],
+        params: GpuModelParams,
+    ) -> "LPTimeline":
+        """Collapse one solve's device timeline into scheduling totals."""
+        launches = 0
+        transfer = 0.0
+        device = 0.0
+        busy = 0.0
+        capacity = float(params.concurrent_threads)
+        for ev in events:
+            if ev.kind in _COPY_KINDS:
+                transfer += ev.seconds
+            else:
+                device += ev.seconds
+                if ev.kind == "kernel":
+                    launches += 1
+                    util = max(
+                        params.min_fill,
+                        min(1.0, max(ev.threads, 1) / capacity),
+                    )
+                else:  # dtod copies saturate the memory system
+                    util = 1.0
+                busy += ev.seconds * util
+        return LPTimeline(
+            index=index,
+            kernel_launches=launches,
+            transfer_seconds=transfer,
+            device_seconds=device,
+            busy_seconds=busy,
+            total_seconds=transfer + device,
+        )
+
+    @staticmethod
+    def from_modeled_seconds(index: int, seconds: float) -> "LPTimeline":
+        """A single-block timeline for solvers without a device timeline
+        (the CPU baselines): one fully-utilizing unit of work."""
+        return LPTimeline(
+            index=index,
+            kernel_launches=0,
+            transfer_seconds=0.0,
+            device_seconds=seconds,
+            busy_seconds=seconds,
+            total_seconds=seconds,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleOutcome:
+    """Aggregate machine time of one scheduled batch."""
+
+    schedule: str
+    makespan_seconds: float
+    sequential_seconds: float
+    transfer_seconds: float
+    n_streams: int
+    #: Name of the resource whose lower bound the makespan equals.
+    binding_resource: str
+    #: Every modeled bound, for reporting (name -> seconds).
+    bounds: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return 1.0
+        return self.sequential_seconds / self.makespan_seconds
+
+
+class SequentialSchedule:
+    """Back-to-back execution on one stream (the baseline schedule)."""
+
+    name = "sequential"
+
+    def plan(
+        self,
+        timelines: Sequence[LPTimeline],
+        params: GpuModelParams | None = None,
+    ) -> ScheduleOutcome:
+        total = sum(tl.total_seconds for tl in timelines)
+        transfer = sum(tl.transfer_seconds for tl in timelines)
+        return ScheduleOutcome(
+            schedule=self.name,
+            makespan_seconds=total,
+            sequential_seconds=total,
+            transfer_seconds=transfer,
+            n_streams=1,
+            binding_resource="stream-critical-path",
+            bounds={"stream-critical-path": total},
+        )
+
+
+class ConcurrentSchedule:
+    """Stream-interleaved execution of the per-LP kernel launch streams.
+
+    Parameters
+    ----------
+    n_streams:
+        Streams (GPU) or workers (CPU baselines) to spread the batch over;
+        ``None`` picks ``min(len(batch), DEFAULT_STREAMS)``.
+    copy_compute_overlap:
+        Whether PCIe transfers hide under kernel execution (async copy
+        engine).  On for the modeled GT200-class devices.
+    """
+
+    name = "concurrent"
+
+    DEFAULT_STREAMS = 8
+
+    def __init__(
+        self,
+        n_streams: int | None = None,
+        copy_compute_overlap: bool = True,
+    ):
+        if n_streams is not None and n_streams < 1:
+            raise SolverError("n_streams must be >= 1")
+        self.n_streams = n_streams
+        self.copy_compute_overlap = copy_compute_overlap
+
+    def plan(
+        self,
+        timelines: Sequence[LPTimeline],
+        params: GpuModelParams | None = None,
+    ) -> ScheduleOutcome:
+        """Price the interleaved execution of ``timelines``.
+
+        ``params`` carries the device model for GPU batches (launch
+        overhead; kernel utilizations are already fractions of the whole
+        device).  ``params=None`` means a CPU multicore batch: timelines
+        are fully-utilizing blocks and the compute capacity is the worker
+        count, i.e. the stream count.
+        """
+        streams = self.n_streams or min(len(timelines), self.DEFAULT_STREAMS)
+        streams = max(1, min(streams, len(timelines)))
+
+        stream_path = [0.0] * streams
+        stream_device = [0.0] * streams
+        for tl in timelines:  # round-robin assignment, launch order = index
+            stream_path[tl.index % streams] += tl.total_seconds
+            stream_device[tl.index % streams] += tl.device_seconds
+
+        transfer = sum(tl.transfer_seconds for tl in timelines)
+        sequential = sum(tl.total_seconds for tl in timelines)
+        capacity = 1.0 if params is not None else float(streams)
+        busy = sum(tl.busy_seconds for tl in timelines) / capacity
+        launch_overhead = params.launch_overhead if params is not None else 0.0
+        launches = sum(tl.kernel_launches for tl in timelines)
+
+        bounds = {
+            "copy-engine": transfer,
+            "compute-capacity": busy,
+            "stream-critical-path": max(stream_path),
+            "launch-serialization": launches * launch_overhead,
+        }
+        if self.copy_compute_overlap:
+            makespan = max(bounds.values())
+        else:
+            compute_only = max(
+                bounds["compute-capacity"],
+                max(stream_device),
+                bounds["launch-serialization"],
+            )
+            makespan = transfer + compute_only
+        binding = max(bounds, key=lambda k: bounds[k])
+        return ScheduleOutcome(
+            schedule=self.name,
+            makespan_seconds=makespan,
+            sequential_seconds=sequential,
+            transfer_seconds=transfer,
+            n_streams=streams,
+            binding_resource=binding,
+            bounds=bounds,
+        )
+
+
+def make_schedule(
+    name: str,
+    n_streams: int | None = None,
+    copy_compute_overlap: bool = True,
+) -> "SequentialSchedule | ConcurrentSchedule":
+    """Instantiate a schedule by option name (``solve_batch``'s ``schedule``)."""
+    if name == "sequential":
+        return SequentialSchedule()
+    if name == "concurrent":
+        return ConcurrentSchedule(
+            n_streams=n_streams, copy_compute_overlap=copy_compute_overlap
+        )
+    raise SolverError(
+        f"unknown schedule {name!r}; available: ['concurrent', 'sequential']"
+    )

@@ -1,5 +1,5 @@
-"""One entry point per evaluation experiment (tables T1–T3, figures F1–F6,
-ablations A1–A3).
+"""One entry point per evaluation experiment (tables T1–T3, figures F1–F8,
+ablations A1–A6, beyond-paper batching B1).
 
 Each function runs the experiment and returns a
 :class:`~repro.bench.tables.Report`; ``python -m repro.bench.experiments <id>``
@@ -603,6 +603,78 @@ def a6_reoptimisation(size: int = 96, n_scenarios: int = 6, seed: int = 42) -> R
 
 
 # ---------------------------------------------------------------------------
+# B1 — batched-LP throughput (beyond the paper; reconstructed)
+# ---------------------------------------------------------------------------
+
+
+def b1_batch_throughput(
+    batch_sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    size: int = 64,
+    seed: int = 42,
+) -> Report:
+    """Throughput (LPs/s of modeled machine time) of batched solving.
+
+    Compares, per batch size B: a loop of B independent solo solves (each
+    paying the one-time context setup), the batch under the sequential
+    schedule (context paid once), and the batch under the concurrent
+    schedule (stream-interleaved kernel launches).  The direction of
+    Gurung & Ray (arXiv:1802.08557, arXiv:1609.08114): many small LPs
+    cannot individually fill a GPU, so solving them together is where the
+    hardware pays off.  *Reconstructed* — the source paper solves one LP
+    at a time.
+    """
+    from repro.batch import DEFAULT_CONTEXT_SETUP_SECONDS, solve_batch
+
+    report = Report("B1", "Batched LP throughput vs batch size")
+    t = report.add_table(
+        Table(
+            [
+                "batch", "solo loop ms", "batch seq ms", "batch conc ms",
+                "conc speedup", "solo LPs/s", "conc LPs/s", "binding",
+            ]
+        )
+    )
+    for b in batch_sizes:
+        problems = [
+            random_dense_lp(size, size + size // 2, seed=seed + i)
+            for i in range(b)
+        ]
+        solo = sum(
+            solve(p, method="gpu-revised", dtype=BENCH_DTYPE).timing.modeled_seconds
+            + DEFAULT_CONTEXT_SETUP_SECONDS
+            for p in problems
+        )
+        seq = solve_batch(
+            problems, method="gpu-revised", schedule="sequential",
+            dtype=BENCH_DTYPE,
+        )
+        conc = solve_batch(
+            problems, method="gpu-revised", schedule="concurrent",
+            dtype=BENCH_DTYPE,
+        )
+        t.add_row(
+            b,
+            solo * 1e3,
+            seq.modeled_seconds * 1e3,
+            conc.modeled_seconds * 1e3,
+            seq.modeled_seconds / conc.modeled_seconds,
+            b / solo,
+            conc.throughput_lps,
+            conc.outcome.binding_resource,
+        )
+    report.add_note(
+        f"size {size}x{size + size // 2} dense LPs, fp32 GPU; context setup "
+        f"{DEFAULT_CONTEXT_SETUP_SECONDS * 1e3:.0f}ms charged per solve "
+        "(solo) vs per batch."
+    )
+    report.add_note(
+        "Reconstructed experiment (not in the source paper); batched-LP "
+        "design follows arXiv:1802.08557 and arXiv:1609.08114."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # dispatcher
 # ---------------------------------------------------------------------------
 
@@ -624,6 +696,7 @@ EXPERIMENTS = {
     "a4": a4_scaling,
     "a5": a5_bounded_variables,
     "a6": a6_reoptimisation,
+    "b1": b1_batch_throughput,
 }
 
 

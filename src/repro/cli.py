@@ -3,15 +3,18 @@
 Commands
 --------
 ``solve``     solve an MPS file with any method and print the result
+``batch``     solve many MPS files (or generated LPs) as one batch
 ``info``      print structural statistics of an MPS file
 ``generate``  write a random dense/sparse instance to MPS
-``bench``     run one of the evaluation experiments (T1–T3, F1–F6, A1–A3)
+``bench``     run one of the evaluation experiments (T1–T3, F1–F8, A1–A6, B1)
 ``devices``   print the modeled hardware table
 
 Examples::
 
     python -m repro generate dense 64 64 --out /tmp/d64.mps
     python -m repro solve /tmp/d64.mps --method gpu-revised --dtype float32
+    python -m repro batch a.mps b.mps c.mps --schedule concurrent
+    python -m repro batch --random 16 --rows 48 --cols 64 --chain --method revised
     python -m repro info /tmp/d64.mps
     python -m repro bench f2
 """
@@ -50,6 +53,26 @@ def _build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--print-solution", action="store_true",
                          help="print every nonzero variable")
 
+    p_batch = sub.add_parser("batch", help="solve many LPs as one batch")
+    p_batch.add_argument("paths", nargs="*", help="MPS files (omit with --random)")
+    p_batch.add_argument("--random", type=int, default=0, metavar="N",
+                         help="generate N random dense LPs instead of reading files")
+    p_batch.add_argument("--rows", type=int, default=64,
+                         help="rows of each generated LP (with --random)")
+    p_batch.add_argument("--cols", type=int, default=96,
+                         help="columns of each generated LP (with --random)")
+    p_batch.add_argument("--seed", type=int, default=0)
+    p_batch.add_argument("--method", default="gpu-revised")
+    p_batch.add_argument("--schedule", default="concurrent",
+                         choices=["sequential", "concurrent"])
+    p_batch.add_argument("--streams", type=int, default=0,
+                         help="concurrent streams/workers (0 = auto)")
+    p_batch.add_argument("--chain", action="store_true",
+                         help="warm-start each LP from the previous basis "
+                              "(re-optimization stream; implies sequential)")
+    p_batch.add_argument("--dtype", default="float64",
+                         choices=["float32", "float64"])
+
     p_info = sub.add_parser("info", help="print structural statistics")
     p_info.add_argument("path", help="MPS file to analyse")
 
@@ -62,7 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True, help="output MPS path")
 
     p_bench = sub.add_parser("bench", help="run an evaluation experiment")
-    p_bench.add_argument("experiment", help="t1 t2 t3 f1..f6 a1..a3 | all")
+    p_bench.add_argument("experiment", help="t1..t3 f1..f8 a1..a6 b1 | all")
 
     sub.add_parser("devices", help="print the modeled hardware table")
     return parser
@@ -101,6 +124,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                     print(f"  {lp.variable_name(j)} = {value:.6g}")
         return 0
     return 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import solve_batch, solve_batch_chain
+    from repro.lp.generators import random_dense_lp
+    from repro.lp.mps import read_mps
+
+    if args.random > 0:
+        problems = [
+            random_dense_lp(args.rows, args.cols, seed=args.seed + i)
+            for i in range(args.random)
+        ]
+    elif args.paths:
+        problems = [read_mps(p) for p in args.paths]
+    else:
+        raise SystemExit("batch needs MPS paths or --random N")
+
+    kwargs = dict(
+        method=args.method,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+    )
+    if args.chain:
+        batch = solve_batch_chain(problems, **kwargs)
+    else:
+        batch = solve_batch(
+            problems,
+            schedule=args.schedule,
+            n_streams=args.streams or None,
+            **kwargs,
+        )
+    print(batch.render())
+    return 0 if batch.all_optimal else 1
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -154,6 +209,7 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "solve": _cmd_solve,
+    "batch": _cmd_batch,
     "info": _cmd_info,
     "generate": _cmd_generate,
     "bench": _cmd_bench,

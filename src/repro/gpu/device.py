@@ -29,6 +29,26 @@ from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import GTX280_PARAMS
 
 
+@dataclasses.dataclass(frozen=True)
+class TimelineEvent:
+    """One entry of the optional device timeline (see
+    :meth:`Device.record_timeline`).
+
+    ``kind`` is the engine the event occupies: ``"kernel"`` and ``"dtod"``
+    run on the device (SMs / memory system), ``"htod"`` and ``"dtoh"`` on
+    the PCIe copy engine.  ``threads`` is the logical work size of kernel
+    events (0 for transfers) — the batch scheduler uses it to estimate how
+    much of the device a kernel actually occupies when launches from
+    several LP streams are interleaved.
+    """
+
+    kind: str
+    name: str
+    seconds: float
+    threads: int = 0
+    nbytes: int = 0
+
+
 @dataclasses.dataclass
 class KernelRecord:
     """Aggregate statistics of one kernel (by name)."""
@@ -104,6 +124,17 @@ class Device:
         self.clock = 0.0
         self.stats = DeviceStats()
         self._section_stack: list[tuple[str, float]] = []
+        #: Optional event timeline (``None`` unless :meth:`record_timeline`
+        #: enabled it).  Cleared together with the stats on
+        #: :meth:`reset_stats`, so between two resets it holds exactly the
+        #: events of the work executed in between (one solve, typically).
+        self.timeline: list[TimelineEvent] | None = None
+
+    def record_timeline(self, enable: bool = True) -> None:
+        """Start (or stop) recording every kernel launch and transfer as a
+        :class:`TimelineEvent`.  The batch scheduler replays these timelines
+        to model stream-interleaved execution of several LPs."""
+        self.timeline = [] if enable else None
 
     # ------------------------------------------------------------------
     # memory management
@@ -144,6 +175,13 @@ class Device:
         self.stats.record_kernel(
             "memset", seconds, OpCost(bytes_written=arr.nbytes, threads=max(1, arr.size))
         )
+        if self.timeline is not None:
+            self.timeline.append(
+                TimelineEvent(
+                    "kernel", "memset", seconds,
+                    threads=max(1, arr.size), nbytes=arr.nbytes,
+                )
+            )
 
     def _reserve(self, nbytes: int) -> None:
         limit = self.params.global_mem_bytes
@@ -190,6 +228,13 @@ class Device:
         seconds = self.model.kernel_time(cost, np.dtype(dtype), cfg.block)
         self._advance(seconds)
         self.stats.record_kernel(name, seconds, cost)
+        if self.timeline is not None:
+            self.timeline.append(
+                TimelineEvent(
+                    "kernel", name, seconds,
+                    threads=cost.threads, nbytes=int(cost.bytes_total),
+                )
+            )
 
     # ------------------------------------------------------------------
     # transfers (called by DeviceArray; accounted here)
@@ -207,6 +252,10 @@ class Device:
                 self.stats.dtoh_bytes += nbytes
         self.stats.transfer_seconds += seconds
         self._advance(seconds)
+        if self.timeline is not None:
+            self.timeline.append(
+                TimelineEvent(direction, "transfer", seconds, nbytes=nbytes)
+            )
         return seconds
 
     # ------------------------------------------------------------------
@@ -235,9 +284,12 @@ class Device:
             self.stats.sections[name] = self.stats.sections.get(name, 0.0) + delta
 
     def reset_stats(self) -> None:
-        """Zero the statistics and the clock; allocations stay live."""
+        """Zero the statistics, the clock and any recorded timeline;
+        allocations stay live."""
         self.stats.reset()
         self.clock = 0.0
+        if self.timeline is not None:
+            self.timeline = []
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

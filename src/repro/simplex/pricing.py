@@ -109,9 +109,13 @@ class HybridRule(PricingRule):
         self.activations = 0
 
     def reset(self, n_cols: int) -> None:
+        # Clears the activation counter too: callers flush per-phase counts
+        # into their stats before resetting, and a stale counter would be
+        # double-counted into the next phase's total.
         self._stalled = 0
         self._improved_streak = 0
         self._using_bland = False
+        self.activations = 0
 
     def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
         rule = self._bland if self._using_bland else self._dantzig
@@ -152,8 +156,16 @@ class DevexRule(PricingRule):
         self._weights = np.ones(n_cols)
 
     def select(self, d: np.ndarray, eligible: np.ndarray, tol: float) -> int | None:
-        if self._weights is None or self._weights.size != d.size:
+        if self._weights is None:
             self.reset(d.size)
+        elif self._weights.size != d.size:
+            # A silent re-init here would discard the learned reference
+            # weights mid-solve.  Column counts only legitimately change at
+            # a phase boundary, where the solver calls reset() explicitly.
+            raise SolverError(
+                f"devex weights sized {self._weights.size} priced against "
+                f"{d.size} columns; call reset() at phase transitions"
+            )
         negative = eligible & (d < -tol)
         if not negative.any():
             return None

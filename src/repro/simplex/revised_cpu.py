@@ -165,13 +165,42 @@ class RevisedSimplexSolver:
     ) -> tuple[SolveStatus, float, int]:
         opts = self.options
         m, n = prep.m, prep.n_total
-        w = np.dtype(opts.dtype).itemsize
         rule = make_pricing_rule(opts.pricing, opts.stall_window)
         rule.reset(n)
         cap = opts.iteration_cap(m, n)
         z = float(c_full[basis] @ beta)
-        iters = 0
         pricing_cost = self._pricing_cost(prep)
+
+        try:
+            return self._iterate(
+                prep, basisrep, basis, in_basis, beta, c_full, stats,
+                rule, cap, z, pricing_cost,
+            )
+        finally:
+            # Flush the per-phase Dantzig→Bland switch count on *every* exit
+            # path (optimal, unbounded, numerical, iteration limit); the rule
+            # is per-phase, so this adds each phase's activations exactly once.
+            if isinstance(rule, HybridRule):
+                stats.bland_activations += rule.activations
+
+    def _iterate(
+        self,
+        prep: PreparedLP,
+        basisrep,
+        basis: np.ndarray,
+        in_basis: np.ndarray,
+        beta: np.ndarray,
+        c_full: np.ndarray,
+        stats: IterationStats,
+        rule,
+        cap: int,
+        z: float,
+        pricing_cost: OpCost,
+    ) -> tuple[SolveStatus, float, int]:
+        opts = self.options
+        m, n = prep.m, prep.n_total
+        w = np.dtype(opts.dtype).itemsize
+        iters = 0
 
         while iters < cap:
             iters += 1
@@ -233,8 +262,6 @@ class RevisedSimplexSolver:
                     return SolveStatus.NUMERICAL, z, iters
                 z = float(c_full[basis] @ beta)
 
-        if isinstance(rule, HybridRule):
-            stats.bland_activations += rule.activations
         return SolveStatus.ITERATION_LIMIT, z, iters
 
     def _recover(self, prep, basisrep, basis, beta, stats) -> bool:

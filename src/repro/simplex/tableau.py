@@ -124,6 +124,15 @@ class TableauSimplexSolver:
         rule.reset(n_cols)
         cap = opts.iteration_cap(m, n_cols)
 
+        def finish_phase(status: SolveStatus, z: float, iters: int):
+            # Flush the per-phase Dantzig→Bland switch count on every exit
+            # path; the rule is per-phase, so each phase contributes exactly
+            # once (activations used to be dropped unless the iteration cap
+            # was hit).
+            if isinstance(rule, HybridRule):
+                stats.bland_activations += rule.activations
+            return status, z, iters
+
         # reduced costs of the *current* tableau (basis may be non-trivial
         # when entering phase 2)
         d = c_full - c_full[basis] @ tableau
@@ -150,7 +159,7 @@ class TableauSimplexSolver:
                 OpCost(flops=n_cols, bytes_read=n_cols * w, bytes_written=w),
             )
             if q is None:
-                return SolveStatus.OPTIMAL, z, iters
+                return finish_phase(SolveStatus.OPTIMAL, z, iters)
 
             alpha = tableau[:, q]
             rr = run_ratio_test(opts.ratio_test, beta, alpha, basis, opts.tol_pivot)
@@ -158,7 +167,7 @@ class TableauSimplexSolver:
                 "ratio", OpCost(flops=m, bytes_read=2 * m * w, bytes_written=m * w)
             )
             if rr.unbounded:
-                return SolveStatus.UNBOUNDED, z, iters
+                return finish_phase(SolveStatus.UNBOUNDED, z, iters)
             if rr.ties > 1:
                 stats.degenerate_steps += 1
 
@@ -195,9 +204,7 @@ class TableauSimplexSolver:
             basis[p] = q
             rule.notify_pivot(q, p, None, improvement > 1e-12 * (1.0 + abs(z)))
 
-        if isinstance(rule, HybridRule):
-            stats.bland_activations += rule.activations
-        return SolveStatus.ITERATION_LIMIT, z, iters
+        return finish_phase(SolveStatus.ITERATION_LIMIT, z, iters)
 
     @staticmethod
     def _drive_out_artificials(tableau, beta, basis, in_basis, n) -> None:

@@ -6,12 +6,23 @@
 - ``"revised"``      — CPU dense revised simplex (the paper's comparator).
 - ``"revised-bounded"`` — CPU revised simplex with native upper-bound
   handling (bound flips instead of extra rows).
+- ``"dual"``         — CPU dual simplex (re-optimization after rhs changes
+  from a dual-feasible warm basis).
 - ``"gpu-revised"``  — the paper's contribution: revised simplex on the
   simulated GPU.
+- ``"gpu-revised-bounded"`` — the GPU revised simplex with native
+  upper-bound handling (bound flips on the device).
 - ``"gpu-tableau"``  — full-tableau simplex on the simulated GPU (the A3
   ablation design point).
 
 All methods accept the same :class:`~repro.simplex.options.SolverOptions`.
+``tests/test_solve_facade.py`` asserts this list covers every registered
+method, so it cannot drift from ``_METHODS`` again.
+
+For many LPs at once, :func:`solve_batch` / :func:`solve_batch_chain`
+(re-exported here from :mod:`repro.batch`) share one simulated device
+across the solves and price the batch under a sequential or concurrent
+(stream-interleaved) schedule.
 """
 
 from __future__ import annotations
@@ -24,60 +35,74 @@ from repro.result import SolveResult
 from repro.simplex.options import SolverOptions
 
 
-def _solve_tableau(problem, options, initial_basis=None) -> SolveResult:
+def _reject_device(method: str, device) -> None:
+    if device is not None:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} runs on the host; sharing a simulated device "
+            "applies to the gpu-* methods only"
+        )
+
+
+def _solve_tableau(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.errors import SolverError
     from repro.simplex.tableau import TableauSimplexSolver
 
+    _reject_device("tableau", device)
     if initial_basis is not None:
         raise SolverError("warm starts are supported by the revised solvers only")
     return TableauSimplexSolver(options).solve(problem)
 
 
-def _solve_revised(problem, options, initial_basis=None) -> SolveResult:
+def _solve_revised(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.simplex.revised_cpu import RevisedSimplexSolver
 
+    _reject_device("revised", device)
     return RevisedSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
 
 
-def _solve_revised_bounded(problem, options, initial_basis=None) -> SolveResult:
+def _solve_revised_bounded(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.errors import SolverError
     from repro.simplex.bounded import BoundedRevisedSimplexSolver
 
+    _reject_device("revised-bounded", device)
     if initial_basis is not None:
         raise SolverError("the bounded solver does not support warm starts yet")
     return BoundedRevisedSimplexSolver(options).solve(problem)
 
 
-def _solve_dual(problem, options, initial_basis=None) -> SolveResult:
+def _solve_dual(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.simplex.dual import DualSimplexSolver
 
+    _reject_device("dual", device)
     return DualSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
 
 
-def _solve_gpu_revised(problem, options, initial_basis=None) -> SolveResult:
+def _solve_gpu_revised(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.core.gpu_revised_simplex import GpuRevisedSimplex
 
-    return GpuRevisedSimplex(options=options).solve(
+    return GpuRevisedSimplex(options=options, device=device).solve(
         problem, initial_basis_hint=initial_basis
     )
 
 
-def _solve_gpu_revised_bounded(problem, options, initial_basis=None) -> SolveResult:
+def _solve_gpu_revised_bounded(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.core.gpu_bounded_simplex import GpuBoundedRevisedSimplex
     from repro.errors import SolverError
 
     if initial_basis is not None:
         raise SolverError("the bounded solvers do not support warm starts yet")
-    return GpuBoundedRevisedSimplex(options=options).solve(problem)
+    return GpuBoundedRevisedSimplex(options=options, device=device).solve(problem)
 
 
-def _solve_gpu_tableau(problem, options, initial_basis=None) -> SolveResult:
+def _solve_gpu_tableau(problem, options, initial_basis=None, device=None) -> SolveResult:
     from repro.errors import SolverError
     from repro.core.gpu_tableau_simplex import GpuTableauSimplex
 
     if initial_basis is not None:
         raise SolverError("warm starts are supported by the revised solvers only")
-    return GpuTableauSimplex(options=options).solve(problem)
+    return GpuTableauSimplex(options=options, device=device).solve(problem)
 
 
 _METHODS: dict[str, Callable[..., SolveResult]] = {
@@ -101,6 +126,7 @@ def solve(
     method: str = "gpu-revised",
     options: SolverOptions | None = None,
     initial_basis=None,
+    device=None,
     **option_overrides,
 ) -> SolveResult:
     """Solve an LP with the chosen method.
@@ -108,7 +134,9 @@ def solve(
     Keyword overrides are applied on top of ``options`` (or the defaults),
     e.g. ``solve(lp, method="revised", pricing="bland", max_iterations=500)``.
     ``initial_basis`` warm-starts the revised solvers from a previous basis
-    (take it from ``previous_result.extra["basis"]``).
+    (take it from ``previous_result.extra["basis"]``).  ``device`` lets a
+    ``gpu-*`` solve run on an existing simulated device instead of creating
+    its own — the batch layer uses this to share one device across many LPs.
     """
     if not isinstance(problem, LPProblem):
         raise TypeError(f"expected LPProblem, got {type(problem).__name__}")
@@ -119,4 +147,9 @@ def solve(
             f"unknown method {method!r}; available: {available_methods()}"
         ) from None
     opts = (options or SolverOptions()).replace(**option_overrides)
-    return runner(problem, opts, initial_basis)
+    return runner(problem, opts, initial_basis, device)
+
+
+# Batch façade re-exports (the batch layer builds on solve(); importing at
+# the bottom keeps the modules cycle-free).
+from repro.batch import solve_batch, solve_batch_chain  # noqa: E402

@@ -1,0 +1,93 @@
+"""Batching invariance: batched solves are bit-identical to solo solves.
+
+The batch layer's contract (and this PR's acceptance criterion): running N
+LPs through ``solve_batch`` — under either schedule — returns, per LP, the
+*exact* status, objective and iteration counts that N independent ``solve()``
+calls return, while the concurrent schedule's aggregate modeled time is
+strictly below the sequential sum.  Batching changes the time accounting,
+never the numerics.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.batch import solve_batch
+from repro.lp.generators import random_dense_lp
+from repro.solve import solve
+
+BATCH_SIZE = 32
+
+
+@pytest.fixture(scope="module")
+def acceptance_workload():
+    return [random_dense_lp(10, 15, seed=5000 + i) for i in range(BATCH_SIZE)]
+
+
+@pytest.fixture(scope="module")
+def solo_results(acceptance_workload):
+    return [solve(lp, method="gpu-revised") for lp in acceptance_workload]
+
+
+@pytest.mark.parametrize("schedule", ["sequential", "concurrent"])
+def test_batch_of_32_matches_32_solo_solves(
+    acceptance_workload, solo_results, schedule
+):
+    batch = solve_batch(
+        acceptance_workload, method="gpu-revised", schedule=schedule
+    )
+    assert len(batch) == BATCH_SIZE
+    for item, solo in zip(batch.items, solo_results):
+        assert item.result.status is solo.status
+        assert item.result.objective == solo.objective  # exact, not approx
+        assert (
+            item.result.iterations.phase1_iterations
+            == solo.iterations.phase1_iterations
+        )
+        assert (
+            item.result.iterations.phase2_iterations
+            == solo.iterations.phase2_iterations
+        )
+        assert item.result.timing.modeled_seconds == solo.timing.modeled_seconds
+
+
+def test_concurrent_strictly_below_sequential_sum(acceptance_workload):
+    seq = solve_batch(
+        acceptance_workload, method="gpu-revised", schedule="sequential"
+    )
+    conc = solve_batch(
+        acceptance_workload, method="gpu-revised", schedule="concurrent"
+    )
+    # the sequential makespan IS the sum of the per-LP machine times
+    assert seq.outcome.makespan_seconds == pytest.approx(
+        seq.outcome.sequential_seconds
+    )
+    assert conc.outcome.makespan_seconds < seq.outcome.makespan_seconds
+    assert conc.speedup_vs_sequential > 1.0
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n_lps=st.integers(1, 8),
+    m=st.integers(3, 12),
+    n=st.integers(3, 12),
+    seed=st.integers(0, 2**31),
+    schedule=st.sampled_from(["sequential", "concurrent"]),
+    method=st.sampled_from(["gpu-revised", "gpu-tableau", "revised"]),
+)
+def test_batching_invariance_random_families(n_lps, m, n, seed, schedule, method):
+    """Any batch size, shape, method and schedule: answers never change."""
+    lps = [random_dense_lp(m, n, seed=seed + i) for i in range(n_lps)]
+    batch = solve_batch(lps, method=method, schedule=schedule)
+    for item, lp in zip(batch.items, lps):
+        solo = solve(lp, method=method)
+        assert item.result.status is solo.status
+        assert item.result.objective == solo.objective
+        assert (
+            item.result.iterations.total_iterations
+            == solo.iterations.total_iterations
+        )

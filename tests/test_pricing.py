@@ -142,6 +142,97 @@ class TestSteepestEdge:
         assert rule.select(np.zeros(2), np.ones(2, dtype=bool), 1e-9) is None
 
 
+class TestHybridReset:
+    def test_reset_clears_activation_counter(self):
+        # Regression: reset() used to preserve self.activations, so a rule
+        # reused across phases would re-report phase 1's switches after the
+        # caller had already flushed them into its stats.
+        rule = HybridRule(stall_window=1)
+        rule.notify_pivot(1, 0, None, improved=False)
+        assert rule.activations == 1
+        rule.reset(5)
+        assert rule.activations == 0
+        assert not rule._using_bland
+        assert rule._stalled == 0
+
+
+class TestDevexSizeMismatch:
+    def test_mismatch_raises_instead_of_silent_reinit(self):
+        # Regression: a size mismatch used to silently re-initialise the
+        # weights to ones, discarding the learned reference framework.
+        rule = DevexRule()
+        rule.reset(5)
+        with pytest.raises(SolverError, match="reset"):
+            rule.select(np.array([-1.0, 0.0]), np.ones(2, dtype=bool), 1e-9)
+
+    def test_first_use_lazy_init_still_allowed(self):
+        rule = DevexRule()
+        d = np.array([0.0, -2.0, -1.0])
+        assert rule.select(d, np.ones(3, dtype=bool), 1e-9) == 1
+
+
+class TestBlandActivationAccounting:
+    """The bland_activations statistic must be exact across solver phases.
+
+    Regression: the revised and tableau solvers flushed each phase rule's
+    ``activations`` into the stats only on the ITERATION_LIMIT exit path, so
+    solves that activated Bland and then finished (optimal, unbounded, ...)
+    reported ``bland_activations == 0``.
+    """
+
+    @pytest.fixture()
+    def two_phase_degenerate_lp(self):
+        """A degenerate instance with an equality row: phase 1 must run,
+        and the heavy ratio-test ties stall Dantzig in both phases."""
+        from repro.lp.generators import degenerate_lp
+        from repro.lp.problem import ConstraintSense, LPProblem
+        from repro.solve import solve
+
+        base = degenerate_lp(8, 12, seed=3)
+        x_star = solve(base, method="revised").x
+        a = np.vstack([base.a_dense(), np.ones((1, base.num_vars))])
+        senses = list(base.senses) + [ConstraintSense.EQ]
+        b = np.append(base.b, float(np.sum(x_star)))
+        return LPProblem(
+            c=base.c, a=a, senses=senses, b=b,
+            bounds=base.bounds, maximize=True,
+        )
+
+    @pytest.mark.parametrize("method,module_name", [
+        ("revised", "repro.simplex.revised_cpu"),
+        ("tableau", "repro.simplex.tableau"),
+    ])
+    def test_counted_on_optimal_exit(
+        self, two_phase_degenerate_lp, method, module_name, monkeypatch
+    ):
+        import importlib
+
+        from repro.solve import solve
+
+        module = importlib.import_module(module_name)
+        created = []
+
+        def spy(name, stall_window=40):
+            rule = make_pricing_rule(name, stall_window)
+            created.append(rule)
+            return rule
+
+        monkeypatch.setattr(module, "make_pricing_rule", spy)
+        r = solve(
+            two_phase_degenerate_lp, method=method,
+            pricing="hybrid", stall_window=1,
+        )
+        # a completed solve, NOT an iteration-limit bailout
+        assert r.status.value == "optimal"
+        assert r.iterations.phase1_iterations > 0
+        assert r.iterations.phase2_iterations > 0
+        hybrids = [x for x in created if isinstance(x, HybridRule)]
+        assert len(hybrids) == 2  # one fresh rule per phase
+        expected = sum(x.activations for x in hybrids)
+        assert expected > 0  # the stall actually tripped the fallback
+        assert r.iterations.bland_activations == expected
+
+
 class TestFactory:
     @pytest.mark.parametrize("name,cls", [
         ("dantzig", DantzigRule), ("bland", BlandRule), ("hybrid", HybridRule),

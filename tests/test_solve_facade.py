@@ -23,6 +23,21 @@ class TestDispatch:
             "gpu-revised", "gpu-revised-bounded", "gpu-tableau",
         }
 
+    def test_docstring_lists_every_method(self):
+        # Regression: the module docstring advertised 5 of the 7 registered
+        # methods ("dual" and "gpu-revised-bounded" were missing).  Tie the
+        # docstring to the registry so it cannot drift again.
+        import importlib
+
+        solve_mod = importlib.import_module("repro.solve")
+        doc = solve_mod.__doc__
+        assert doc is not None
+        for name in solve_mod._METHODS:
+            assert f'"{name}"' in doc, (
+                f"method {name!r} is registered in _METHODS but not described "
+                "in the repro.solve module docstring"
+            )
+
     def test_unknown_method(self, textbook_lp):
         with pytest.raises(UnknownMethodError):
             solve(textbook_lp, method="quantum")
