@@ -1,16 +1,28 @@
 # Developer entry points.  The tier-1 gate is `make test` (identical to the
 # ROADMAP's verify line); `make test-batch` is the fast smoke slice covering
-# the repro.batch subsystem, for quick iteration on batching changes.
+# the repro.batch subsystem, for quick iteration on batching changes;
+# `make trace-smoke` exercises the tracing pipeline end to end (generate an
+# instance, solve it traced, validate the merged Chrome-trace JSON).
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-batch bench bench-batch
+.PHONY: test test-batch trace-smoke bench bench-batch
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
+
+trace-smoke:  ## end-to-end: repro trace -> merged Chrome JSON -> validate
+	$(PYTHONPATH_SRC) python -m repro generate dense 24 32 --out /tmp/trace-smoke.mps
+	$(PYTHONPATH_SRC) python -m repro trace /tmp/trace-smoke.mps \
+		--method gpu-revised --out /tmp/trace-smoke.json
+	$(PYTHONPATH_SRC) python -c "from repro.trace import validate_chrome_trace; \
+		doc = validate_chrome_trace(open('/tmp/trace-smoke.json').read()); \
+		cats = {e.get('cat') for e in doc['traceEvents']}; \
+		assert 'solver-phase' in cats and 'kernel' in cats, cats; \
+		print('trace-smoke ok:', len(doc['traceEvents']), 'events')"
 
 bench:  ## regenerate every evaluation experiment's tables
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only -q

@@ -17,6 +17,9 @@ substrate the paper depends on:
 - ``repro.batch``     — batched multi-LP solving: many LPs on one shared
   simulated device under sequential or concurrent (stream-interleaved)
   schedules, plus warm-started re-optimization chains.
+- ``repro.trace``     — opt-in per-iteration solver tracing: one record per
+  pivot with decision metadata and per-section modeled seconds, mergeable
+  with the device timeline into a Chrome trace-event JSON.
 - ``repro.bench``     — the benchmark harness that regenerates every table
   and figure of the paper's evaluation.
 
@@ -45,6 +48,7 @@ from repro.solve import solve, available_methods
 from repro.batch import solve_batch, solve_batch_chain, BatchResult
 from repro.status import SolveStatus
 from repro.result import SolveResult
+from repro.trace import SolveTrace, TraceRecord, merged_chrome_trace
 
 __all__ = [
     "__version__",
@@ -53,6 +57,9 @@ __all__ = [
     "Bounds",
     "SolveStatus",
     "SolveResult",
+    "SolveTrace",
+    "TraceRecord",
+    "merged_chrome_trace",
     "BatchResult",
     "solve",
     "solve_batch",

@@ -123,6 +123,23 @@ class BatchResult:
             *(item.result.timing.kernel_breakdown for item in self.items)
         )
 
+    @property
+    def traces(self) -> list:
+        """Per-LP :class:`~repro.trace.SolveTrace` objects, in submission
+        order, for members solved with ``trace=True`` (others are skipped)."""
+        return [
+            item.result.trace
+            for item in self.items
+            if item.result.trace is not None
+        ]
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Aggregate modeled seconds per solver section across all traced
+        members (empty when the batch was solved without ``trace=True``)."""
+        return merge_kernel_breakdowns(
+            *(trace.phase_seconds() for trace in self.traces)
+        )
+
     # -- rendering ---------------------------------------------------------
 
     def summary(self) -> str:

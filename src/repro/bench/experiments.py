@@ -197,6 +197,74 @@ def f3_kernel_breakdown(size: int = 512, seed: int = 42) -> Report:
 
 
 # ---------------------------------------------------------------------------
+# F9 — per-iteration time breakdown from solver traces
+# ---------------------------------------------------------------------------
+
+
+def f9_iteration_breakdown(size: int = 256, seed: int = 42) -> Report:
+    """Where each *iteration* spends its time, from :mod:`repro.trace`.
+
+    F3 reports aggregate section totals; this slices the modeled clock per
+    pivot: section shares, degeneracy, ratio-test ties and eta-file growth
+    between refactorisations, for the CPU and GPU revised solvers on the
+    same instance (identical pivot sequences).
+    """
+    report = Report(
+        "F9", f"Per-iteration time breakdown from solver traces (size {size}, fp32)"
+    )
+    lp = random_dense_lp(size, size, seed=seed)
+    t = report.add_table(
+        Table(["method", "iters", "us/iter", "pricing %", "solve %", "ratio %",
+               "update %", "degenerate", "max ties", "max etas"])
+    )
+    for method in ("revised", "gpu-revised"):
+        rec = run_method(lp, method, dtype=BENCH_DTYPE, trace=True)
+        trace = rec.result.trace
+        sections = trace.phase_seconds()
+        total = sum(sections.values())
+
+        def share(*prefixes):
+            hit = sum(
+                s for k, s in sections.items()
+                if any(k == p or k.startswith(p + ".") for p in prefixes)
+            )
+            return 100.0 * hit / total if total else 0.0
+
+        t.add_row(
+            method, rec.iterations,
+            rec.modeled_seconds / max(1, rec.iterations) * 1e6,
+            share("pricing"),
+            share("ftran", "btran"),          # triangular solves / FTRAN+BTRAN
+            share("ratio", "leaving", "row_gen"),
+            share("update", "refactor"),
+            trace.degenerate_count(),
+            max((r.ratio_ties for r in trace), default=0),
+            max((r.eta_count for r in trace), default=0),
+        )
+        if method == "gpu-revised":
+            times_us = [r.seconds * 1e6 for r in trace]
+            # bucket the series so the plot stays ~40 rows at any size
+            step = max(1, len(times_us) // 40)
+            xs = list(range(1, len(times_us) + 1, step))
+            ys = [
+                sum(times_us[i:i + step]) / len(times_us[i:i + step])
+                for i in range(0, len(times_us), step)
+            ]
+            report.add_note(
+                ascii_series(
+                    xs, ys,
+                    label=f"gpu-revised us per iteration "
+                          f"(mean of {step}-iteration buckets):",
+                )
+            )
+    report.add_note(
+        "Traces are opt-in (SolverOptions.trace); results are bit-identical "
+        "with tracing off."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # F4 — single vs double precision
 # ---------------------------------------------------------------------------
 
@@ -690,6 +758,7 @@ EXPERIMENTS = {
     "f6": f6_sparse,
     "f7": f7_device_generations,
     "f8": f8_binv_fill,
+    "f9": f9_iteration_breakdown,
     "a1": a1_pricing,
     "a2": a2_basis_update,
     "a3": a3_tableau_vs_revised,

@@ -42,10 +42,18 @@ class SweepRecord:
     wall_seconds: float
     per_iteration_us: float
     result: SolveResult
+    #: Modeled seconds per solver section (pricing / ftran / ratio / ...).
+    #: Populated from the solve's iteration trace when tracing was on,
+    #: otherwise from the kernel/op breakdown.
+    phase_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
 
     @classmethod
     def from_result(cls, method: str, lp: LPProblem, result: SolveResult) -> "SweepRecord":
         iters = result.iterations.total_iterations
+        if result.trace is not None:
+            phase_seconds = result.trace.phase_seconds()
+        else:
+            phase_seconds = dict(result.timing.kernel_breakdown)
         return cls(
             method=method,
             size=max(lp.num_constraints, lp.num_vars),
@@ -61,6 +69,7 @@ class SweepRecord:
                 result.timing.modeled_seconds / iters * 1e6 if iters else float("nan")
             ),
             result=result,
+            phase_seconds=phase_seconds,
         )
 
 
@@ -113,7 +122,14 @@ def speedup_series(
     if len(baseline) != len(contender):
         raise ValueError("speedup series need equal-length sweeps")
     out = []
-    for b, c in zip(baseline, contender):
+    for i, (b, c) in enumerate(zip(baseline, contender)):
+        if (b.m, b.n) != (c.m, c.n):
+            # Pairing is positional; a size mismatch means the two sweeps
+            # covered different instances and the ratio would be garbage.
+            raise ValueError(
+                f"speedup pair {i} mismatched: baseline {b.method} is "
+                f"{b.m}x{b.n} but contender {c.method} is {c.m}x{c.n}"
+            )
         out.append(b.modeled_seconds / c.modeled_seconds if c.modeled_seconds else math.nan)
     return out
 

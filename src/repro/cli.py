@@ -4,9 +4,11 @@ Commands
 --------
 ``solve``     solve an MPS file with any method and print the result
 ``batch``     solve many MPS files (or generated LPs) as one batch
+``trace``     solve with per-iteration tracing; print the convergence summary
+              and optionally write a merged Chrome-trace JSON
 ``info``      print structural statistics of an MPS file
 ``generate``  write a random dense/sparse instance to MPS
-``bench``     run one of the evaluation experiments (T1–T3, F1–F8, A1–A6, B1)
+``bench``     run one of the evaluation experiments (T1–T3, F1–F9, A1–A6, B1)
 ``devices``   print the modeled hardware table
 
 Examples::
@@ -15,6 +17,7 @@ Examples::
     python -m repro solve /tmp/d64.mps --method gpu-revised --dtype float32
     python -m repro batch a.mps b.mps c.mps --schedule concurrent
     python -m repro batch --random 16 --rows 48 --cols 64 --chain --method revised
+    python -m repro trace /tmp/d64.mps --method gpu-revised --out /tmp/d64.json
     python -m repro info /tmp/d64.mps
     python -m repro bench f2
 """
@@ -72,6 +75,27 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(re-optimization stream; implies sequential)")
     p_batch.add_argument("--dtype", default="float64",
                          choices=["float32", "float64"])
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="solve one LP with per-iteration tracing and summarise it",
+    )
+    p_trace.add_argument("path", nargs="?", default=None,
+                         help="MPS file (omit with --random)")
+    p_trace.add_argument("--random", action="store_true",
+                         help="trace a generated random dense LP instead")
+    p_trace.add_argument("--rows", type=int, default=32,
+                         help="rows of the generated LP (with --random)")
+    p_trace.add_argument("--cols", type=int, default=48,
+                         help="columns of the generated LP (with --random)")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--method", default="gpu-revised")
+    p_trace.add_argument("--pricing", default="dantzig")
+    p_trace.add_argument("--dtype", default="float64",
+                         choices=["float32", "float64"])
+    p_trace.add_argument("--max-iterations", type=int, default=0)
+    p_trace.add_argument("--out", default="",
+                         help="write the merged Chrome-trace JSON here")
 
     p_info = sub.add_parser("info", help="print structural statistics")
     p_info.add_argument("path", help="MPS file to analyse")
@@ -158,6 +182,45 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if batch.all_optimal else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.batch import GPU_METHODS
+    from repro.gpu.device import Device
+    from repro.lp.generators import random_dense_lp
+    from repro.lp.mps import read_mps
+    from repro.solve import solve
+    from repro.trace import merged_chrome_trace
+
+    if args.random:
+        lp = random_dense_lp(args.rows, args.cols, seed=args.seed)
+    elif args.path:
+        lp = read_mps(args.path)
+    else:
+        raise SystemExit("trace needs an MPS path or --random")
+
+    kwargs = dict(
+        method=args.method,
+        pricing=args.pricing,
+        dtype=np.float32 if args.dtype == "float32" else np.float64,
+        max_iterations=args.max_iterations,
+        trace=True,
+    )
+    dev = None
+    if args.method in GPU_METHODS:
+        # own the device so its kernel/transfer timeline survives the solve
+        # and can be merged under the solver tracks
+        dev = Device()
+        dev.record_timeline()
+        kwargs["device"] = dev
+    result = solve(lp, **kwargs)
+
+    print(result.summary())
+    print(result.trace.summary())
+    if args.out:
+        merged_chrome_trace(result.trace, device=dev, target=args.out)
+        print(f"chrome trace -> {args.out}")
+    return 0 if result.is_optimal else 1
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.lp.analysis import analyze
     from repro.lp.mps import read_mps
@@ -210,6 +273,7 @@ def _cmd_devices(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _cmd_solve,
     "batch": _cmd_batch,
+    "trace": _cmd_trace,
     "info": _cmd_info,
     "generate": _cmd_generate,
     "bench": _cmd_bench,

@@ -38,6 +38,7 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
+from repro.trace import TraceCollector
 
 #: Pivot-row marker for a bound flip.
 BOUND_FLIP = -2
@@ -84,11 +85,25 @@ class GpuBoundedRevisedSimplex:
         stats = IterationStats()
         basis, needs_phase1 = initial_basis(prep)
         st.init_basis(basis)
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: dev.clock,
+                sections=lambda: dev.stats.sections,
+                meta={
+                    "m": prep.m,
+                    "n": prep.n_total,
+                    "pricing": opts.pricing,
+                    "dtype": dtype.name,
+                    "device": dev.params.name,
+                },
+            )
 
         try:
             if needs_phase1:
                 status, iters = self._run_phase(
-                    st, phase1_costs(prep), stats, tol_rc, tol_piv
+                    st, phase1_costs(prep), stats, tol_rc, tol_piv, phase=1
                 )
                 stats.phase1_iterations = iters
                 if status is not SolveStatus.OPTIMAL:
@@ -105,7 +120,7 @@ class GpuBoundedRevisedSimplex:
                 self._drive_out_artificials(st, tol_piv)
 
             status, iters = self._run_phase(
-                st, phase2_costs(prep), stats, tol_rc, tol_piv
+                st, phase2_costs(prep), stats, tol_rc, tol_piv, phase=2
             )
             stats.phase2_iterations = iters
             return self._finish(status, prep, st, stats, t_wall)
@@ -114,9 +129,11 @@ class GpuBoundedRevisedSimplex:
 
     # ------------------------------------------------------------------
 
-    def _run_phase(self, st: "_BState", c_full, stats, tol_rc, tol_piv):
+    def _run_phase(self, st: "_BState", c_full, stats, tol_rc, tol_piv,
+                   phase: int = 2):
         opts = self.options
         dev = st.dev
+        tr = self._tracer
         prep = st.prep
         m, n = prep.m, prep.n_total
         cap = opts.iteration_cap(m, n)
@@ -126,6 +143,11 @@ class GpuBoundedRevisedSimplex:
         st.load_phase_costs(c_full)
         z = blas.dot(st.c_b, st.x_b)  # nonbasic-at-upper share added at finish
         iters = 0
+
+        def rule_name() -> str:
+            if opts.pricing == "hybrid":
+                return "hybrid:bland" if use_bland else "hybrid:dantzig"
+            return opts.pricing
 
         while iters < cap:
             iters += 1
@@ -142,13 +164,16 @@ class GpuBoundedRevisedSimplex:
                 K.masked_signed_for_min(dev, st.d, st.mask, st.sigma, st.tmp_n)
                 if use_bland:
                     q = gpured.first_index_below(st.tmp_n, -tol_rc)
-                    if q == NO_INDEX:
-                        return SolveStatus.OPTIMAL, iters
-                    signed_dq = st.tmp_n.scalar_to_host(q)
+                    optimal = q == NO_INDEX
+                    signed_dq = st.tmp_n.scalar_to_host(q) if not optimal else 0.0
                 else:
                     q, signed_dq = gpured.argmin(st.tmp_n)
-                    if signed_dq >= -tol_rc:
-                        return SolveStatus.OPTIMAL, iters
+                    optimal = signed_dq >= -tol_rc
+            if optimal:
+                if tr is not None:
+                    tr.record(phase=phase, iteration=iters, event="optimal",
+                              pricing_rule=rule_name(), objective=float(z))
+                return SolveStatus.OPTIMAL, iters
             sigma = -1.0 if st.at_upper[q] else 1.0
             d_q = sigma * signed_dq  # un-sign: actual reduced cost
 
@@ -168,9 +193,8 @@ class GpuBoundedRevisedSimplex:
                 if np.isfinite(u_q) and u_q <= theta * (1.0 + 1e-12):
                     theta = u_q
                     pivot_kind = "flip"
-                if not np.isfinite(theta):
-                    return SolveStatus.UNBOUNDED, iters
-                if pivot_kind == "basic":
+                unbounded = not np.isfinite(theta)
+                if not unbounded and pivot_kind == "basic":
                     # Bland-compatible tie-break among blocking rows
                     cut = theta * (1.0 + 1e-6) + 1e-30
                     K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys,
@@ -180,8 +204,19 @@ class GpuBoundedRevisedSimplex:
                         p = p2
                     pivot = st.alpha.scalar_to_host(p)
                     leaves_at_upper = bool(st.to_upper.scalar_to_host(p) != 0.0)
-            if theta <= opts.tol_zero:
+            if unbounded:
+                if tr is not None:
+                    tr.record(phase=phase, iteration=iters, event="unbounded",
+                              entering=int(q), pricing_rule=rule_name(),
+                              objective=float(z))
+                return SolveStatus.UNBOUNDED, iters
+            degenerate = theta <= opts.tol_zero
+            if degenerate:
                 stats.degenerate_steps += 1
+            if tr is not None and pivot_kind == "basic":
+                # Uncharged diagnostic peeks at the functional backing store.
+                trace_leaving = int(st.basis[p])
+                trace_ties = int(np.count_nonzero(st.ratios.data <= cut))
 
             with dev.timed_section("update"):
                 if pivot_kind == "flip":
@@ -199,6 +234,23 @@ class GpuBoundedRevisedSimplex:
                     blas.ger(st.eta, st.row_p, st.binv)
                     st.pivot_metadata(p, q, float(c_full[q]), leaves_at_upper)
             z += d_q * sigma * theta
+            if tr is not None:
+                if pivot_kind == "flip":
+                    tr.record(
+                        phase=phase, iteration=iters, event="flip",
+                        entering=int(q), theta=float(theta),
+                        pricing_rule=rule_name(), objective=float(z),
+                        degenerate=degenerate,
+                    )
+                else:
+                    tr.record(
+                        phase=phase, iteration=iters, event="pivot",
+                        entering=int(q), leaving_row=int(p),
+                        leaving_var=trace_leaving,
+                        pivot=float(pivot), theta=float(theta),
+                        ratio_ties=trace_ties, pricing_rule=rule_name(),
+                        objective=float(z), degenerate=degenerate,
+                    )
 
             improved = (-d_q * sigma) * theta > 1e-12 * (1.0 + abs(z))
             if opts.pricing == "hybrid":
@@ -260,6 +312,9 @@ class GpuBoundedRevisedSimplex:
             status=status, iterations=stats, timing=timing, solver=self.name,
             extra=extra or {},
         )
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         result.extra["device"] = dev.params.name
         result.extra["bound_flips"] = st.flips
         result.extra["kernel_launches"] = dev.stats.kernel_launches

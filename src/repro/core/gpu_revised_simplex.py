@@ -56,6 +56,7 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
+from repro.trace import TraceCollector, rule_label
 
 
 class _GpuPricing:
@@ -166,7 +167,21 @@ class GpuRevisedSimplex:
         stats = IterationStats()
         basis, needs_phase1 = initial_basis(prep)
         st.init_basis(basis)
-        self._trace: list[tuple] = []
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: dev.clock,
+                sections=lambda: dev.stats.sections,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "dtype": dtype.name,
+                    "device": dev.params.name,
+                },
+            )
+        self._eta_updates = 0
         self._phase = 1
         self._global_iter = 0
         self._fill_curve: list[tuple[int, float]] = []
@@ -242,6 +257,7 @@ class GpuRevisedSimplex:
         st.load_phase_costs(c_full)
         z = blas.dot(st.c_b, st.beta)
         iters = 0
+        tr = self._tracer
 
         while iters < cap:
             iters += 1
@@ -258,6 +274,12 @@ class GpuRevisedSimplex:
                 choice = pricing.select(st.d, st.mask, st.tmp_n, tol_rc)
             if choice is None:
                 stats.bland_activations += pricing.activations
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="optimal",
+                        pricing_rule=rule_label(pricing),
+                        eta_count=self._eta_updates, objective=float(z),
+                    )
                 return SolveStatus.OPTIMAL, iters
             q, d_q = choice
 
@@ -273,6 +295,12 @@ class GpuRevisedSimplex:
                 p, theta = gpured.argmin(st.ratios)
                 if not np.isfinite(theta):
                     stats.bland_activations += pricing.activations
+                    if tr is not None:
+                        tr.record(
+                            phase=phase, iteration=iters, event="unbounded",
+                            entering=int(q), pricing_rule=rule_label(pricing),
+                            eta_count=self._eta_updates, objective=float(z),
+                        )
                     return SolveStatus.UNBOUNDED, iters
                 cut = theta * (1.0 + 1e-6) + 1e-30
                 K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
@@ -282,6 +310,12 @@ class GpuRevisedSimplex:
                 pivot = st.alpha.scalar_to_host(p)
             if theta <= opts.tol_zero:
                 stats.degenerate_steps += 1
+            if tr is not None:
+                # Uncharged diagnostic peeks (host reads of the functional
+                # backing store): leaving variable before the basis swap,
+                # ratio-test tie count below the Harris-style cut.
+                trace_leaving = int(st.basis[p])
+                trace_ties = int(np.count_nonzero(st.ratios.data <= cut))
 
             # -- update: β, B⁻¹, basis metadata, objective
             with dev.timed_section("update"):
@@ -291,9 +325,16 @@ class GpuRevisedSimplex:
                 blas.ger(st.eta, st.row_p, st.binv)
                 st.pivot_metadata(p, q, float(c_full[q]))
             z += theta * d_q
-            if opts.trace:
-                self._trace.append(
-                    (self._phase, iters, int(q), int(p), float(theta), float(z))
+            self._eta_updates += 1
+            if tr is not None:
+                tr.record(
+                    phase=phase, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(p),
+                    leaving_var=trace_leaving,
+                    pivot=float(pivot), theta=float(theta),
+                    ratio_ties=trace_ties, pricing_rule=rule_label(pricing),
+                    eta_count=self._eta_updates, objective=float(z),
+                    degenerate=theta <= opts.tol_zero,
                 )
             self._global_iter += 1
             if self._fill_every and self._global_iter % self._fill_every == 0:
@@ -308,6 +349,7 @@ class GpuRevisedSimplex:
             ):
                 st.refactor_host()
                 stats.refactorizations += 1
+                self._eta_updates = 0
 
         stats.bland_activations += pricing.activations
         return SolveStatus.ITERATION_LIMIT, iters
@@ -374,8 +416,9 @@ class GpuRevisedSimplex:
             solver=self.name,
             extra=extra or {},
         )
-        if self.options.trace:
-            result.extra["trace"] = list(getattr(self, "_trace", []))
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         if self._fill_every:
             result.extra["binv_fill"] = list(getattr(self, "_fill_curve", []))
         result.extra["device"] = dev.params.name

@@ -37,6 +37,7 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
+from repro.trace import TraceCollector
 
 
 class GpuTableauSimplex:
@@ -88,13 +89,28 @@ class GpuTableauSimplex:
         st = _TableauState(dev, dtype, t_host, prep, n_cols)
         st.init_basis(basis, enterable_limit=n)
         stats = IterationStats()
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: dev.clock,
+                sections=lambda: dev.stats.sections,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "dtype": dtype.name,
+                    "device": dev.params.name,
+                },
+            )
 
         try:
             if needs_phase1:
                 c1 = np.zeros(n_cols)
                 c1[n:] = 1.0
                 st.load_costs(c1, basis)
-                status, iters = self._run_phase(st, c1, stats, tol_rc, tol_piv)
+                status, iters = self._run_phase(st, c1, stats, tol_rc, tol_piv,
+                                                phase=1)
                 stats.phase1_iterations = iters
                 if status is not SolveStatus.OPTIMAL:
                     if status is SolveStatus.UNBOUNDED:
@@ -112,7 +128,8 @@ class GpuTableauSimplex:
             c2 = np.zeros(n_cols)
             c2[:n] = prep.c
             st.load_costs(c2, st.basis)
-            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv)
+            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv,
+                                            phase=2)
             stats.phase2_iterations = iters
             return self._finish(status, prep, st, stats, t_wall)
         finally:
@@ -127,15 +144,22 @@ class GpuTableauSimplex:
         stats: IterationStats,
         tol_rc: float,
         tol_piv: float,
+        phase: int = 2,
     ) -> tuple[SolveStatus, int]:
         opts = self.options
         dev = st.dev
+        tr = self._tracer
         m, n_cols = st.tableau.shape
         cap = opts.iteration_cap(m, n_cols)
         use_bland = opts.pricing == "bland"
         stalled = 0
         z = blas.dot(st.c_b, st.beta)
         iters = 0
+
+        def rule_name() -> str:
+            if opts.pricing == "hybrid":
+                return "hybrid:bland" if use_bland else "hybrid:dantzig"
+            return opts.pricing
 
         while iters < cap:
             iters += 1
@@ -144,13 +168,16 @@ class GpuTableauSimplex:
                 K.masked_for_min(dev, st.d, st.mask, st.work)
                 if use_bland:
                     q = gpured.first_index_below(st.work, -tol_rc)
-                    if q == NO_INDEX:
-                        return SolveStatus.OPTIMAL, iters
-                    d_q = st.work.scalar_to_host(q)
+                    optimal = q == NO_INDEX
+                    d_q = st.work.scalar_to_host(q) if not optimal else 0.0
                 else:
                     q, d_q = gpured.argmin(st.work)
-                    if d_q >= -tol_rc:
-                        return SolveStatus.OPTIMAL, iters
+                    optimal = d_q >= -tol_rc
+            if optimal:
+                if tr is not None:
+                    tr.record(phase=phase, iteration=iters, event="optimal",
+                              pricing_rule=rule_name(), objective=float(z))
+                return SolveStatus.OPTIMAL, iters
 
             with dev.timed_section("column"):
                 K.extract_column(dev, st.tableau, q, st.alpha, column_major=True)
@@ -158,20 +185,42 @@ class GpuTableauSimplex:
             with dev.timed_section("ratio"):
                 K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
                 p, theta = gpured.argmin(st.ratios)
-                if not np.isfinite(theta):
-                    return SolveStatus.UNBOUNDED, iters
-                cut = theta * (1.0 + 1e-6) + 1e-30
-                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tie_keys)
-                p2, key = gpured.argmin(st.tie_keys)
-                if np.isfinite(key):
-                    p = p2
-                pivot = st.alpha.scalar_to_host(p)
-            if theta <= opts.tol_zero:
+                unbounded = not np.isfinite(theta)
+                if not unbounded:
+                    cut = theta * (1.0 + 1e-6) + 1e-30
+                    K.tie_break_key_kernel(
+                        dev, st.ratios, cut, st.basis_keys, st.tie_keys
+                    )
+                    p2, key = gpured.argmin(st.tie_keys)
+                    if np.isfinite(key):
+                        p = p2
+                    pivot = st.alpha.scalar_to_host(p)
+            if unbounded:
+                if tr is not None:
+                    tr.record(phase=phase, iteration=iters, event="unbounded",
+                              entering=int(q), pricing_rule=rule_name(),
+                              objective=float(z))
+                return SolveStatus.UNBOUNDED, iters
+            degenerate = theta <= opts.tol_zero
+            if degenerate:
                 stats.degenerate_steps += 1
+            if tr is not None:
+                # Uncharged diagnostic peeks at the functional backing store.
+                trace_leaving = int(st.basis[p])
+                trace_ties = int(np.count_nonzero(st.ratios.data <= cut))
 
             with dev.timed_section("pivot"):
                 st.pivot(p, q, pivot, theta, d_q, float(c_full[q]))
             z += theta * d_q
+            if tr is not None:
+                tr.record(
+                    phase=phase, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(p),
+                    leaving_var=trace_leaving,
+                    pivot=float(pivot), theta=float(theta),
+                    ratio_ties=trace_ties, pricing_rule=rule_name(),
+                    objective=float(z), degenerate=degenerate,
+                )
 
             improved = theta * (-d_q) > 1e-12 * (1.0 + abs(z))
             if opts.pricing == "hybrid":
@@ -234,6 +283,9 @@ class GpuTableauSimplex:
             solver=self.name,
             extra=extra or {},
         )
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         result.extra["device"] = dev.params.name
         result.extra["kernel_launches"] = dev.stats.kernel_launches
         result.extra["kernel_bytes"] = sum(

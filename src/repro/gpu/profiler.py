@@ -59,7 +59,24 @@ class Profile:
 
     @property
     def total_time(self) -> float:
-        return sum(e.duration for e in self.events)
+        """Busy device time: the union of event intervals.
+
+        Events from concurrent streams overlap on the clock, so summing
+        durations would count the overlapped spans twice.
+        """
+        intervals = sorted((e.start, e.end) for e in self.events)
+        busy = 0.0
+        cur_start = cur_end = None
+        for start, end in intervals:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    busy += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            busy += cur_end - cur_start
+        return busy
 
     def by_name(self) -> dict[str, float]:
         out: dict[str, float] = {}
@@ -129,11 +146,11 @@ def profile(device: Device) -> Iterator[Profile]:
     original_transfer = device._record_transfer
     original_memset = device.memset
 
-    def launch(name: str, body, cost: OpCost, *, dtype=None, block=256):
+    def launch(name: str, body, cost: OpCost, **kwargs):
+        # Forward keywords verbatim: re-packing a fixed subset here silently
+        # dropped any keyword added to Device.launch after this wrapper was
+        # written, making profiled and unprofiled runs diverge.
         start = device.clock
-        kwargs = {"block": block}
-        if dtype is not None:
-            kwargs["dtype"] = dtype
         result = original_launch(name, body, cost, **kwargs)
         prof._record(
             TimelineEvent(

@@ -82,6 +82,9 @@ class SolveResult:
         Name of the solver that produced this result.
     extra:
         Solver-specific extras (e.g. basis indices, phase-1 objective).
+    trace:
+        Iteration-level :class:`~repro.trace.SolveTrace` when the solve ran
+        with ``SolverOptions(trace=True)``; ``None`` otherwise.
     """
 
     status: SolveStatus
@@ -92,6 +95,7 @@ class SolveResult:
     residuals: dict[str, float] = dataclasses.field(default_factory=dict)
     solver: str = ""
     extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+    trace: Any | None = None
 
     @property
     def is_optimal(self) -> bool:

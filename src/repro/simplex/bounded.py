@@ -52,6 +52,7 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
+from repro.trace import TraceCollector
 
 #: Ratio-test outcome marker for a bound flip (no basis change).
 BOUND_FLIP = -2
@@ -99,12 +100,26 @@ class BoundedRevisedSimplexSolver:
         at_upper = np.zeros(n, dtype=bool)  # all nonbasics start at lower
         x_b = prep.b.astype(np.float64).copy()
         stats = IterationStats()
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: self.recorder.total_seconds,
+                sections=lambda: self.recorder.by_op,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "dtype": np.dtype(opts.dtype).name,
+                },
+            )
 
         state = _BoundedState(prep, basisrep, basis, in_basis, at_upper, x_b,
                               u_full, stats)
 
         if needs_phase1:
-            status, z1, iters = self._run_phase(state, phase1_costs(prep))
+            status, z1, iters = self._run_phase(state, phase1_costs(prep),
+                                                phase=1)
             stats.phase1_iterations = iters
             if status is not SolveStatus.OPTIMAL:
                 if status is SolveStatus.UNBOUNDED:
@@ -118,14 +133,16 @@ class BoundedRevisedSimplexSolver:
                 )
             self._drive_out_artificials(state)
 
-        status, z2, iters = self._run_phase(state, phase2_costs(prep))
+        status, z2, iters = self._run_phase(state, phase2_costs(prep), phase=2)
         stats.phase2_iterations = iters
         return self._finish(status, state, t_wall)
 
     # ------------------------------------------------------------------
 
-    def _run_phase(self, st: "_BoundedState", c_full: np.ndarray):
+    def _run_phase(self, st: "_BoundedState", c_full: np.ndarray,
+                   phase: int = 2):
         opts = self.options
+        tr = self._tracer
         prep = st.prep
         m, n = prep.m, prep.n_total
         w = np.dtype(opts.dtype).itemsize
@@ -138,6 +155,11 @@ class BoundedRevisedSimplexSolver:
         iters = 0
         tol_rc = opts.tol_reduced_cost
         tol_piv = opts.tol_pivot
+
+        def rule_name() -> str:
+            if opts.pricing == "hybrid":
+                return "hybrid:bland" if use_bland else "hybrid:dantzig"
+            return opts.pricing
 
         while iters < cap:
             iters += 1
@@ -163,6 +185,13 @@ class BoundedRevisedSimplexSolver:
                 if signed[q] >= -tol_rc:
                     q = None
             if q is None:
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="optimal",
+                        pricing_rule=rule_name(),
+                        eta_count=int(st.basisrep.updates_since_refactor),
+                        objective=float(z),
+                    )
                 return SolveStatus.OPTIMAL, z, iters
             sigma = float(sigma_all[q])
             d_q = float(d[q])
@@ -202,8 +231,16 @@ class BoundedRevisedSimplexSolver:
                 p = int(tied[np.argmin(st.basis[tied])])
                 to_upper_leaving = t_inc[p] <= t_dec[p]
             if not np.isfinite(theta):
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="unbounded",
+                        entering=int(q), pricing_rule=rule_name(),
+                        eta_count=int(st.basisrep.updates_since_refactor),
+                        objective=float(z),
+                    )
                 return SolveStatus.UNBOUNDED, z, iters
-            if theta <= opts.tol_zero:
+            degenerate = theta <= opts.tol_zero
+            if degenerate:
                 st.stats.degenerate_steps += 1
 
             # update x_B and the objective
@@ -219,13 +256,29 @@ class BoundedRevisedSimplexSolver:
             if p == BOUND_FLIP:
                 st.at_upper[q] = ~st.at_upper[q]
                 st.flips += 1
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="flip",
+                        entering=int(q), theta=float(theta),
+                        pricing_rule=rule_name(),
+                        eta_count=int(st.basisrep.updates_since_refactor),
+                        objective=float(z), degenerate=degenerate,
+                    )
             else:
                 leaving = int(st.basis[p])
                 x_q_new = st.u[q] - theta if sigma < 0 else theta
                 try:
                     st.basisrep.update(alpha, p, tol_piv)
                 except SingularBasisError:
-                    if not self._recover(st):
+                    recovered = self._recover(st)
+                    if tr is not None:
+                        tr.record(
+                            phase=phase, iteration=iters,
+                            event="recovery" if recovered else "numerical",
+                            entering=int(q), leaving_row=int(p),
+                            pricing_rule=rule_name(), objective=float(z),
+                        )
+                    if not recovered:
                         return SolveStatus.NUMERICAL, z, iters
                     continue
                 st.x_b[p] = x_q_new
@@ -237,6 +290,15 @@ class BoundedRevisedSimplexSolver:
                         st.u[leaving]
                     )
                 st.at_upper[q] = False
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="pivot",
+                        entering=int(q), leaving_row=int(p), leaving_var=leaving,
+                        pivot=float(alpha[p]), theta=float(theta),
+                        ratio_ties=int(tied.size), pricing_rule=rule_name(),
+                        eta_count=int(st.basisrep.updates_since_refactor),
+                        objective=float(z), degenerate=degenerate,
+                    )
 
             if opts.pricing == "hybrid":
                 if improved:
@@ -315,6 +377,9 @@ class BoundedRevisedSimplexSolver:
             extra=extra or {},
         )
         result.extra["bound_flips"] = st.flips
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         if status is SolveStatus.OPTIMAL:
             prep = st.prep
             n = prep.n_total

@@ -52,6 +52,7 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
+from repro.trace import TraceCollector
 
 
 class DualSimplexSolver:
@@ -107,6 +108,19 @@ class DualSimplexSolver:
 
         x_b = basisrep.ftran(prep.b)
         stats = IterationStats()
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: self.recorder.total_seconds,
+                sections=lambda: self.recorder.by_op,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "dtype": np.dtype(opts.dtype).name,
+                },
+            )
         status, iters = self._iterate(prep, basisrep, basis, in_basis, x_b,
                                       c_full, stats)
         stats.phase2_iterations = iters
@@ -122,6 +136,12 @@ class DualSimplexSolver:
         use_bland = opts.pricing == "bland"
         iters = 0
         feas_tol = 1e-9 * max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
+        tr = self._tracer
+        row_rule = "bland" if use_bland else "dantzig"
+
+        def objective() -> float:
+            # Host-side peek for the trace only; charges no modeled time.
+            return float(c_full[basis] @ x_b)
 
         # artificial basics are boxed at [0, 0]: a *positive* artificial is
         # as infeasible as a negative structural (generalised dual rule)
@@ -136,11 +156,17 @@ class DualSimplexSolver:
             if use_bland:
                 bad = np.nonzero(violation > 0)[0]
                 if bad.size == 0:
+                    if tr is not None:
+                        tr.record(phase=2, iteration=iters, event="optimal",
+                                  pricing_rule=row_rule, objective=objective())
                     return SolveStatus.OPTIMAL, iters
                 p = int(bad[np.argmin(basis[bad])])
             else:
                 p = int(np.argmax(violation))
                 if violation[p] <= 0:
+                    if tr is not None:
+                        tr.record(phase=2, iteration=iters, event="optimal",
+                                  pricing_rule=row_rule, objective=objective())
                     return SolveStatus.OPTIMAL, iters
             above_upper = bool(over[p])
             self.recorder.charge(
@@ -183,6 +209,10 @@ class DualSimplexSolver:
                 denom = -alpha_row
             candidates = np.nonzero(eligible)[0]
             if candidates.size == 0:
+                if tr is not None:
+                    tr.record(phase=2, iteration=iters, event="infeasible",
+                              leaving_row=int(p), pricing_rule=row_rule,
+                              objective=objective())
                 return SolveStatus.INFEASIBLE, iters
             ratios = np.maximum(d[candidates], 0.0) / denom[candidates]
             best = float(ratios.min())
@@ -193,13 +223,24 @@ class DualSimplexSolver:
             alpha = basisrep.ftran(prep.column(q))
             pivot = alpha[p]
             if abs(pivot) <= opts.tol_pivot:
+                if tr is not None:
+                    tr.record(phase=2, iteration=iters, event="numerical",
+                              entering=int(q), leaving_row=int(p),
+                              pivot=float(pivot), pricing_rule=row_rule,
+                              objective=objective())
                 return SolveStatus.NUMERICAL, iters
             theta_p = x_b[p] / pivot
-            if abs(theta_p) <= opts.tol_zero:
+            degenerate = abs(theta_p) <= opts.tol_zero
+            if degenerate:
                 stats.degenerate_steps += 1
             try:
                 basisrep.update(alpha, p, opts.tol_pivot)
             except SingularBasisError:
+                if tr is not None:
+                    tr.record(phase=2, iteration=iters, event="numerical",
+                              entering=int(q), leaving_row=int(p),
+                              pivot=float(pivot), pricing_rule=row_rule,
+                              objective=objective())
                 return SolveStatus.NUMERICAL, iters
             x_b -= theta_p * alpha
             x_b[p] = theta_p
@@ -208,9 +249,20 @@ class DualSimplexSolver:
                 OpCost(flops=2 * m, bytes_read=2 * m * w_bytes,
                        bytes_written=m * w_bytes),
             )
+            leaving_var = int(basis[p])
             in_basis[basis[p]] = False
             in_basis[q] = True
             basis[p] = q
+            if tr is not None:
+                tr.record(
+                    phase=2, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(p),
+                    leaving_var=leaving_var,
+                    pivot=float(pivot), theta=float(theta_p),
+                    ratio_ties=int(tied.size), pricing_rule=row_rule,
+                    eta_count=int(basisrep.updates_since_refactor),
+                    objective=objective(), degenerate=degenerate,
+                )
 
             if (
                 opts.refactor_period
@@ -250,6 +302,9 @@ class DualSimplexSolver:
             status=status, iterations=stats, timing=timing, solver=self.name,
             extra=extra or {},
         )
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         if status is SolveStatus.OPTIMAL:
             x_clip = np.clip(x_b, 0.0, None)
             x, objective, x_std = extract_solution(prep, basis, x_clip)

@@ -67,9 +67,13 @@ class SolverOptions:
     refactor_period: int = 100
     scale: bool = False
     dtype: type = np.float64
-    #: Record a per-pivot trace (phase, iteration, entering, leaving row,
-    #: step, objective) into ``result.extra["trace"]``.  Off by default —
-    #: traces are O(iterations) host memory.
+    #: Record a full per-iteration :class:`~repro.trace.SolveTrace` into
+    #: ``result.trace`` (entering/leaving indices, pivot magnitude, step
+    #: length, ratio-test ties, pricing rule, eta count, objective and
+    #: per-section modeled seconds); the legacy per-pivot tuple list stays
+    #: available as ``result.extra["trace"]``.  Off by default — traces are
+    #: O(iterations) host memory — and tracing never perturbs results: with
+    #: it on, statuses, objectives and modeled times are bit-identical.
     trace: bool = False
 
     def __post_init__(self) -> None:

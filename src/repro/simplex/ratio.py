@@ -88,7 +88,7 @@ def harris_ratio_test(
     within = idx[true_ratio <= theta_max]
     if within.size == 0:  # numerical corner: fall back to the strict test
         return standard_ratio_test(beta, alpha, basis, tol_pivot)
-    p = int(within[np.argmax(alpha[within])])
+    p = int(within[np.argmax(np.abs(alpha[within]))])
     theta = float(max(beta[p] / alpha[p], 0.0))
     ties = int(np.count_nonzero(true_ratio <= theta * (1.0 + 1e-12) + 1e-300))
     return RatioResult(row=p, theta=theta, pivot=float(alpha[p]), ties=ties)

@@ -44,6 +44,7 @@ from repro.simplex.options import SolverOptions
 from repro.simplex.pricing import HybridRule, make_pricing_rule
 from repro.simplex.ratio import run_ratio_test
 from repro.status import SolveStatus
+from repro.trace import TraceCollector, rule_label
 
 
 class RevisedSimplexSolver:
@@ -86,7 +87,20 @@ class RevisedSimplexSolver:
         basis, needs_phase1 = initial_basis(prep)
         beta = prep.b.astype(np.float64).copy()
         stats = IterationStats()
-        self._trace: list[tuple] = []
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: self.recorder.total_seconds,
+                sections=lambda: self.recorder.by_op,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "ratio_test": opts.ratio_test,
+                    "dtype": np.dtype(opts.dtype).name,
+                },
+            )
         self._phase = 1
 
         if initial_basis_hint is not None:
@@ -201,6 +215,7 @@ class RevisedSimplexSolver:
         m, n = prep.m, prep.n_total
         w = np.dtype(opts.dtype).itemsize
         iters = 0
+        tr = self._tracer
 
         while iters < cap:
             iters += 1
@@ -212,6 +227,13 @@ class RevisedSimplexSolver:
             eligible = ~in_basis[:n]
             q = rule.select(d, eligible, opts.tol_reduced_cost)
             if q is None:
+                if tr is not None:
+                    tr.record(
+                        phase=self._phase, iteration=iters, event="optimal",
+                        pricing_rule=rule_label(rule),
+                        eta_count=int(basisrep.updates_since_refactor),
+                        objective=float(z),
+                    )
                 return SolveStatus.OPTIMAL, z, iters
 
             # 3: FTRAN
@@ -224,6 +246,13 @@ class RevisedSimplexSolver:
                 "ratio", OpCost(flops=m, bytes_read=2 * m * w, bytes_written=m * w)
             )
             if rr.unbounded:
+                if tr is not None:
+                    tr.record(
+                        phase=self._phase, iteration=iters, event="unbounded",
+                        entering=int(q), pricing_rule=rule_label(rule),
+                        eta_count=int(basisrep.updates_since_refactor),
+                        objective=float(z),
+                    )
                 return SolveStatus.UNBOUNDED, z, iters
             if rr.ties > 1:
                 stats.degenerate_steps += 1
@@ -233,7 +262,15 @@ class RevisedSimplexSolver:
             try:
                 basisrep.update(alpha, rr.row, opts.tol_pivot)
             except SingularBasisError:
-                if not self._recover(prep, basisrep, basis, beta, stats):
+                recovered = self._recover(prep, basisrep, basis, beta, stats)
+                if tr is not None:
+                    tr.record(
+                        phase=self._phase, iteration=iters,
+                        event="recovery" if recovered else "numerical",
+                        entering=int(q), leaving_row=int(rr.row),
+                        pricing_rule=rule_label(rule), objective=float(z),
+                    )
+                if not recovered:
                     return SolveStatus.NUMERICAL, z, iters
                 continue
             beta -= theta * alpha
@@ -245,9 +282,15 @@ class RevisedSimplexSolver:
             )
             improvement = theta * float(-d[q])
             z += theta * float(d[q])
-            if opts.trace:
-                self._trace.append(
-                    (self._phase, iters, int(q), int(rr.row), float(theta), float(z))
+            if tr is not None:
+                tr.record(
+                    phase=self._phase, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(rr.row),
+                    leaving_var=int(basis[rr.row]),
+                    pivot=float(rr.pivot), theta=float(theta),
+                    ratio_ties=int(rr.ties), pricing_rule=rule_label(rule),
+                    eta_count=int(basisrep.updates_since_refactor),
+                    objective=float(z), degenerate=rr.ties > 1,
                 )
             in_basis[basis[rr.row]] = False
             in_basis[q] = True
@@ -337,8 +380,9 @@ class RevisedSimplexSolver:
             solver=self.name,
             extra=extra or {},
         )
-        if self.options.trace:
-            result.extra["trace"] = list(self._trace)
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         if status is SolveStatus.OPTIMAL:
             x, objective, x_std = extract_solution(prep, basis, beta)
             result.x = x

@@ -37,6 +37,7 @@ from repro.simplex.pricing import (
 )
 from repro.simplex.ratio import run_ratio_test
 from repro.status import SolveStatus
+from repro.trace import TraceCollector, rule_label
 
 
 class TableauSimplexSolver:
@@ -74,6 +75,20 @@ class TableauSimplexSolver:
         in_basis = np.zeros(n_cols, dtype=bool)
         in_basis[basis] = True
         stats = IterationStats()
+        self._tracer: TraceCollector | None = None
+        if opts.trace:
+            self._tracer = TraceCollector(
+                self.name,
+                clock=lambda: self.recorder.total_seconds,
+                sections=lambda: self.recorder.by_op,
+                meta={
+                    "m": m,
+                    "n": n,
+                    "pricing": opts.pricing,
+                    "ratio_test": opts.ratio_test,
+                    "dtype": np.dtype(opts.dtype).name,
+                },
+            )
         artificial = np.zeros(n_cols, dtype=bool)
         artificial[n:] = True
 
@@ -81,7 +96,8 @@ class TableauSimplexSolver:
             c1 = np.zeros(n_cols)
             c1[n:] = 1.0
             status, z1, iters = self._run_phase(
-                prep, tableau, beta, basis, in_basis, c1, ~artificial, stats
+                prep, tableau, beta, basis, in_basis, c1, ~artificial, stats,
+                phase=1,
             )
             stats.phase1_iterations = iters
             if status is not SolveStatus.OPTIMAL:
@@ -99,7 +115,8 @@ class TableauSimplexSolver:
         c2 = np.zeros(n_cols)
         c2[:n] = prep.c
         status, z2, iters = self._run_phase(
-            prep, tableau, beta, basis, in_basis, c2, ~artificial, stats
+            prep, tableau, beta, basis, in_basis, c2, ~artificial, stats,
+            phase=2,
         )
         stats.phase2_iterations = iters
         return self._finish(status, prep, basis, beta, stats, t_wall)
@@ -116,8 +133,10 @@ class TableauSimplexSolver:
         c_full: np.ndarray,
         enterable: np.ndarray,
         stats: IterationStats,
+        phase: int = 2,
     ) -> tuple[SolveStatus, float, int]:
         opts = self.options
+        tr = self._tracer
         m, n_cols = tableau.shape
         w = np.dtype(opts.dtype).itemsize
         rule = make_pricing_rule(opts.pricing, opts.stall_window)
@@ -159,6 +178,11 @@ class TableauSimplexSolver:
                 OpCost(flops=n_cols, bytes_read=n_cols * w, bytes_written=w),
             )
             if q is None:
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="optimal",
+                        pricing_rule=rule_label(rule), objective=float(z),
+                    )
                 return finish_phase(SolveStatus.OPTIMAL, z, iters)
 
             alpha = tableau[:, q]
@@ -167,6 +191,12 @@ class TableauSimplexSolver:
                 "ratio", OpCost(flops=m, bytes_read=2 * m * w, bytes_written=m * w)
             )
             if rr.unbounded:
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="unbounded",
+                        entering=int(q), pricing_rule=rule_label(rule),
+                        objective=float(z),
+                    )
                 return finish_phase(SolveStatus.UNBOUNDED, z, iters)
             if rr.ties > 1:
                 stats.degenerate_steps += 1
@@ -199,6 +229,15 @@ class TableauSimplexSolver:
             )
 
             improvement = theta * float(-dq)
+            if tr is not None:
+                tr.record(
+                    phase=phase, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(p),
+                    leaving_var=int(basis[p]),
+                    pivot=float(rr.pivot), theta=float(theta),
+                    ratio_ties=int(rr.ties), pricing_rule=rule_label(rule),
+                    objective=float(z), degenerate=rr.ties > 1,
+                )
             in_basis[basis[p]] = False
             in_basis[q] = True
             basis[p] = q
@@ -253,6 +292,9 @@ class TableauSimplexSolver:
             solver=self.name,
             extra=extra or {},
         )
+        if self._tracer is not None:
+            result.trace = self._tracer.trace
+            result.extra["trace"] = result.trace.legacy_tuples()
         if status is SolveStatus.OPTIMAL:
             # Artificial basics (redundant rows) sit at zero; they are
             # filtered by extract_solution's `basis < n_total` mask.

@@ -1,0 +1,152 @@
+"""Merge a solver trace with the device timeline into one Chrome trace.
+
+The merged artifact is a single Chrome trace-event JSON (loadable in
+``chrome://tracing`` / Perfetto) with four tracks:
+
+- **tid 0** — one slice per simplex iteration (decision metadata in args);
+- **tid 1** — the per-iteration solver sections (pricing / ftran / ratio /
+  update / transfer) nested head-to-tail inside each iteration;
+- **tid 2** — individual kernel launches from the device timeline or an
+  attached :class:`~repro.gpu.profiler.Profile`;
+- **tid 3** — memory transfers.
+
+Both sides share the device's modeled clock, so solver phases line up with
+the kernels they launched.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.trace.record import SolveTrace
+
+#: Track ids of the merged trace.
+TID_ITERATIONS = 0
+TID_SECTIONS = 1
+TID_KERNELS = 2
+TID_TRANSFERS = 3
+
+_TRACK_NAMES = {
+    TID_ITERATIONS: "solver iterations",
+    TID_SECTIONS: "solver phases",
+    TID_KERNELS: "kernels",
+    TID_TRANSFERS: "transfers",
+}
+
+
+def _thread_metadata(pid: int) -> list[dict[str, Any]]:
+    return [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": label},
+        }
+        for tid, label in _TRACK_NAMES.items()
+    ]
+
+
+def _device_timeline_events(events: Iterable[Any], pid: int) -> list[dict[str, Any]]:
+    """Chrome slices from :class:`repro.gpu.device.TimelineEvent` entries.
+
+    Device timeline events carry durations only; the simulated device
+    serialises all work, so start times are reconstructed by cumulative sum.
+    """
+    out: list[dict[str, Any]] = []
+    cursor = 0.0
+    for ev in events:
+        is_kernel = ev.kind == "kernel"
+        name = ev.name if is_kernel else f"memcpy.{ev.kind}"
+        out.append(
+            {
+                "name": name,
+                "cat": "kernel" if is_kernel else "transfer",
+                "ph": "X",
+                "ts": cursor * 1e6,
+                "dur": ev.seconds * 1e6,
+                "pid": pid,
+                "tid": TID_KERNELS if is_kernel else TID_TRANSFERS,
+                "args": {"threads": ev.threads, "nbytes": ev.nbytes},
+            }
+        )
+        cursor += ev.seconds
+    return out
+
+
+def _profile_events(profile: Any, pid: int) -> list[dict[str, Any]]:
+    """Chrome slices from a :class:`repro.gpu.profiler.Profile` (has starts)."""
+    return [
+        {
+            "name": e.name,
+            "cat": e.kind,
+            "ph": "X",
+            "ts": e.start * 1e6,
+            "dur": e.duration * 1e6,
+            "pid": pid,
+            "tid": TID_KERNELS if e.kind == "kernel" else TID_TRANSFERS,
+            "args": {"flops": e.flops, "bytes": e.bytes},
+        }
+        for e in profile.events
+    ]
+
+
+def merged_chrome_trace(
+    trace: SolveTrace,
+    *,
+    timeline: Iterable[Any] | None = None,
+    profile: Any | None = None,
+    device: Any | None = None,
+    target: "str | Path | None" = None,
+    pid: int = 0,
+) -> str:
+    """Serialise the solver trace merged with kernel/transfer events.
+
+    Provide the device side as either ``profile`` (a
+    :class:`~repro.gpu.profiler.Profile`, which carries event start times),
+    ``timeline`` (a list of :class:`~repro.gpu.device.TimelineEvent`), or
+    ``device`` (its ``.timeline`` is used when recording was enabled).  With
+    none of them, only the solver tracks are emitted — the CPU solvers have
+    no kernel timeline.  Returns the JSON text; also writes it to ``target``
+    when given.
+    """
+    events: list[dict[str, Any]] = list(_thread_metadata(pid))
+    events.extend(trace.to_chrome_events(pid=pid, tid=TID_ITERATIONS))
+    if profile is not None:
+        events.extend(_profile_events(profile, pid))
+    elif timeline is not None:
+        events.extend(_device_timeline_events(timeline, pid))
+    elif device is not None and getattr(device, "timeline", None):
+        events.extend(_device_timeline_events(device.timeline, pid))
+    text = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+    if target is not None:
+        Path(target).write_text(text)
+    return text
+
+
+def validate_chrome_trace(data: "str | dict") -> dict:
+    """Validate a Chrome trace-event JSON document, returning the parsed dict.
+
+    Checks the schema subset this library emits: a top-level ``traceEvents``
+    list whose entries carry ``name``/``ph``/``pid``/``tid``, with duration
+    (``"X"``) events additionally carrying numeric ``ts`` and ``dur >= 0``.
+    Raises :class:`ValueError` on any violation.
+    """
+    doc = json.loads(data) if isinstance(data, str) else data
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValueError("chrome trace must be an object with a traceEvents list")
+    for i, ev in enumerate(doc["traceEvents"]):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] missing {key!r}")
+        if ev["ph"] == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or not isinstance(dur, (int, float)):
+                raise ValueError(f"traceEvents[{i}] X event needs numeric ts/dur")
+            if dur < 0:
+                raise ValueError(f"traceEvents[{i}] has negative duration")
+    return doc

@@ -1,0 +1,65 @@
+"""ASCII rendering of a :class:`~repro.trace.record.SolveTrace`.
+
+Produces the convergence / per-phase summary shown by ``repro trace``:
+iteration counts per phase, the modeled time split across solver sections,
+degenerate-step and pricing-rule statistics, and a coarse objective
+convergence sparkline for phase 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.trace.record import PIVOT_EVENTS, SolveTrace
+
+_SPARK = " .:-=+*#%@"
+
+
+def _sparkline(values: list[float], width: int = 48) -> str:
+    """Downsample ``values`` to ``width`` buckets of spark characters."""
+    if len(values) < 2:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        values = [values[int(i * step)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if not math.isfinite(lo) or not math.isfinite(hi) or hi - lo < 1e-300:
+        return _SPARK[1] * len(values)
+    scale = (len(_SPARK) - 1) / (hi - lo)
+    return "".join(_SPARK[int((v - lo) * scale)] for v in values)
+
+
+def render_summary(trace: SolveTrace) -> str:
+    """Multi-line ASCII summary of one solve trace."""
+    lines = [f"trace: {trace.solver}, {len(trace)} iterations"]
+    per_phase = trace.phase_iterations()
+    for phase in sorted(per_phase):
+        recs = [r for r in trace.records if r.phase == phase]
+        pivots = sum(1 for r in recs if r.event in PIVOT_EVENTS)
+        degen = sum(1 for r in recs if r.degenerate)
+        seconds = sum(r.seconds for r in recs)
+        terminal = recs[-1].event if recs else "?"
+        lines.append(
+            f"  phase {phase}: {len(recs)} iters ({pivots} pivots, "
+            f"{degen} degenerate), {seconds * 1e3:.3f} ms, exit={terminal}"
+        )
+    sections = trace.phase_seconds()
+    total = sum(sections.values())
+    if total > 0.0:
+        lines.append("  time by solver section:")
+        width = max(len(name) for name in sections)
+        for name, seconds in sorted(sections.items(), key=lambda kv: -kv[1]):
+            pct = 100.0 * seconds / total
+            bar = "#" * int(round(pct / 2))
+            lines.append(
+                f"    {name:<{width}} {seconds * 1e3:9.3f} ms {pct:5.1f}% {bar}"
+            )
+    rules = sorted({r.pricing_rule for r in trace.records if r.pricing_rule})
+    if rules:
+        lines.append(f"  pricing rules seen: {', '.join(rules)}")
+    z2 = trace.objective_series(phase=2)
+    spark = _sparkline(z2)
+    if spark:
+        lines.append(f"  phase-2 objective: {z2[0]:.6g} -> {z2[-1]:.6g}")
+        lines.append(f"    [{spark}]")
+    return "\n".join(lines)

@@ -98,6 +98,28 @@ class TestHarness:
         with pytest.raises(ValueError):
             speedup_series([], [None])  # type: ignore[list-item]
 
+    def test_speedup_size_mismatch_rejected(self):
+        # Regression: pairing is positional, so sweeps over different
+        # instance sizes used to produce silently garbage ratios.
+        base = [run_method(random_dense_lp(12, 16, seed=0), "revised")]
+        other = [run_method(random_dense_lp(16, 20, seed=0), "gpu-revised")]
+        with pytest.raises(ValueError, match="12x16.*16x20"):
+            speedup_series(base, other)
+
+    def test_speedup_same_size_different_method_ok(self):
+        lp = random_dense_lp(12, 16, seed=0)
+        base = [run_method(lp, "revised")]
+        other = [run_method(lp, "gpu-revised")]
+        assert speedup_series(base, other)[0] > 0
+
+    def test_sweep_record_phase_seconds_from_trace(self, textbook_lp):
+        rec = run_method(textbook_lp, "gpu-revised", trace=True)
+        assert rec.phase_seconds  # populated from the trace
+        assert rec.phase_seconds == rec.result.trace.phase_seconds()
+        plain = run_method(textbook_lp, "gpu-revised")
+        # without a trace it falls back to the aggregate kernel breakdown
+        assert plain.phase_seconds == dict(plain.result.timing.kernel_breakdown)
+
     def test_find_crossover_interpolates(self):
         assert find_crossover([100, 200], [0.5, 1.5]) == pytest.approx(150.0)
 

@@ -114,6 +114,34 @@ class TestOtherCommands:
             main([])
 
 
+class TestTraceCommand:
+    def test_trace_mps_file(self, mps_file, capsys):
+        assert main(["trace", mps_file, "--method", "gpu-revised"]) == 0
+        out = capsys.readouterr().out
+        assert "status=optimal" in out
+        assert "time by solver section" in out
+
+    def test_trace_writes_valid_chrome_json(self, mps_file, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "merged.json"
+        assert main(["trace", mps_file, "--method", "gpu-revised",
+                     "--out", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert "solver-phase" in cats
+        assert "kernel" in cats or "transfer" in cats
+
+    def test_trace_random_cpu_method(self, capsys):
+        assert main(["trace", "--random", "--rows", "10", "--cols", "14",
+                     "--method", "revised"]) == 0
+        assert "revised-cpu" in capsys.readouterr().out
+
+    def test_trace_needs_input(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
 class TestTraceOption:
     """The trace SolverOptions flag (exercised here with the library API)."""
 

@@ -125,3 +125,84 @@ class TestWholeSolveProfile:
     def test_event_end(self):
         e = TimelineEvent(name="k", start=1.0, duration=0.5, kind="kernel")
         assert e.end == 1.5
+
+
+class TestLaunchKwargForwarding:
+    """Regression: the profile() launch wrapper must forward keywords
+    verbatim — it used to re-pack a fixed subset, silently dropping any
+    keyword later added to ``Device.launch`` and making profiled runs
+    diverge from unprofiled ones."""
+
+    def _cost(self):
+        from repro.perfmodel.ops import OpCost
+
+        return OpCost(flops=10_000, bytes_read=80_000, bytes_written=80_000,
+                      threads=4096)
+
+    def test_every_launch_keyword_reaches_the_device(self, device):
+        import inspect
+
+        from repro.gpu.device import Device
+
+        sig = inspect.signature(Device.launch)
+        keyword_only = {
+            name: p.default
+            for name, p in sig.parameters.items()
+            if p.kind is inspect.Parameter.KEYWORD_ONLY
+        }
+        assert {"dtype", "block"} <= set(keyword_only)
+        # non-default value for every keyword Device.launch accepts
+        overrides = dict(keyword_only)
+        overrides["dtype"] = np.float64
+        overrides["block"] = 64
+
+        plain = Device(device.params)
+        plain.launch("k", lambda: None, self._cost(), **overrides)
+        with profile(device) as prof:
+            device.launch("k", lambda: None, self._cost(), **overrides)
+        assert device.clock == pytest.approx(plain.clock)
+        assert prof.events[0].duration == pytest.approx(plain.clock)
+
+    def test_profiled_timing_responds_to_dtype_and_block(self, device):
+        from repro.perfmodel.ops import OpCost
+
+        # compute-bound kernel: fp64 runs at a fraction of the fp32 rate on
+        # the modeled hardware, so dropping the dtype keyword would charge
+        # both launches identically
+        cost = OpCost(flops=50_000_000, bytes_read=4_000, bytes_written=4_000,
+                      threads=65536)
+        with profile(device) as prof:
+            device.launch("defaults", lambda: None, cost)
+            device.launch("fp64", lambda: None, cost, dtype=np.float64, block=64)
+        default_ev, fp64_ev = prof.events
+        assert fp64_ev.duration > default_ev.duration
+
+
+class TestOverlappingEvents:
+    """Regression: total_time summed durations, double-counting events that
+    overlap on the clock (concurrent streams); it must report the interval
+    union instead."""
+
+    def _overlapping(self):
+        prof = Profile()
+        prof._record(TimelineEvent("a", start=0.0, duration=1.0, kind="kernel"))
+        prof._record(TimelineEvent("b", start=0.5, duration=1.0, kind="kernel"))
+        prof._record(TimelineEvent("c", start=3.0, duration=0.5, kind="kernel"))
+        return prof
+
+    def test_union_not_sum(self):
+        prof = self._overlapping()
+        # [0, 1.5] busy + [3, 3.5] busy = 2.0, not 1 + 1 + 0.5 = 2.5
+        assert prof.total_time == pytest.approx(2.0)
+
+    def test_gap_is_idle_span(self):
+        prof = self._overlapping()
+        # span [0, 3.5] minus 2.0 busy = 1.5 idle
+        assert prof.gaps() == pytest.approx(1.5)
+
+    def test_contained_event_adds_nothing(self):
+        prof = Profile()
+        prof._record(TimelineEvent("outer", start=0.0, duration=2.0, kind="kernel"))
+        prof._record(TimelineEvent("inner", start=0.5, duration=0.5, kind="kernel"))
+        assert prof.total_time == pytest.approx(2.0)
+        assert prof.gaps() == pytest.approx(0.0)

@@ -90,6 +90,27 @@ class TestHarris:
         rr = harris_ratio_test(beta, alpha, basis(2), 1e-9)
         assert rr.theta >= 0.0
 
+    def test_degenerate_lp_picks_largest_absolute_pivot(self):
+        # Regression: pass 2 compared raw alpha instead of |alpha| (the
+        # docstring's rule).  On a fully degenerate step every admissible row
+        # ties at ratio 0 and the stable choice is the largest magnitude.
+        beta = np.zeros(4)
+        alpha = np.array([0.3, 8.0, 2.0, 0.9])
+        rr = harris_ratio_test(beta, alpha, basis(4), 1e-12, feas_tol=1e-6)
+        assert rr.row == 1
+        assert rr.pivot == 8.0
+        assert rr.theta == 0.0
+        assert rr.ties == 4
+
+    def test_degenerate_rows_beat_looser_small_pivots(self):
+        # A degenerate row with a big pivot must win over a slightly looser
+        # row whose pivot is tiny, even within the feas_tol relaxation.
+        beta = np.array([0.0, 1e-8])
+        alpha = np.array([5.0, 1e-3])
+        rr = harris_ratio_test(beta, alpha, basis(2), 1e-12, feas_tol=1e-6)
+        assert rr.row == 0
+        assert abs(rr.pivot) == 5.0
+
 
 class TestDispatch:
     def test_standard(self):
