@@ -3,10 +3,16 @@
 # the repro.batch subsystem, for quick iteration on batching changes;
 # `make trace-smoke` exercises the tracing pipeline end to end (generate an
 # instance, solve it traced, validate the merged Chrome-trace JSON).
+# `make metrics-smoke` runs the canonical metrics workload and validates the
+# Prometheus exposition; `make gate` re-runs it and compares the snapshot
+# against the committed baseline, failing on any metric regression.
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-batch trace-smoke bench bench-batch
+METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
+
+.PHONY: test test-batch trace-smoke metrics-smoke gate gate-baseline \
+	bench bench-batch
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
@@ -23,6 +29,21 @@ trace-smoke:  ## end-to-end: repro trace -> merged Chrome JSON -> validate
 		cats = {e.get('cat') for e in doc['traceEvents']}; \
 		assert 'solver-phase' in cats and 'kernel' in cats, cats; \
 		print('trace-smoke ok:', len(doc['traceEvents']), 'events')"
+
+metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
+	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \
+		--out /tmp/metrics-smoke.prom
+	$(PYTHONPATH_SRC) python -c "from repro.metrics import validate_prometheus_text; \
+		n = validate_prometheus_text(open('/tmp/metrics-smoke.prom').read()); \
+		print('metrics-smoke ok:', n, 'samples')"
+
+gate:  ## bench regression gate: smoke snapshot vs committed baseline
+	$(PYTHONPATH_SRC) python -m repro metrics --format json \
+		--out /tmp/metrics-gate.json --gate $(METRICS_BASELINE)
+
+gate-baseline:  ## re-record the committed gate baseline (review the diff!)
+	$(PYTHONPATH_SRC) python -m repro metrics --format json \
+		--out /tmp/metrics-gate.json --write-baseline $(METRICS_BASELINE)
 
 bench:  ## regenerate every evaluation experiment's tables
 	$(PYTHONPATH_SRC) python -m pytest benchmarks/ --benchmark-only -q

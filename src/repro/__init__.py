@@ -49,9 +49,11 @@ from repro.batch import solve_batch, solve_batch_chain, BatchResult
 from repro.status import SolveStatus
 from repro.result import SolveResult
 from repro.trace import SolveTrace, TraceRecord, merged_chrome_trace
+from repro import metrics
 
 __all__ = [
     "__version__",
+    "metrics",
     "LPProblem",
     "ConstraintSense",
     "Bounds",

@@ -44,6 +44,7 @@ from repro.batch.scheduler import (
 from repro.errors import SolverError
 from repro.gpu.device import Device
 from repro.lp.problem import LPProblem
+from repro.metrics.instrument import record_batch
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.simplex.options import SolverOptions
@@ -177,6 +178,7 @@ def solve_batch(
     wall = time.perf_counter() - t_wall
 
     outcome = sched.plan(timelines, params=dev.params if on_gpu else None)
+    record_batch(schedule, outcome, timelines)
     if context_seconds is None:
         context_seconds = DEFAULT_CONTEXT_SETUP_SECONDS if on_gpu else 0.0
     return BatchResult(
@@ -258,6 +260,7 @@ def solve_batch_chain(
     wall = time.perf_counter() - t_wall
 
     outcome = SequentialSchedule().plan(timelines)
+    record_batch("chain", outcome, timelines)
     if context_seconds is None:
         context_seconds = DEFAULT_CONTEXT_SETUP_SECONDS if on_gpu else 0.0
     return BatchResult(

@@ -61,8 +61,16 @@ def save_report(report: Report, directory: "str | Path") -> list[Path]:
     md.write_text(report_to_markdown(report))
     written.append(md)
 
+    seen: dict[str, int] = {}
     for i, table in enumerate(report.tables):
         label = _slug(table.title) if table.title else f"table{i}"
+        # Untitled tables get distinct labels from their index, but titled
+        # tables can collide after slugging ("fp32!" and "fp32?" both become
+        # "fp32") — suffix repeats with the table index so every table of
+        # the report lands in its own CSV instead of overwriting.
+        while label in seen:
+            label = f"{label}-{i}"
+        seen[label] = i
         csv = directory / f"{stem}-{label}.csv"
         csv.write_text(table.to_csv())
         written.append(csv)

@@ -6,9 +6,12 @@ Commands
 ``batch``     solve many MPS files (or generated LPs) as one batch
 ``trace``     solve with per-iteration tracing; print the convergence summary
               and optionally write a merged Chrome-trace JSON
+``metrics``   run a workload with metrics collection and export the snapshot
+              (Prometheus text or JSON), optionally gated against a baseline
 ``info``      print structural statistics of an MPS file
 ``generate``  write a random dense/sparse instance to MPS
-``bench``     run one of the evaluation experiments (T1–T3, F1–F9, A1–A6, B1)
+``bench``     run one of the evaluation experiments (T1–T3, F1–F9, A1–A6,
+              B1, M1)
 ``devices``   print the modeled hardware table
 
 Examples::
@@ -18,6 +21,9 @@ Examples::
     python -m repro batch a.mps b.mps c.mps --schedule concurrent
     python -m repro batch --random 16 --rows 48 --cols 64 --chain --method revised
     python -m repro trace /tmp/d64.mps --method gpu-revised --out /tmp/d64.json
+    python -m repro metrics --format prometheus
+    python -m repro metrics --format json --out /tmp/metrics.json
+    python -m repro metrics --gate benchmarks/baselines/metrics-smoke.json
     python -m repro info /tmp/d64.mps
     python -m repro bench f2
 """
@@ -97,6 +103,41 @@ def _build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", default="",
                          help="write the merged Chrome-trace JSON here")
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="run a workload with metrics collection; export and/or gate it",
+    )
+    p_metrics.add_argument(
+        "paths", nargs="*",
+        help="MPS files to solve as the workload (default: the built-in "
+             "deterministic smoke workload)",
+    )
+    p_metrics.add_argument("--random", type=int, default=0, metavar="N",
+                           help="solve N generated dense LPs instead of files")
+    p_metrics.add_argument("--rows", type=int, default=32,
+                           help="rows of each generated LP (with --random)")
+    p_metrics.add_argument("--cols", type=int, default=48,
+                           help="columns of each generated LP (with --random)")
+    p_metrics.add_argument("--seed", type=int, default=0)
+    p_metrics.add_argument("--method", default="gpu-revised")
+    p_metrics.add_argument("--schedule", default="sequential",
+                           choices=["sequential", "concurrent"])
+    p_metrics.add_argument("--dtype", default="float64",
+                           choices=["float32", "float64"])
+    p_metrics.add_argument("--format", default="prometheus",
+                           choices=["prometheus", "json"],
+                           help="exposition format (default prometheus)")
+    p_metrics.add_argument("--out", default="",
+                           help="write the export here instead of stdout")
+    p_metrics.add_argument("--from-json", default="", metavar="SNAPSHOT",
+                           help="load a previously exported JSON snapshot "
+                                "instead of running a workload")
+    p_metrics.add_argument("--gate", default="", metavar="BASELINE",
+                           help="compare the snapshot against this baseline "
+                                "JSON; exit nonzero on regression")
+    p_metrics.add_argument("--write-baseline", default="", metavar="PATH",
+                           help="record the snapshot as a gate baseline")
+
     p_info = sub.add_parser("info", help="print structural statistics")
     p_info.add_argument("path", help="MPS file to analyse")
 
@@ -109,7 +150,7 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True, help="output MPS path")
 
     p_bench = sub.add_parser("bench", help="run an evaluation experiment")
-    p_bench.add_argument("experiment", help="t1..t3 f1..f8 a1..a6 b1 | all")
+    p_bench.add_argument("experiment", help="t1..t3 f1..f9 a1..a6 b1 m1 | all")
 
     sub.add_parser("devices", help="print the modeled hardware table")
     return parser
@@ -221,6 +262,90 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if result.is_optimal else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro import metrics
+    from repro.metrics.exporters import from_json, to_json, to_prometheus
+    from repro.metrics.gate import (
+        compare,
+        load_baseline,
+        make_baseline,
+        write_baseline,
+    )
+    from repro.metrics.workloads import (
+        SMOKE_TOLERANCES,
+        SMOKE_WORKLOAD,
+        smoke_workload,
+    )
+
+    if args.from_json:
+        with open(args.from_json, "r", encoding="utf-8") as fh:
+            snap = from_json(fh.read())
+        workload = f"from-json:{args.from_json}"
+    else:
+        with metrics.collecting() as reg:
+            if args.random > 0:
+                from repro.lp.generators import random_dense_lp
+                from repro.solve import solve_batch
+
+                problems = [
+                    random_dense_lp(args.rows, args.cols, seed=args.seed + i)
+                    for i in range(args.random)
+                ]
+                solve_batch(
+                    problems,
+                    method=args.method,
+                    schedule=args.schedule,
+                    dtype=np.float32 if args.dtype == "float32" else np.float64,
+                )
+                workload = (
+                    f"random:{args.random}x{args.rows}x{args.cols}"
+                    f":{args.method}:{args.schedule}:{args.dtype}"
+                    f":seed{args.seed}"
+                )
+            elif args.paths:
+                from repro.lp.mps import read_mps
+                from repro.solve import solve
+
+                for path in args.paths:
+                    solve(
+                        read_mps(path),
+                        method=args.method,
+                        dtype=(
+                            np.float32 if args.dtype == "float32"
+                            else np.float64
+                        ),
+                    )
+                workload = f"mps:{':'.join(args.paths)}:{args.method}"
+            else:
+                smoke_workload()
+                workload = SMOKE_WORKLOAD
+            snap = reg.snapshot()
+
+    if args.format == "json":
+        text = to_json(snap)
+    else:
+        text = to_prometheus(snap)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics ({args.format}) -> {args.out}")
+    else:
+        print(text, end="")
+
+    status = 0
+    if args.write_baseline:
+        tolerances = SMOKE_TOLERANCES if workload == SMOKE_WORKLOAD else None
+        baseline = make_baseline(snap, workload=workload, tolerances=tolerances)
+        write_baseline(baseline, args.write_baseline)
+        print(f"baseline -> {args.write_baseline}")
+    if args.gate:
+        result = compare(snap, load_baseline(args.gate))
+        print(result.render())
+        if not result.ok:
+            status = 1
+    return status
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.lp.analysis import analyze
     from repro.lp.mps import read_mps
@@ -274,6 +399,7 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "batch": _cmd_batch,
     "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "info": _cmd_info,
     "generate": _cmd_generate,
     "bench": _cmd_bench,

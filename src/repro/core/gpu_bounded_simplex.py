@@ -28,6 +28,7 @@ from repro.lp.standard_form import StandardFormLP
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.result import IterationStats, SolveResult, TimingStats
+from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
@@ -340,6 +341,7 @@ class GpuBoundedRevisedSimplex:
         result.timing.modeled_seconds = dev.clock
         result.timing.transfer_seconds = dev.stats.transfer_seconds
         result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+        record_solve(result)
         return result
 
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import DeviceMemoryError, InvalidLaunchError
 from repro.gpu.kernel import DEFAULT_BLOCK, launch_config
 from repro.gpu.memory import DeviceArray
+from repro.metrics import instrument as _metrics
 from repro.perfmodel.gpu_model import GpuCostModel, GpuModelParams
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import GTX280_PARAMS
@@ -172,8 +173,11 @@ class Device:
         arr.data.fill(value)
         seconds = self.model.dtod_time(arr.nbytes) / 2.0  # write-only traffic
         self._advance(seconds)
-        self.stats.record_kernel(
-            "memset", seconds, OpCost(bytes_written=arr.nbytes, threads=max(1, arr.size))
+        cost = OpCost(bytes_written=arr.nbytes, threads=max(1, arr.size))
+        self.stats.record_kernel("memset", seconds, cost)
+        _metrics.record_kernel_launch(
+            "memset", seconds, cost,
+            self.model.fill_factor(cost.threads, DEFAULT_BLOCK),
         )
         if self.timeline is not None:
             self.timeline.append(
@@ -198,10 +202,12 @@ class Device:
         self.stats.peak_bytes_in_use = max(
             self.stats.peak_bytes_in_use, self.stats.bytes_in_use
         )
+        _metrics.record_allocation(nbytes, self.stats.bytes_in_use)
 
     def _release(self, nbytes: int) -> None:
         self.stats.frees += 1
         self.stats.bytes_in_use -= nbytes
+        _metrics.record_free(nbytes, self.stats.bytes_in_use)
 
     # ------------------------------------------------------------------
     # kernel launch
@@ -228,6 +234,9 @@ class Device:
         seconds = self.model.kernel_time(cost, np.dtype(dtype), cfg.block)
         self._advance(seconds)
         self.stats.record_kernel(name, seconds, cost)
+        _metrics.record_kernel_launch(
+            name, seconds, cost, self.model.fill_factor(cost.threads, cfg.block)
+        )
         if self.timeline is not None:
             self.timeline.append(
                 TimelineEvent(
@@ -252,6 +261,7 @@ class Device:
                 self.stats.dtoh_bytes += nbytes
         self.stats.transfer_seconds += seconds
         self._advance(seconds)
+        _metrics.record_transfer(direction, nbytes, seconds)
         if self.timeline is not None:
             self.timeline.append(
                 TimelineEvent(direction, "transfer", seconds, nbytes=nbytes)

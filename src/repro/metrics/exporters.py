@@ -1,0 +1,186 @@
+"""Snapshot exporters: Prometheus text exposition and stable JSON.
+
+:func:`to_prometheus` renders a registry or snapshot in the Prometheus
+text exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` comments
+followed by one sample line per series, histograms expanded into
+``_bucket{le=...}`` / ``_sum`` / ``_count`` samples.
+:func:`validate_prometheus_text` is a line-oriented grammar checker used
+by the tests and the ``metrics-smoke`` Makefile target, so exported output
+is mechanically known to parse.
+
+:func:`to_json` / :func:`from_json` round-trip the snapshot dict with a
+stable key order; this is the on-disk format of the gate baselines under
+``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Mapping
+
+from repro.metrics.registry import (
+    MetricsError,
+    MetricsRegistry,
+    check_snapshot,
+)
+
+# -- Prometheus text format -------------------------------------------------
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+_LABEL_BODY_RE = re.compile(rf"^{_LABEL_PAIR}(?:,{_LABEL_PAIR})*,?$")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(bound: str) -> str:
+    # snapshot bucket keys are reprs of floats; render integral bounds
+    # without the trailing ".0" the way Prometheus clients do
+    value = float(bound)
+    return _format_value(value)
+
+
+def _labels_fragment(labels: Mapping[str, str], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*sorted(labels.items()), *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def to_prometheus(source: "MetricsRegistry | Mapping[str, Any]") -> str:
+    """Render a registry or snapshot dict as Prometheus exposition text."""
+    snapshot = (
+        source.snapshot() if isinstance(source, MetricsRegistry) else check_snapshot(source)
+    )
+    lines: list[str] = []
+    for name in sorted(snapshot["metrics"]):
+        metric = snapshot["metrics"][name]
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for entry in metric["series"]:
+            labels = entry["labels"]
+            if metric["type"] == "histogram":
+                for bound, count in sorted(
+                    entry["buckets"].items(), key=lambda kv: float(kv[0])
+                ):
+                    frag = _labels_fragment(labels, (("le", _format_le(bound)),))
+                    lines.append(f"{name}_bucket{frag} {_format_value(count)}")
+                frag = _labels_fragment(labels, (("le", "+Inf"),))
+                lines.append(f"{name}_bucket{frag} {_format_value(entry['count'])}")
+                lines.append(
+                    f"{name}_sum{_labels_fragment(labels)} "
+                    f"{_format_value(entry['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_fragment(labels)} "
+                    f"{_format_value(entry['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_fragment(labels)} "
+                    f"{_format_value(entry['value'])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def validate_prometheus_text(text: str) -> int:
+    """Line-oriented check of the Prometheus text-format grammar.
+
+    Verifies every non-comment line parses as ``name[{labels}] value
+    [timestamp]``, label pairs are well-formed, values are valid floats
+    (including ``NaN`` / ``+Inf`` / ``-Inf``), ``# TYPE`` declarations use
+    known types and precede their samples, and the exposition ends with a
+    newline.  Returns the number of sample lines; raises
+    :class:`~repro.metrics.registry.MetricsError` on the first violation.
+    """
+    if text and not text.endswith("\n"):
+        raise MetricsError("exposition must end with a newline")
+    typed: dict[str, str] = {}
+    samples = 0
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_NAME_RE.fullmatch(parts[2]):
+                    raise MetricsError(f"line {lineno}: malformed {parts[1]} comment")
+                if parts[1] == "TYPE":
+                    if len(parts) != 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        raise MetricsError(f"line {lineno}: bad TYPE declaration")
+                    if parts[2] in typed:
+                        raise MetricsError(
+                            f"line {lineno}: duplicate TYPE for {parts[2]}"
+                        )
+                    typed[parts[2]] = parts[3]
+            continue  # other comments are free-form
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise MetricsError(f"line {lineno}: unparsable sample {line!r}")
+        labels = match.group("labels")
+        if labels and not _LABEL_BODY_RE.match(labels):
+            raise MetricsError(f"line {lineno}: bad label set {{{labels}}}")
+        value = match.group("value")
+        if value not in ("NaN", "+Inf", "-Inf", "Inf"):
+            try:
+                float(value)
+            except ValueError:
+                raise MetricsError(
+                    f"line {lineno}: bad sample value {value!r}"
+                ) from None
+        base = match.group("name")
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in typed:
+                base = base[: -len(suffix)]
+                break
+        if typed and base not in typed:
+            raise MetricsError(
+                f"line {lineno}: sample {base!r} precedes or lacks its TYPE"
+            )
+        samples += 1
+    return samples
+
+
+# -- JSON -------------------------------------------------------------------
+
+
+def to_json(snapshot: Mapping[str, Any], indent: int = 2) -> str:
+    """Serialise a snapshot dict as stable (sorted-key) JSON."""
+    return json.dumps(check_snapshot(snapshot), indent=indent, sort_keys=True) + "\n"
+
+
+def from_json(text: str) -> dict[str, Any]:
+    """Parse and validate a snapshot produced by :func:`to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MetricsError(f"snapshot is not valid JSON: {exc}") from None
+    return dict(check_snapshot(data))

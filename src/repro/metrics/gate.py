@@ -1,0 +1,233 @@
+"""The bench regression gate: compare a metrics snapshot to a baseline.
+
+A **baseline** is a committed JSON file (``benchmarks/baselines/*.json``)
+holding a reference snapshot of a deterministic workload plus tolerance
+policy.  :func:`compare` checks a fresh snapshot of the same workload
+against it, series by series, and reports every violation; the CLI
+(``python -m repro metrics --gate FILE``) and ``make gate`` exit nonzero
+when any check fails.
+
+Tolerances are per metric (exact-name match first, then longest matching
+``prefix*`` glob, then the default) with three knobs:
+
+- ``rel`` / ``abs`` — allowed relative/absolute slack;
+- ``direction`` — which way counts as a regression: ``"up"`` (bigger is
+  worse: seconds, bytes, iterations — the default), ``"down"`` (smaller is
+  worse: throughput, utilization), or ``"both"`` (any drift beyond the
+  slack fails — used for correctness-adjacent counters that must not move
+  at all on a deterministic workload).
+
+Everything the library records into :mod:`repro.metrics` is *modeled*
+time or exact counts — no wall clock — so baselines are bit-reproducible
+and tolerances can be tight.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.metrics.registry import MetricsError, check_snapshot
+
+#: Identifier of the baseline file layout.
+BASELINE_SCHEMA = "repro.metrics/baseline-v1"
+
+#: Tolerance applied when the baseline names no other policy.  The
+#: simulator is deterministic, so the default slack is a guard against
+#: float-formatting churn, not run-to-run noise.
+DEFAULT_TOLERANCE = {"rel": 0.01, "abs": 1e-12, "direction": "up"}
+
+_DIRECTIONS = ("up", "down", "both")
+
+
+@dataclasses.dataclass(frozen=True)
+class GateCheck:
+    """One compared series: where it stood, where it stands, the verdict."""
+
+    metric: str
+    labels: dict[str, str]
+    field: str  # "value" for scalars, "sum"/"count" for histograms
+    baseline: float
+    actual: float
+    allowed: float
+    direction: str
+    ok: bool
+
+    def describe(self) -> str:
+        state = "ok  " if self.ok else "FAIL"
+        frag = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        series = f"{self.metric}{{{frag}}}" if frag else self.metric
+        if self.field != "value":
+            series += f".{self.field}"
+        return (
+            f"{state} {series}: baseline={self.baseline:.9g} "
+            f"actual={self.actual:.9g} allowed±={self.allowed:.3g} "
+            f"dir={self.direction}"
+        )
+
+
+@dataclasses.dataclass
+class GateResult:
+    """Outcome of one gate run."""
+
+    checks: list[GateCheck] = dataclasses.field(default_factory=list)
+    missing: list[str] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing and all(c.ok for c in self.checks)
+
+    @property
+    def failures(self) -> list[GateCheck]:
+        return [c for c in self.checks if not c.ok]
+
+    def render(self) -> str:
+        lines = [c.describe() for c in self.failures]
+        lines += [f"FAIL {name}: series missing from snapshot" for name in self.missing]
+        passed = len(self.checks) - len(self.failures)
+        lines.append(
+            f"gate: {passed}/{len(self.checks)} series within tolerance, "
+            f"{len(self.failures)} regressed, {len(self.missing)} missing -> "
+            + ("OK" if self.ok else "REGRESSION")
+        )
+        return "\n".join(lines)
+
+
+def _resolve_tolerance(
+    name: str, tolerances: Mapping[str, Any]
+) -> dict[str, Any]:
+    policy = dict(DEFAULT_TOLERANCE)
+    policy.update(tolerances.get("default", {}))
+    best_glob = None
+    for pattern in tolerances:
+        if pattern.endswith("*") and name.startswith(pattern[:-1]):
+            if best_glob is None or len(pattern) > len(best_glob):
+                best_glob = pattern
+    if best_glob is not None:
+        policy.update(tolerances[best_glob])
+    if name in tolerances:
+        policy.update(tolerances[name])
+    if policy["direction"] not in _DIRECTIONS:
+        raise MetricsError(
+            f"tolerance for {name!r}: direction must be one of {_DIRECTIONS}"
+        )
+    return policy
+
+
+def _check(
+    metric: str,
+    labels: dict[str, str],
+    field: str,
+    baseline: float,
+    actual: float,
+    policy: Mapping[str, Any],
+) -> GateCheck:
+    allowed = abs(baseline) * float(policy["rel"]) + float(policy["abs"])
+    direction = policy["direction"]
+    delta = actual - baseline
+    if direction == "up":
+        ok = delta <= allowed
+    elif direction == "down":
+        ok = -delta <= allowed
+    else:
+        ok = abs(delta) <= allowed
+    return GateCheck(
+        metric=metric, labels=labels, field=field,
+        baseline=float(baseline), actual=float(actual),
+        allowed=allowed, direction=direction, ok=ok,
+    )
+
+
+def _series_key(entry: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(entry["labels"].items()))
+
+
+def compare(
+    snapshot: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+) -> GateResult:
+    """Gate ``snapshot`` against a baseline document.
+
+    Every series the baseline records must exist in the snapshot and sit
+    within its tolerance; series the snapshot grew *beyond* the baseline
+    (new kernels, new solvers) pass freely — the gate guards recorded
+    quantities, it does not freeze the metric namespace.
+    """
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        raise MetricsError(
+            f"not a gate baseline (schema {baseline.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA!r})"
+        )
+    reference = check_snapshot(baseline["snapshot"])
+    check_snapshot(snapshot)
+    tolerances = baseline.get("tolerances", {})
+    result = GateResult()
+
+    for name, ref_metric in reference["metrics"].items():
+        policy = _resolve_tolerance(name, tolerances)
+        actual_metric = snapshot["metrics"].get(name)
+        actual_series = (
+            {_series_key(s): s for s in actual_metric["series"]}
+            if actual_metric is not None
+            else {}
+        )
+        for ref_entry in ref_metric["series"]:
+            entry = actual_series.get(_series_key(ref_entry))
+            if entry is None:
+                frag = ",".join(
+                    f"{k}={v}" for k, v in sorted(ref_entry["labels"].items())
+                )
+                result.missing.append(f"{name}{{{frag}}}" if frag else name)
+                continue
+            if ref_metric["type"] == "histogram":
+                for field in ("sum", "count"):
+                    result.checks.append(
+                        _check(name, ref_entry["labels"], field,
+                               ref_entry[field], entry[field], policy)
+                    )
+            else:
+                result.checks.append(
+                    _check(name, ref_entry["labels"], "value",
+                           ref_entry["value"], entry["value"], policy)
+                )
+    return result
+
+
+def make_baseline(
+    snapshot: Mapping[str, Any],
+    workload: str = "",
+    tolerances: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Wrap a snapshot as a baseline document ready to commit."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "workload": workload,
+        "tolerances": dict(tolerances or {}),
+        "snapshot": check_snapshot(snapshot),
+    }
+
+
+def write_baseline(baseline: Mapping[str, Any], path: "str | Path") -> Path:
+    """Write a baseline document as stable JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: "str | Path") -> dict[str, Any]:
+    """Read and sanity-check a baseline document."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise MetricsError(f"no baseline at {path}") from None
+    except json.JSONDecodeError as exc:
+        raise MetricsError(f"baseline {path} is not valid JSON: {exc}") from None
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise MetricsError(
+            f"baseline {path}: schema {data.get('schema')!r} != {BASELINE_SCHEMA!r}"
+        )
+    check_snapshot(data.get("snapshot", {}))
+    return data

@@ -1,0 +1,239 @@
+"""Instrumentation hook points: where the library writes into the registry.
+
+Three families, mirroring the layers named in the metric names:
+
+- ``repro_gpu_*``    — written by :class:`repro.gpu.device.Device` on every
+  kernel launch, PCIe/device transfer and allocation;
+- ``repro_solver_*`` — written once per solve by every solver's finish path
+  (the same spot the trace collector's results are attached), copying the
+  :class:`~repro.result.IterationStats` / :class:`~repro.result.TimingStats`
+  the solver already produced;
+- ``repro_batch_*``  — written by :func:`repro.batch.solve_batch` /
+  ``solve_batch_chain`` from the schedule outcome.
+
+Every function is a no-op (one ``is None`` check) while no registry is
+installed, and none of them touches the modeled clock, the cost models or
+any solver state — they read values the existing bookkeeping computed, or
+recompute pure functions of them.  That is what makes collection provably
+non-perturbing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.metrics.registry import active
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
+    from repro.batch.scheduler import LPTimeline, ScheduleOutcome
+    from repro.perfmodel.ops import OpCost
+    from repro.result import SolveResult
+
+#: Buckets for per-solve iteration-count histograms.
+ITERATION_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+
+# ---------------------------------------------------------------------------
+# gpu.Device
+# ---------------------------------------------------------------------------
+
+
+def record_kernel_launch(
+    name: str, seconds: float, cost: "OpCost", occupancy: float
+) -> None:
+    """One kernel launch: time/launch/flop/byte totals by kernel name, plus
+    modeled occupancy and coalescing efficiency from the cost model."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_gpu_kernel_launches_total", "Kernel launches by kernel name.",
+        labels=("kernel",),
+    ).inc(kernel=name)
+    reg.counter(
+        "repro_gpu_kernel_seconds_total",
+        "Modeled device seconds by kernel name.", labels=("kernel",),
+    ).inc(seconds, kernel=name)
+    reg.counter(
+        "repro_gpu_kernel_flops_total", "Modeled FLOPs by kernel name.",
+        labels=("kernel",),
+    ).inc(cost.flops, kernel=name)
+    reg.counter(
+        "repro_gpu_kernel_bytes_total",
+        "Modeled global-memory bytes moved, by kernel name.", labels=("kernel",),
+    ).inc(cost.bytes_total, kernel=name)
+    reg.histogram(
+        "repro_gpu_kernel_occupancy",
+        "Modeled device-fill factor per kernel launch (cost model).",
+    ).observe(occupancy)
+    reg.histogram(
+        "repro_gpu_kernel_coalesced_fraction",
+        "Coalesced fraction of each launch's memory traffic (cost model).",
+    ).observe(cost.coalesced_fraction)
+
+
+def record_transfer(direction: str, nbytes: int, seconds: float) -> None:
+    """One HtoD/DtoH/DtoD transfer."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_gpu_transfer_bytes_total",
+        "Bytes moved by direction (htod/dtoh over PCIe, dtod on-device).",
+        labels=("direction",),
+    ).inc(nbytes, direction=direction)
+    reg.counter(
+        "repro_gpu_transfer_seconds_total",
+        "Modeled transfer seconds by direction.", labels=("direction",),
+    ).inc(seconds, direction=direction)
+    reg.counter(
+        "repro_gpu_transfers_total", "Transfer operations by direction.",
+        labels=("direction",),
+    ).inc(direction=direction)
+
+
+def record_allocation(nbytes: int, bytes_in_use: int) -> None:
+    """One device allocation; tracks live and peak footprint."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_gpu_allocations_total", "Device allocations (cudaMalloc calls)."
+    ).inc()
+    gauge = reg.gauge(
+        "repro_gpu_bytes_in_use", "Live device memory right now, bytes."
+    )
+    gauge.set(bytes_in_use)
+    reg.gauge(
+        "repro_gpu_peak_bytes_in_use",
+        "High-water mark of live device memory, bytes.",
+    ).set_max(bytes_in_use)
+
+
+def record_free(nbytes: int, bytes_in_use: int) -> None:
+    """One device free."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter("repro_gpu_frees_total", "Device frees (cudaFree calls).").inc()
+    reg.gauge(
+        "repro_gpu_bytes_in_use", "Live device memory right now, bytes."
+    ).set(bytes_in_use)
+
+
+# ---------------------------------------------------------------------------
+# solvers
+# ---------------------------------------------------------------------------
+
+
+def record_solve(result: "SolveResult") -> None:
+    """One finished solve: iteration/pivot/phase-seconds totals by solver.
+
+    Called by every solver at the end of its finish path, with the fully
+    populated :class:`~repro.result.SolveResult` — the numbers recorded
+    here are exactly the ones the caller receives.
+    """
+    reg = active()
+    if reg is None:
+        return
+    solver = result.solver or "unknown"
+    stats = result.iterations
+    reg.counter(
+        "repro_solves_total", "Finished solves by solver and status.",
+        labels=("solver", "status"),
+    ).inc(solver=solver, status=result.status.value)
+    iters = reg.counter(
+        "repro_solver_iterations_total",
+        "Simplex iterations by solver and phase.", labels=("solver", "phase"),
+    )
+    iters.inc(stats.phase1_iterations, solver=solver, phase="1")
+    iters.inc(stats.phase2_iterations, solver=solver, phase="2")
+    reg.counter(
+        "repro_solver_degenerate_pivots_total",
+        "Degenerate (zero-step or tied) pivots by solver.", labels=("solver",),
+    ).inc(stats.degenerate_steps, solver=solver)
+    reg.counter(
+        "repro_solver_bland_activations_total",
+        "Hybrid-pricing Dantzig->Bland switches by solver.", labels=("solver",),
+    ).inc(stats.bland_activations, solver=solver)
+    reg.counter(
+        "repro_solver_refactorizations_total",
+        "Basis refactorizations by solver.", labels=("solver",),
+    ).inc(stats.refactorizations, solver=solver)
+    reg.counter(
+        "repro_solver_modeled_seconds_total",
+        "Modeled machine seconds by solver.", labels=("solver",),
+    ).inc(result.timing.modeled_seconds, solver=solver)
+    sections = reg.counter(
+        "repro_solver_section_seconds_total",
+        "Modeled seconds by solver and algorithm section "
+        "(pricing/ftran/ratio/update/transfer/...).",
+        labels=("solver", "section"),
+    )
+    for section, seconds in result.timing.kernel_breakdown.items():
+        sections.inc(seconds, solver=solver, section=section)
+    reg.histogram(
+        "repro_solver_iterations_per_solve",
+        "Distribution of total iterations per solve.", labels=("solver",),
+        buckets=ITERATION_BUCKETS,
+    ).observe(stats.total_iterations, solver=solver)
+    if result.trace is not None:
+        reg.counter(
+            "repro_solver_ratio_test_ties_total",
+            "Ratio-test ties recorded by traced solves.", labels=("solver",),
+        ).inc(sum(r.ratio_ties for r in result.trace), solver=solver)
+
+
+# ---------------------------------------------------------------------------
+# batch scheduler
+# ---------------------------------------------------------------------------
+
+
+def record_batch(
+    schedule: str,
+    outcome: "ScheduleOutcome",
+    timelines: Sequence["LPTimeline"],
+) -> None:
+    """One priced batch: queue depth, stream utilization, per-LP wall share."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_batch_batches_total", "Priced batches by schedule.",
+        labels=("schedule",),
+    ).inc(schedule=schedule)
+    reg.counter(
+        "repro_batch_lps_total", "LPs solved through the batch layer.",
+        labels=("schedule",),
+    ).inc(len(timelines), schedule=schedule)
+    reg.gauge(
+        "repro_batch_queue_depth", "LPs in the most recently priced batch."
+    ).set(len(timelines))
+    reg.counter(
+        "repro_batch_makespan_seconds_total",
+        "Modeled batch makespan seconds by schedule.", labels=("schedule",),
+    ).inc(outcome.makespan_seconds, schedule=schedule)
+    bounds = reg.gauge(
+        "repro_batch_bound_seconds",
+        "Per-resource lower bounds of the last batch makespan.",
+        labels=("schedule", "resource"),
+    )
+    for resource, seconds in outcome.bounds.items():
+        bounds.set(seconds, schedule=schedule, resource=resource)
+    # Utilization of the stream set: the work's sequential time spread over
+    # n_streams lanes of the makespan (1.0 = every lane busy end to end).
+    denom = outcome.makespan_seconds * max(1, outcome.n_streams)
+    utilization = outcome.sequential_seconds / denom if denom > 0 else 0.0
+    reg.gauge(
+        "repro_batch_stream_utilization",
+        "Fraction of stream capacity the last batch kept busy.",
+        labels=("schedule",),
+    ).set(min(1.0, utilization), schedule=schedule)
+    total = sum(tl.total_seconds for tl in timelines)
+    if total > 0.0:
+        share = reg.histogram(
+            "repro_batch_lp_wall_share",
+            "Per-LP share of the batch's sequential machine time.",
+        )
+        for tl in timelines:
+            share.observe(tl.total_seconds / total)

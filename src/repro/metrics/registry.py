@@ -1,0 +1,396 @@
+"""The metric primitives and the process-wide registry.
+
+Three metric types, all supporting labeled series (one time series per
+distinct label set, Prometheus-style):
+
+- :class:`Counter`   — monotonically increasing totals (``inc``);
+- :class:`Gauge`     — last-written values (``set`` / ``inc`` / ``dec``);
+- :class:`Histogram` — cumulative-bucket distributions (``observe``).
+
+A :class:`MetricsRegistry` owns a namespace of metrics and turns them into
+a stable, JSON-ready **snapshot** dict (schema
+:data:`SNAPSHOT_SCHEMA`); :func:`diff_snapshots` subtracts two snapshots of
+the same registry to isolate what one solve / batch / experiment
+contributed.
+
+Collection is **process-wide and opt-in**: instrumentation points across
+the library (the simulated device, every solver, the batch layer) write
+into the registry installed by :func:`enable` and do nothing — one ``is
+None`` check — while no registry is installed.  Metrics only ever copy
+values that the existing bookkeeping (``DeviceStats``, ``IterationStats``,
+``TimingStats``, schedule outcomes) already computes, or recompute pure
+functions of them, so enabling collection cannot perturb statuses,
+objectives, pivot sequences or modeled seconds (property-tested across all
+solve methods).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+import threading
+from typing import Any, Iterator, Mapping, Sequence
+
+#: Identifier of the JSON snapshot layout produced by ``snapshot()``.
+SNAPSHOT_SCHEMA = "repro.metrics/v1"
+
+#: Prometheus metric- and label-name grammar (subset: no colons in labels).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets — tuned for the library's two dominant
+#: observation kinds: fractions in [0, 1] (occupancy, coalescing, wall
+#: share) and small per-solve counts.  Metrics with other ranges pass
+#: explicit buckets.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+class MetricsError(ValueError):
+    """Invalid metric name, label set, or registry operation."""
+
+
+def _check_labels(
+    declared: tuple[str, ...], labels: Mapping[str, Any]
+) -> tuple[str, ...]:
+    if set(labels) != set(declared):
+        raise MetricsError(
+            f"expected labels {sorted(declared)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in declared)
+
+
+@dataclasses.dataclass
+class _Series:
+    """One labeled time series of a scalar metric."""
+
+    value: float = 0.0
+
+
+@dataclasses.dataclass
+class _HistogramSeries:
+    """One labeled series of a histogram: cumulative buckets + sum/count."""
+
+    bucket_counts: list[int]
+    total: float = 0.0
+    count: int = 0
+
+
+class Metric:
+    """Common machinery: name/help validation and the labeled-series map."""
+
+    type: str = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()):
+        if not _NAME_RE.match(name):
+            raise MetricsError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise MetricsError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._series: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    def _get_series(self, labels: Mapping[str, Any]):
+        key = _check_labels(self.label_names, labels)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.setdefault(key, self._new_series())
+        return series
+
+    def _new_series(self):
+        return _Series()
+
+    def series_items(self) -> Iterator[tuple[dict[str, str], Any]]:
+        """(labels dict, series) pairs in stable (sorted-key) order."""
+        for key in sorted(self._series):
+            yield dict(zip(self.label_names, key)), self._series[key]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class Counter(Metric):
+    """A monotonically increasing total."""
+
+    type = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease")
+        self._get_series(labels).value += amount
+
+    def value(self, **labels: Any) -> float:
+        key = _check_labels(self.label_names, labels)
+        series = self._series.get(key)
+        return series.value if series is not None else 0.0
+
+
+class Gauge(Metric):
+    """A value that can go up and down; reports the last written value."""
+
+    type = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._get_series(labels).value = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Keep the running maximum (peak-style gauges)."""
+        series = self._get_series(labels)
+        series.value = max(series.value, float(value))
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        self._get_series(labels).value += amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self._get_series(labels).value -= amount
+
+    def value(self, **labels: Any) -> float:
+        key = _check_labels(self.label_names, labels)
+        series = self._series.get(key)
+        return series.value if series is not None else 0.0
+
+
+class Histogram(Metric):
+    """A distribution with Prometheus-style cumulative buckets."""
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricsError("histogram buckets must be sorted and unique")
+        if any(math.isnan(b) for b in bounds):
+            raise MetricsError("histogram buckets cannot be NaN")
+        #: Finite upper bounds; the +Inf bucket is implicit (== count).
+        self.buckets = bounds
+
+    def _new_series(self) -> _HistogramSeries:
+        return _HistogramSeries(bucket_counts=[0] * len(self.buckets))
+
+    def observe(self, value: float, **labels: Any) -> None:
+        series = self._get_series(labels)
+        value = float(value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[i] += 1
+        series.total += value
+        series.count += 1
+
+
+class MetricsRegistry:
+    """A namespace of metrics with stable snapshot/diff semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -- declaration ----------------------------------------------------
+
+    def _register(self, cls, name: str, help: str, labels, **kwargs) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls or existing.label_names != tuple(labels):
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.type} with labels {existing.label_names}"
+                    )
+                return existing
+            metric = cls(name, help, labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        """Declare (or fetch, if identically declared) a counter."""
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        """Declare (or fetch, if identically declared) a gauge."""
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Declare (or fetch, if identically declared) a histogram."""
+        return self._register(Histogram, name, help, labels, buckets=buckets)
+
+    # -- access ---------------------------------------------------------
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter([self._metrics[k] for k in sorted(self._metrics)])
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Drop every series (declarations survive)."""
+        for metric in self._metrics.values():
+            metric.clear()
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A stable, JSON-serialisable copy of every series.
+
+        Layout (:data:`SNAPSHOT_SCHEMA`)::
+
+            {"schema": "repro.metrics/v1",
+             "metrics": {name: {"type": ..., "help": ...,
+                                "labels": [...], "series": [...]}}}
+
+        Scalar series are ``{"labels": {...}, "value": v}``; histogram
+        series carry ``{"labels": ..., "buckets": {"0.5": n, ...},
+        "sum": s, "count": c}`` with cumulative bucket counts keyed by
+        their upper bound (the implicit ``+Inf`` bucket equals ``count``).
+        """
+        metrics: dict[str, Any] = {}
+        for metric in self:
+            series_out: list[dict[str, Any]] = []
+            for labels, series in metric.series_items():
+                if isinstance(metric, Histogram):
+                    series_out.append(
+                        {
+                            "labels": labels,
+                            "buckets": {
+                                repr(bound): count
+                                for bound, count in zip(
+                                    metric.buckets, series.bucket_counts
+                                )
+                            },
+                            "sum": series.total,
+                            "count": series.count,
+                        }
+                    )
+                else:
+                    series_out.append({"labels": labels, "value": series.value})
+            metrics[metric.name] = {
+                "type": metric.type,
+                "help": metric.help,
+                "labels": list(metric.label_names),
+                "series": series_out,
+            }
+        return {"schema": SNAPSHOT_SCHEMA, "metrics": metrics}
+
+
+def _series_key(entry: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted(entry["labels"].items()))
+
+
+def check_snapshot(snapshot: Mapping[str, Any]) -> Mapping[str, Any]:
+    """Validate the snapshot envelope; returns it unchanged."""
+    if not isinstance(snapshot, Mapping) or "metrics" not in snapshot:
+        raise MetricsError("not a metrics snapshot (no 'metrics' key)")
+    if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+        raise MetricsError(
+            f"unsupported snapshot schema {snapshot.get('schema')!r}; "
+            f"expected {SNAPSHOT_SCHEMA!r}"
+        )
+    return snapshot
+
+
+def diff_snapshots(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any]:
+    """``after - before``, per metric series, as a new snapshot dict.
+
+    Counters and histograms subtract (series or buckets absent from
+    ``before`` are treated as zero); gauges keep their ``after`` value —
+    a gauge is a level, not an accumulation, so its delta is meaningless.
+    Metrics that only exist in ``before`` are dropped.
+    """
+    check_snapshot(before)
+    check_snapshot(after)
+    out: dict[str, Any] = {}
+    before_metrics = before["metrics"]
+    for name, metric in after["metrics"].items():
+        prior = before_metrics.get(name, {"series": []})
+        prior_series = {_series_key(s): s for s in prior["series"]}
+        series_out = []
+        for entry in metric["series"]:
+            old = prior_series.get(_series_key(entry))
+            if metric["type"] == "histogram":
+                old_buckets = old["buckets"] if old else {}
+                series_out.append(
+                    {
+                        "labels": entry["labels"],
+                        "buckets": {
+                            bound: count - old_buckets.get(bound, 0)
+                            for bound, count in entry["buckets"].items()
+                        },
+                        "sum": entry["sum"] - (old["sum"] if old else 0.0),
+                        "count": entry["count"] - (old["count"] if old else 0),
+                    }
+                )
+            elif metric["type"] == "gauge" or old is None:
+                series_out.append(dict(entry))
+            else:
+                series_out.append(
+                    {"labels": entry["labels"], "value": entry["value"] - old["value"]}
+                )
+        out[name] = {**metric, "series": series_out}
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": out}
+
+
+def snapshot_value(
+    snapshot: Mapping[str, Any], name: str, **labels: Any
+) -> float | None:
+    """Convenience lookup: the value of one scalar series (``None`` if the
+    metric or series is absent); histograms return their ``sum``."""
+    metric = check_snapshot(snapshot)["metrics"].get(name)
+    if metric is None:
+        return None
+    want = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    for entry in metric["series"]:
+        if _series_key(entry) == want:
+            return entry["sum"] if metric["type"] == "histogram" else entry["value"]
+    return None
+
+
+# ---------------------------------------------------------------------------
+# the process-wide registry
+# ---------------------------------------------------------------------------
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install ``registry`` (a fresh one by default) as the process-wide
+    collection target and return it.  Idempotent for the same registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Stop collecting: instrumentation points become no-ops again."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> MetricsRegistry | None:
+    """The installed process-wide registry, or ``None`` when collection is
+    off.  Instrumentation sites gate on this being non-None."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None

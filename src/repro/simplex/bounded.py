@@ -41,6 +41,7 @@ from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
 from repro.result import IterationStats, SolveResult, TimingStats
+from repro.metrics.instrument import record_solve
 from repro.simplex.basis import make_basis
 from repro.simplex.common import (
     PHASE1_TOL,
@@ -405,6 +406,7 @@ class BoundedRevisedSimplexSolver:
                 result.extra["duals"] = prep.std.recover_duals(y)
             except np.linalg.LinAlgError:
                 pass
+        record_solve(result)
         return result
 
 

@@ -43,6 +43,7 @@ from repro.simplex.common import (
 from repro.simplex.options import SolverOptions
 from repro.simplex.pricing import HybridRule, make_pricing_rule
 from repro.simplex.ratio import run_ratio_test
+from repro.metrics.instrument import record_solve
 from repro.status import SolveStatus
 from repro.trace import TraceCollector, rule_label
 
@@ -395,4 +396,5 @@ class RevisedSimplexSolver:
             from repro.lp.postsolve import attach_certificate
 
             attach_certificate(result, prep)
+        record_solve(result)
         return result

@@ -21,6 +21,7 @@ from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
 from repro.result import IterationStats, SolveResult, TimingStats
+from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
@@ -309,4 +310,5 @@ class TableauSimplexSolver:
             from repro.lp.postsolve import attach_certificate
 
             attach_certificate(result, prep)
+        record_solve(result)
         return result

@@ -53,6 +53,30 @@ class TestSaveReport:
         save_report(sample_report, target)
         assert target.exists()
 
+    def test_duplicate_table_titles_get_distinct_csvs(self, tmp_path):
+        # identical (or same-after-slugging) titles must not overwrite
+        r = Report("T9", "dupes")
+        a = r.add_table(Table(["x"], title="fp32"))
+        a.add_row(1)
+        b = r.add_table(Table(["x"], title="fp32!"))  # slugs to "fp32" too
+        b.add_row(2)
+        c = r.add_table(Table(["x"], title="fp32"))
+        c.add_row(3)
+        paths = save_report(r, tmp_path)
+        csvs = [p for p in paths if p.suffix == ".csv"]
+        assert len(csvs) == 3
+        assert len({p.name for p in csvs}) == 3
+        contents = sorted(p.read_text().splitlines()[1] for p in csvs)
+        assert contents == ["1", "2", "3"]  # every table's data survived
+
+    def test_untitled_tables_get_distinct_csvs(self, tmp_path):
+        r = Report("T9", "untitled")
+        r.add_table(Table(["x"])).add_row(1)
+        r.add_table(Table(["x"])).add_row(2)
+        paths = save_report(r, tmp_path)
+        csvs = {p.name for p in paths if p.suffix == ".csv"}
+        assert csvs == {"t9-table0.csv", "t9-table1.csv"}
+
 
 class TestSaveAll:
     def test_runs_selected_experiment(self, tmp_path):

@@ -133,6 +133,23 @@ class TestClockAndLaunch:
         assert device.stats.bytes_in_use == live
         a.free()
 
+    def test_reset_stats_clears_timeline(self, device):
+        # record_timeline's docstring promises reset_stats drops recorded
+        # events while leaving recording enabled
+        device.record_timeline()
+        device.launch("k", lambda: None, OpCost(flops=1, threads=1))
+        device.to_device(np.zeros(8, dtype=np.float32))
+        assert device.timeline
+        device.reset_stats()
+        assert device.timeline == []  # cleared but still recording
+        device.launch("k", lambda: None, OpCost(flops=1, threads=1))
+        assert len(device.timeline) == 1
+
+    def test_reset_stats_without_timeline(self, device):
+        device.launch("k", lambda: None, OpCost(flops=1, threads=1))
+        device.reset_stats()
+        assert device.timeline is None  # stays disabled
+
     def test_kernel_breakdown_copy(self, device):
         device.launch("a", lambda: None, OpCost(flops=1, threads=1))
         bd = device.stats.kernel_breakdown()
@@ -192,3 +209,31 @@ def test_stats_reset_standalone():
     s.reset()
     assert s.kernel_launches == 0
     assert s.bytes_in_use == 42  # allocations survive
+
+
+def test_stats_reset_reanchors_peak():
+    # peak_bytes_in_use restarts at the live amount, not at the old peak
+    # and not at zero (live allocations are still in memory)
+    s = DeviceStats()
+    s.bytes_in_use = 100
+    s.peak_bytes_in_use = 5000
+    s.reset()
+    assert s.peak_bytes_in_use == 100
+    assert s.bytes_in_use == 100
+
+
+def test_stats_reset_clears_counters_and_sections():
+    s = DeviceStats()
+    s.record_kernel("k", 1.0, OpCost(flops=10))
+    s.allocations = 3
+    s.frees = 1
+    s.htod_bytes = 4096
+    s.sections["phase"] = 2.5
+    s.reset()
+    assert s.kernel_launches == 0
+    assert s.kernel_seconds == 0.0
+    assert s.by_kernel == {}
+    assert s.allocations == 0
+    assert s.frees == 0
+    assert s.htod_bytes == 0
+    assert s.sections == {}

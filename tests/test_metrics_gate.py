@@ -1,0 +1,236 @@
+"""Tests for the bench regression gate (repro.metrics.gate).
+
+The contract under test:
+
+1. a snapshot gates cleanly against a baseline made from itself;
+2. a perturbed snapshot regresses (and the CLI exits nonzero);
+3. tolerance resolution: exact name > longest glob > default, with
+   direction semantics up / down / both;
+4. baseline files round-trip through write/load and reject bad schemas;
+5. the committed smoke baseline matches a fresh run of the smoke
+   workload (the ``make gate`` path, end to end).
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.metrics import MetricsRegistry, MetricsError
+from repro.metrics.gate import (
+    BASELINE_SCHEMA,
+    compare,
+    load_baseline,
+    make_baseline,
+    write_baseline,
+)
+
+
+def _snapshot():
+    reg = MetricsRegistry()
+    reg.counter("iters_total", labels=("solver",)).inc(100, solver="a")
+    reg.counter("seconds_total").inc(2.0)
+    reg.gauge("util").set(0.8)
+    reg.histogram("share", buckets=(0.5, 1.0)).observe(0.4)
+    return reg.snapshot()
+
+
+class TestRoundTrip:
+    def test_snapshot_passes_against_own_baseline(self):
+        snap = _snapshot()
+        result = compare(snap, make_baseline(snap, workload="w"))
+        assert result.ok
+        assert not result.failures
+        assert not result.missing
+        assert "OK" in result.render()
+
+    def test_file_round_trip(self, tmp_path):
+        baseline = make_baseline(_snapshot(), workload="w")
+        path = write_baseline(baseline, tmp_path / "sub" / "b.json")
+        assert load_baseline(path) == baseline
+
+    def test_load_rejects_bad_schema(self, tmp_path):
+        p = tmp_path / "b.json"
+        p.write_text(json.dumps({"schema": "nope", "snapshot": {}}))
+        with pytest.raises(MetricsError, match="schema"):
+            load_baseline(p)
+
+    def test_load_rejects_missing_and_invalid(self, tmp_path):
+        with pytest.raises(MetricsError, match="no baseline"):
+            load_baseline(tmp_path / "absent.json")
+        p = tmp_path / "junk.json"
+        p.write_text("{not json")
+        with pytest.raises(MetricsError, match="not valid JSON"):
+            load_baseline(p)
+
+    def test_compare_rejects_non_baseline(self):
+        with pytest.raises(MetricsError, match="not a gate baseline"):
+            compare(_snapshot(), {"schema": "other"})
+
+
+class TestRegressionDetection:
+    def test_counter_increase_fails_up(self):
+        snap = _snapshot()
+        baseline = make_baseline(snap)  # default direction: up
+        worse = copy.deepcopy(snap)
+        worse["metrics"]["seconds_total"]["series"][0]["value"] = 2.5
+        result = compare(worse, baseline)
+        assert not result.ok
+        (fail,) = result.failures
+        assert fail.metric == "seconds_total"
+        assert "FAIL" in result.render()
+
+    def test_counter_decrease_passes_up(self):
+        snap = _snapshot()
+        baseline = make_baseline(snap)
+        better = copy.deepcopy(snap)
+        better["metrics"]["seconds_total"]["series"][0]["value"] = 1.0
+        assert compare(better, baseline).ok
+
+    def test_gauge_drop_fails_down(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"util": {"direction": "down"}}
+        )
+        worse = copy.deepcopy(snap)
+        worse["metrics"]["util"]["series"][0]["value"] = 0.5
+        assert not compare(worse, baseline).ok
+        higher = copy.deepcopy(snap)
+        higher["metrics"]["util"]["series"][0]["value"] = 0.95
+        assert compare(higher, baseline).ok
+
+    def test_both_direction_rejects_any_drift(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"iters_total": {"direction": "both", "rel": 0.0}}
+        )
+        for value in (99, 101):
+            moved = copy.deepcopy(snap)
+            moved["metrics"]["iters_total"]["series"][0]["value"] = value
+            assert not compare(moved, baseline).ok, value
+
+    def test_histogram_sum_and_count_checked(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"share": {"direction": "both"}}
+        )
+        moved = copy.deepcopy(snap)
+        moved["metrics"]["share"]["series"][0]["count"] = 5
+        result = compare(moved, baseline)
+        assert not result.ok
+        assert result.failures[0].field == "count"
+
+    def test_missing_series_fails(self):
+        snap = _snapshot()
+        baseline = make_baseline(snap)
+        shrunk = copy.deepcopy(snap)
+        del shrunk["metrics"]["iters_total"]
+        result = compare(shrunk, baseline)
+        assert not result.ok
+        assert any("iters_total" in m for m in result.missing)
+        assert "missing" in result.render()
+
+    def test_new_series_pass_freely(self):
+        snap = _snapshot()
+        baseline = make_baseline(snap)
+        grown = copy.deepcopy(snap)
+        grown["metrics"]["iters_total"]["series"].append(
+            {"labels": {"solver": "brand-new"}, "value": 9.0}
+        )
+        assert compare(grown, baseline).ok
+
+    def test_relative_tolerance_allows_slack(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"seconds_total": {"rel": 0.5}}
+        )
+        within = copy.deepcopy(snap)
+        within["metrics"]["seconds_total"]["series"][0]["value"] = 2.9  # +45%
+        assert compare(within, baseline).ok
+
+
+class TestToleranceResolution:
+    def test_glob_and_exact_precedence(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap,
+            tolerances={
+                "default": {"rel": 0.0},
+                "iters_*": {"rel": 10.0},       # glob: huge slack
+                "iters_total": {"rel": 0.0},    # exact: none
+            },
+        )
+        moved = copy.deepcopy(snap)
+        moved["metrics"]["iters_total"]["series"][0]["value"] = 150
+        assert not compare(moved, baseline).ok  # exact wins over glob
+
+    def test_glob_applies_without_exact(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"default": {"rel": 0.0}, "iters_*": {"rel": 10.0}}
+        )
+        moved = copy.deepcopy(snap)
+        moved["metrics"]["iters_total"]["series"][0]["value"] = 150
+        assert compare(moved, baseline).ok
+
+    def test_bad_direction_rejected(self):
+        snap = _snapshot()
+        baseline = make_baseline(
+            snap, tolerances={"util": {"direction": "sideways"}}
+        )
+        with pytest.raises(MetricsError, match="direction"):
+            compare(snap, baseline)
+
+
+SMOKE_BASELINE = str(
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "baselines" / "metrics-smoke.json"
+)
+
+
+class TestCommittedBaseline:
+    """The ``make gate`` path, end to end, against the committed file."""
+
+    def test_smoke_workload_matches_committed_baseline(self):
+        from repro import metrics
+        from repro.metrics.workloads import smoke_workload
+
+        baseline = load_baseline(SMOKE_BASELINE)
+        assert baseline["schema"] == BASELINE_SCHEMA
+        with metrics.collecting() as reg:
+            smoke_workload()
+            snap = reg.snapshot()
+        result = compare(snap, baseline)
+        assert result.ok, result.render()
+        assert len(result.checks) > 100  # the gate covers real breadth
+
+    def test_cli_gate_exits_nonzero_on_perturbation(self, tmp_path, capsys):
+        from repro.cli import main
+
+        perturbed = tmp_path / "perturbed.json"
+        baseline = load_baseline(SMOKE_BASELINE)
+        snap = copy.deepcopy(baseline["snapshot"])
+        series = snap["metrics"]["repro_solver_iterations_total"]["series"]
+        series[0]["value"] += 7
+        perturbed.write_text(json.dumps(snap))
+
+        assert main([
+            "metrics", "--from-json", str(perturbed),
+            "--gate", SMOKE_BASELINE,
+            "--out", str(tmp_path / "ignored.prom"),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_gate_passes_on_identical_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        baseline = load_baseline(SMOKE_BASELINE)
+        identical = tmp_path / "identical.json"
+        identical.write_text(json.dumps(baseline["snapshot"]))
+        assert main([
+            "metrics", "--from-json", str(identical),
+            "--gate", SMOKE_BASELINE,
+            "--out", str(tmp_path / "ignored.prom"),
+        ]) == 0
+        assert "OK" in capsys.readouterr().out
