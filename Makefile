@@ -6,16 +6,24 @@
 # `make metrics-smoke` runs the canonical metrics workload and validates the
 # Prometheus exposition; `make gate` re-runs it and compares the snapshot
 # against the committed baseline, failing on any metric regression.
+# `make lint` enforces the engine-layer architecture (no direct trace/metrics
+# imports inside solver backends); `make verify` is the single pre-commit
+# entry point: tier-1 tests + lint + the metrics regression gate.
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
 .PHONY: test test-batch trace-smoke metrics-smoke gate gate-baseline \
-	bench bench-batch
+	bench bench-batch lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
+
+lint:  ## architecture lint: backends may not import repro.trace/repro.metrics
+	python tools/lint_backend_imports.py
+
+verify: test lint gate  ## pre-commit: tier-1 tests + lint + metrics gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"

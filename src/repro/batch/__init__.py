@@ -41,6 +41,7 @@ from repro.batch.scheduler import (
     SequentialSchedule,
     make_schedule,
 )
+from repro.engine.registry import device_methods, warm_start_methods
 from repro.errors import SolverError
 from repro.gpu.device import Device
 from repro.lp.problem import LPProblem
@@ -66,10 +67,12 @@ __all__ = [
 
 #: Methods that run on the shared simulated device (and therefore produce a
 #: kernel/transfer timeline the concurrent schedule can interleave).
-GPU_METHODS = frozenset({"gpu-revised", "gpu-tableau", "gpu-revised-bounded"})
+#: Derived from the :mod:`repro.engine.registry` capability flags.
+GPU_METHODS = device_methods()
 
 #: Methods that accept ``initial_basis`` (usable in :func:`solve_batch_chain`).
-WARM_START_METHODS = frozenset({"revised", "dual", "gpu-revised"})
+#: Derived from the :mod:`repro.engine.registry` capability flags.
+WARM_START_METHODS = warm_start_methods()
 
 #: One-time GPU context/setup cost charged once per batch (and once per LP
 #: by the solo-loop comparator in the B1 benchmark).  2009-era CUDA context

@@ -8,15 +8,17 @@ kernel — no basis update, no GER, no eta.
 
 Compared to ``gpu-revised`` on a fully boxed problem, this solver keeps the
 basis at m instead of m + #bounds; A5 measures the effect.
+
+Runs as a :class:`~repro.engine.backend.SolverBackend` on the shared
+:mod:`repro.engine` lifecycle.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core import gpu_kernels as K
+from repro.engine import SolverBackend
 from repro.errors import SolverError
 from repro.gpu import blas
 from repro.gpu import reduce as gpured
@@ -28,7 +30,6 @@ from repro.lp.standard_form import StandardFormLP
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
@@ -39,13 +40,12 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
-from repro.trace import TraceCollector
 
 #: Pivot-row marker for a bound flip.
 BOUND_FLIP = -2
 
 
-class GpuBoundedRevisedSimplex:
+class GpuBoundedRevisedSimplex(SolverBackend):
     """Two-phase bounded-variable revised simplex on the simulated device."""
 
     name = "gpu-revised-bounded"
@@ -65,68 +65,56 @@ class GpuBoundedRevisedSimplex:
             raise SolverError("the bounded solver does not combine with scaling")
         self._external_device = device
         self._gpu_params = gpu_params
+        self._st: "_BState | None" = None
         self.device: Device | None = device
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         opts = self.options
-        prep = prepare(problem, opts, range_bounds_as_rows=False)
+        self.prep = prep = prepare(problem, opts, range_bounds_as_rows=False)
         dev = self._external_device or Device(self._gpu_params)
-        self.device = dev
+        self.device = self.dev = dev
         dev.reset_stats()
 
         dtype = np.dtype(opts.dtype)
         eps = float(np.finfo(dtype).eps)
-        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
-        tol_piv = max(opts.tol_pivot, 50 * eps)
+        self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        self._tol_piv = max(opts.tol_pivot, 50 * eps)
 
-        st = _BState(prep, dev, dtype)
-        stats = IterationStats()
+        self._st = st = _BState(prep, dev, dtype)
+        self.stats = IterationStats()
         basis, needs_phase1 = initial_basis(prep)
         st.init_basis(basis)
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: dev.clock,
-                sections=lambda: dev.stats.sections,
-                meta={
-                    "m": prep.m,
-                    "n": prep.n_total,
-                    "pricing": opts.pricing,
-                    "dtype": dtype.name,
-                    "device": dev.params.name,
-                },
-            )
+        self.hooks.arm(
+            clock=lambda: dev.clock,
+            sections=lambda: dev.stats.sections,
+            meta={
+                "m": prep.m,
+                "n": prep.n_total,
+                "pricing": opts.pricing,
+                "dtype": dtype.name,
+                "device": dev.params.name,
+            },
+        )
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = max(PHASE1_TOL, 50 * eps)
+        return None
 
-        try:
-            if needs_phase1:
-                status, iters = self._run_phase(
-                    st, phase1_costs(prep), stats, tol_rc, tol_piv, phase=1
-                )
-                stats.phase1_iterations = iters
-                if status is not SolveStatus.OPTIMAL:
-                    if status is SolveStatus.UNBOUNDED:
-                        status = SolveStatus.NUMERICAL
-                    return self._finish(status, prep, st, stats, t_wall)
-                z1 = blas.dot(st.c_b, st.x_b)
-                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-                if z1 > max(PHASE1_TOL, 50 * eps) * feas_scale:
-                    return self._finish(
-                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
-                        extra={"phase1_objective": z1},
-                    )
-                self._drive_out_artificials(st, tol_piv)
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        c_full = phase1_costs(self.prep) if phase == 1 else phase2_costs(self.prep)
+        return self._run_phase(
+            self._st, c_full, self.stats, self._tol_rc, self._tol_piv,
+            phase=phase,
+        )
 
-            status, iters = self._run_phase(
-                st, phase2_costs(prep), stats, tol_rc, tol_piv, phase=2
-            )
-            stats.phase2_iterations = iters
-            return self._finish(status, prep, st, stats, t_wall)
-        finally:
-            st.free()
+    def phase1_objective(self) -> float:
+        return blas.dot(self._st.c_b, self._st.x_b)
+
+    def cleanup(self) -> None:
+        if self._st is not None:
+            self._st.free()
+            self._st = None
 
     # ------------------------------------------------------------------
 
@@ -134,7 +122,7 @@ class GpuBoundedRevisedSimplex:
                    phase: int = 2):
         opts = self.options
         dev = st.dev
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
         prep = st.prep
         m, n = prep.m, prep.n_total
         cap = opts.iteration_cap(m, n)
@@ -267,7 +255,9 @@ class GpuBoundedRevisedSimplex:
 
         return SolveStatus.ITERATION_LIMIT, iters
 
-    def _drive_out_artificials(self, st: "_BState", tol_piv: float) -> None:
+    def drive_out_artificials(self) -> None:
+        st = self._st
+        tol_piv = self._tol_piv
         dev = st.dev
         prep = st.prep
         n = prep.n_total
@@ -297,52 +287,52 @@ class GpuBoundedRevisedSimplex:
             st.x_b.set_scalar(p, value)
             st.pivot_metadata(p, j, 0.0, leaves_at_upper=False)
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(self, status, prep, st: "_BState", stats, t_wall, extra=None):
-        dev = st.dev
+    def timing(self, wall_seconds: float) -> TimingStats:
+        dev = self.dev
         breakdown = dict(dev.stats.sections)
         breakdown["transfer"] = dev.stats.transfer_seconds
-        timing = TimingStats(
+        return TimingStats(
             modeled_seconds=dev.clock,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             transfer_seconds=dev.stats.transfer_seconds,
             kernel_breakdown=breakdown,
         )
-        result = SolveResult(
-            status=status, iterations=stats, timing=timing, solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
+
+    def standard_extras(self, result: SolveResult) -> None:
+        dev = self.dev
         result.extra["device"] = dev.params.name
-        result.extra["bound_flips"] = st.flips
+        result.extra["bound_flips"] = self._st.flips
         result.extra["kernel_launches"] = dev.stats.kernel_launches
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
-        if status is SolveStatus.OPTIMAL:
-            n = prep.n_total
-            x_b = st.x_b.copy_to_host().astype(np.float64)
-            x_std = np.zeros(n)
-            x_std[st.at_upper] = st.u_host[:n][st.at_upper]
-            real = st.basis < n
-            x_std[st.basis[real]] = x_b[real]
-            z_std = float(prep.std.c @ x_std)
-            result.objective = prep.std.original_objective(z_std)
-            result.x = prep.std.recover_x(x_std)
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = st.basis.copy()
-            result.extra["x_std"] = x_std
-            result.extra["at_upper"] = st.at_upper.copy()
-        # the solution download above advanced the clock; the
+
+    def extract(self, result: SolveResult) -> None:
+        st = self._st
+        prep = self.prep
+        n = prep.n_total
+        x_b = st.x_b.copy_to_host().astype(np.float64)
+        x_std = np.zeros(n)
+        x_std[st.at_upper] = st.u_host[:n][st.at_upper]
+        real = st.basis < n
+        x_std[st.basis[real]] = x_b[real]
+        z_std = float(prep.std.c @ x_std)
+        result.objective = prep.std.original_objective(z_std)
+        result.x = prep.std.recover_x(x_std)
+        result.residuals = SolveResult.compute_residuals(
+            prep.std.a, prep.std.b, x_std
+        )
+        result.extra["basis"] = st.basis.copy()
+        result.extra["x_std"] = x_std
+        result.extra["at_upper"] = st.at_upper.copy()
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        # the solution download in extract() advanced the clock; the
         # reported machine time must include it
+        dev = self.dev
         result.timing.modeled_seconds = dev.clock
         result.timing.transfer_seconds = dev.stats.transfer_seconds
         result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
-        record_solve(result)
-        return result
 
 
 class _BState:

@@ -24,15 +24,18 @@ phase 2 reuses the phase-1 basis inverse, exactly as in the paper.  The
 explicit-inverse scheme does not refactorise by default (``refactor_period``
 applies if set; the rebuild happens on the host with PCIe-charged round
 trips, as 2009-era codes did).
+
+Runs as a :class:`~repro.engine.backend.SolverBackend` on the shared
+:mod:`repro.engine` lifecycle (which also guarantees the device state is
+freed on every exit path).
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core import gpu_kernels as K
+from repro.engine import SolverBackend, attach_standard_solution, rule_label
 from repro.errors import SolverError
 from repro.gpu import blas
 from repro.gpu import reduce as gpured
@@ -45,11 +48,9 @@ from repro.lp.standard_form import StandardFormLP
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
-    extract_solution,
     initial_basis,
     phase1_costs,
     phase2_costs,
@@ -57,7 +58,6 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
-from repro.trace import TraceCollector, rule_label
 
 
 class _GpuPricing:
@@ -109,10 +109,17 @@ class _GpuPricing:
                 self.stalled = 0
 
 
-class GpuRevisedSimplex:
-    """Two-phase revised simplex on the simulated SIMT device."""
+class GpuRevisedSimplex(SolverBackend):
+    """Two-phase revised simplex on the simulated SIMT device.
+
+    ``solve(problem, initial_basis_hint=...)`` warm-starts from a previous
+    basis: the hint's B⁻¹ is factorised on the host and uploaded (one PCIe
+    round trip — exactly how a CUDA port would warm-start).  A singular or
+    primal-infeasible hint falls back to the cold crash basis.
+    """
 
     name = "gpu-revised"
+    accepts_warm_start = True
 
     def __init__(
         self,
@@ -135,62 +142,48 @@ class GpuRevisedSimplex:
         self._external_device = device
         self._gpu_params = gpu_params
         self._fill_every = int(fill_stats_every)
+        self._st: "_State | None" = None
         #: The device of the last solve (statistics inspection).
         self.device: Device | None = device
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(
-        self,
-        problem: "LPProblem | StandardFormLP",
-        initial_basis_hint: np.ndarray | None = None,
-    ) -> SolveResult:
-        """Solve; ``initial_basis_hint`` warm-starts from a previous basis.
-
-        The hint's B⁻¹ is factorised on the host and uploaded (one PCIe
-        round trip — exactly how a CUDA port would warm-start).  A singular
-        or primal-infeasible hint falls back to the cold crash basis.
-        """
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         opts = self.options
-        prep = prepare(problem, opts)
+        self.prep = prep = prepare(problem, opts)
         dev = self._external_device or Device(self._gpu_params)
-        self.device = dev
+        self.device = self.dev = dev
         dev.reset_stats()
 
         dtype = np.dtype(opts.dtype)
         eps = float(np.finfo(dtype).eps)
-        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
-        tol_piv = max(opts.tol_pivot, 50 * eps)
+        self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        self._tol_piv = max(opts.tol_pivot, 50 * eps)
 
         m, n = prep.m, prep.n_total
-        st = _State(prep, dev, dtype)
-        stats = IterationStats()
+        self._st = st = _State(prep, dev, dtype)
+        self.stats = stats = IterationStats()
         basis, needs_phase1 = initial_basis(prep)
         st.init_basis(basis)
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: dev.clock,
-                sections=lambda: dev.stats.sections,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "dtype": dtype.name,
-                    "device": dev.params.name,
-                },
-            )
+        self.hooks.arm(
+            clock=lambda: dev.clock,
+            sections=lambda: dev.stats.sections,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "dtype": dtype.name,
+                "device": dev.params.name,
+            },
+        )
         self._eta_updates = 0
-        self._phase = 1
         self._global_iter = 0
         self._fill_curve: list[tuple[int, float]] = []
 
-        if initial_basis_hint is not None:
+        if warm_hint is not None:
             from repro.simplex.common import validate_warm_basis
 
-            warm = validate_warm_basis(prep, initial_basis_hint)
+            warm = validate_warm_basis(prep, warm_hint)
             try:
                 binv = np.linalg.solve(prep.basis_matrix(warm), np.eye(m))
                 warm_beta = binv @ prep.b
@@ -203,39 +196,27 @@ class GpuRevisedSimplex:
                     st.beta.copy_from_host(
                         np.clip(warm_beta, 0.0, None).astype(dtype)
                     )
-                basis = warm
                 needs_phase1 = bool(np.any(warm >= n))
                 stats.refactorizations += 1
 
-        try:
-            status: SolveStatus
-            if needs_phase1:
-                c1 = phase1_costs(prep)
-                status, iters = self._run_phase(
-                    st, c1, stats, tol_rc, tol_piv, phase=1
-                )
-                stats.phase1_iterations = iters
-                if status is not SolveStatus.OPTIMAL:
-                    if status is SolveStatus.UNBOUNDED:
-                        status = SolveStatus.NUMERICAL
-                    return self._finish(status, prep, st, stats, t_wall)
-                z1 = blas.dot(st.c_b, st.beta)
-                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-                tol_feas = max(PHASE1_TOL, 50 * eps) * feas_scale
-                if z1 > tol_feas:
-                    return self._finish(
-                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
-                        extra={"phase1_objective": z1},
-                    )
-                self._drive_out_artificials(st, tol_piv)
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = max(PHASE1_TOL, 50 * eps)
+        return None
 
-            c2 = phase2_costs(prep)
-            self._phase = 2
-            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv, phase=2)
-            stats.phase2_iterations = iters
-            return self._finish(status, prep, st, stats, t_wall)
-        finally:
-            st.free()
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        c_full = phase1_costs(self.prep) if phase == 1 else phase2_costs(self.prep)
+        return self._run_phase(
+            self._st, c_full, self.stats, self._tol_rc, self._tol_piv,
+            phase=phase,
+        )
+
+    def phase1_objective(self) -> float:
+        return blas.dot(self._st.c_b, self._st.beta)
+
+    def cleanup(self) -> None:
+        if self._st is not None:
+            self._st.free()
+            self._st = None
 
     # ------------------------------------------------------------------
 
@@ -258,7 +239,7 @@ class GpuRevisedSimplex:
         st.load_phase_costs(c_full)
         z = blas.dot(st.c_b, st.beta)
         iters = 0
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
 
         while iters < cap:
             iters += 1
@@ -357,10 +338,12 @@ class GpuRevisedSimplex:
 
     # ------------------------------------------------------------------
 
-    def _drive_out_artificials(self, st: "_State", tol_piv: float) -> None:
+    def drive_out_artificials(self) -> None:
         """Replace zero-valued artificial basics by real columns (host-driven,
         device-computed): row p of B⁻¹ is read directly (it *is* e_pᵀB⁻¹),
         the transformed row over real columns comes from one GEMVᵀ/SpMVᵀ."""
+        st = self._st
+        tol_piv = self._tol_piv
         dev = st.dev
         prep = st.prep
         n = prep.n_total
@@ -390,36 +373,21 @@ class GpuRevisedSimplex:
             blas.ger(st.eta, st.row_p, st.binv)
             st.pivot_metadata(p, j, 0.0)
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(
-        self,
-        status: SolveStatus,
-        prep: PreparedLP,
-        st: "_State",
-        stats: IterationStats,
-        t_wall: float,
-        extra: dict | None = None,
-    ) -> SolveResult:
-        dev = st.dev
+    def timing(self, wall_seconds: float) -> TimingStats:
+        dev = self.dev
         breakdown = dict(dev.stats.sections)
         breakdown["transfer"] = dev.stats.transfer_seconds
-        timing = TimingStats(
+        return TimingStats(
             modeled_seconds=dev.clock,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             transfer_seconds=dev.stats.transfer_seconds,
             kernel_breakdown=breakdown,
         )
-        result = SolveResult(
-            status=status,
-            iterations=stats,
-            timing=timing,
-            solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
+
+    def standard_extras(self, result: SolveResult) -> None:
+        dev = self.dev
         if self._fill_every:
             result.extra["binv_fill"] = list(getattr(self, "_fill_curve", []))
         result.extra["device"] = dev.params.name
@@ -429,26 +397,19 @@ class GpuRevisedSimplex:
         )
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
         result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
-        if status is SolveStatus.OPTIMAL:
-            beta_host = st.beta.copy_to_host().astype(np.float64)
-            x, objective, x_std = extract_solution(prep, st.basis, beta_host)
-            result.x = x
-            result.objective = objective
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = st.basis.copy()
-            result.extra["x_std"] = x_std
-            from repro.lp.postsolve import attach_certificate
 
-            attach_certificate(result, prep)
-        # the solution download above advanced the clock; the
+    def extract(self, result: SolveResult) -> None:
+        st = self._st
+        beta_host = st.beta.copy_to_host().astype(np.float64)
+        attach_standard_solution(result, self.prep, st.basis, beta_host)
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        # the solution download in extract() advanced the clock; the
         # reported machine time must include it
+        dev = self.dev
         result.timing.modeled_seconds = dev.clock
         result.timing.transfer_seconds = dev.stats.transfer_seconds
         result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
-        record_solve(result)
-        return result
 
 
 class _State:

@@ -9,15 +9,17 @@ Device layout: the tableau T is **column-major** (the per-iteration entering
 column extraction is the hot read), so the pivot-row extraction is strided
 and charged its transaction amplification — the classic layout trade the
 paper's discussion of coalescing covers.
+
+Runs as a :class:`~repro.engine.backend.SolverBackend` on the shared
+:mod:`repro.engine` lifecycle.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.core import gpu_kernels as K
+from repro.engine import SolverBackend, attach_standard_solution
 from repro.errors import SolverError
 from repro.gpu import blas
 from repro.gpu import reduce as gpured
@@ -28,20 +30,17 @@ from repro.lp.standard_form import StandardFormLP
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
-    extract_solution,
     initial_basis,
     prepare,
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
-from repro.trace import TraceCollector
 
 
-class GpuTableauSimplex:
+class GpuTableauSimplex(SolverBackend):
     """Two-phase full-tableau simplex on the simulated SIMT device."""
 
     name = "gpu-tableau"
@@ -60,26 +59,26 @@ class GpuTableauSimplex:
             )
         self._external_device = device
         self._gpu_params = gpu_params
+        self._st: "_TableauState | None" = None
         self.device: Device | None = device
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         opts = self.options
-        prep = prepare(problem, opts)
+        self.prep = prep = prepare(problem, opts)
         dev = self._external_device or Device(self._gpu_params)
-        self.device = dev
+        self.device = self.dev = dev
         dev.reset_stats()
 
         dtype = np.dtype(opts.dtype)
         eps = float(np.finfo(dtype).eps)
-        tol_rc = max(opts.tol_reduced_cost, 50 * eps)
-        tol_piv = max(opts.tol_pivot, 50 * eps)
+        self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        self._tol_piv = max(opts.tol_pivot, 50 * eps)
 
         m, n = prep.m, prep.n_total
         basis, needs_phase1 = initial_basis(prep)
-        n_cols = n + (m if needs_phase1 else 0)
+        self._n_cols = n_cols = n + (m if needs_phase1 else 0)
 
         # host-side build of the initial tableau, then one bulk upload
         t_host = np.zeros((m, n_cols))
@@ -87,54 +86,44 @@ class GpuTableauSimplex:
         if needs_phase1:
             t_host[:, n:] = np.eye(m)
 
-        st = _TableauState(dev, dtype, t_host, prep, n_cols)
+        self._st = st = _TableauState(dev, dtype, t_host, prep, n_cols)
         st.init_basis(basis, enterable_limit=n)
-        stats = IterationStats()
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: dev.clock,
-                sections=lambda: dev.stats.sections,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "dtype": dtype.name,
-                    "device": dev.params.name,
-                },
-            )
+        self.stats = IterationStats()
+        self.hooks.arm(
+            clock=lambda: dev.clock,
+            sections=lambda: dev.stats.sections,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "dtype": dtype.name,
+                "device": dev.params.name,
+            },
+        )
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = max(PHASE1_TOL, 50 * eps)
+        return None
 
-        try:
-            if needs_phase1:
-                c1 = np.zeros(n_cols)
-                c1[n:] = 1.0
-                st.load_costs(c1, basis)
-                status, iters = self._run_phase(st, c1, stats, tol_rc, tol_piv,
-                                                phase=1)
-                stats.phase1_iterations = iters
-                if status is not SolveStatus.OPTIMAL:
-                    if status is SolveStatus.UNBOUNDED:
-                        status = SolveStatus.NUMERICAL
-                    return self._finish(status, prep, st, stats, t_wall)
-                z1 = blas.dot(st.c_b, st.beta)
-                feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-                if z1 > max(PHASE1_TOL, 50 * eps) * feas_scale:
-                    return self._finish(
-                        SolveStatus.INFEASIBLE, prep, st, stats, t_wall,
-                        extra={"phase1_objective": z1},
-                    )
-                self._drive_out_artificials(st, tol_piv)
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        st = self._st
+        n = self.prep.n_total
+        c_full = np.zeros(self._n_cols)
+        if phase == 1:
+            c_full[n:] = 1.0
+        else:
+            c_full[:n] = self.prep.c
+        st.load_costs(c_full, st.basis)
+        return self._run_phase(
+            st, c_full, self.stats, self._tol_rc, self._tol_piv, phase=phase
+        )
 
-            c2 = np.zeros(n_cols)
-            c2[:n] = prep.c
-            st.load_costs(c2, st.basis)
-            status, iters = self._run_phase(st, c2, stats, tol_rc, tol_piv,
-                                            phase=2)
-            stats.phase2_iterations = iters
-            return self._finish(status, prep, st, stats, t_wall)
-        finally:
-            st.free()
+    def phase1_objective(self) -> float:
+        return blas.dot(self._st.c_b, self._st.beta)
+
+    def cleanup(self) -> None:
+        if self._st is not None:
+            self._st.free()
+            self._st = None
 
     # ------------------------------------------------------------------
 
@@ -149,7 +138,7 @@ class GpuTableauSimplex:
     ) -> tuple[SolveStatus, int]:
         opts = self.options
         dev = st.dev
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
         m, n_cols = st.tableau.shape
         cap = opts.iteration_cap(m, n_cols)
         use_bland = opts.pricing == "bland"
@@ -237,8 +226,9 @@ class GpuTableauSimplex:
 
         return SolveStatus.ITERATION_LIMIT, iters
 
-    def _drive_out_artificials(self, st: "_TableauState", tol_piv: float) -> None:
+    def drive_out_artificials(self) -> None:
         """Pivot zero-valued artificial basics onto real columns."""
+        st = self._st
         dev = st.dev
         n = st.enterable_limit
         for p in np.nonzero(st.basis >= n)[0]:
@@ -257,36 +247,21 @@ class GpuTableauSimplex:
             d_q = st.d.scalar_to_host(q)
             st.pivot(p, q, pivot, theta, d_q, 0.0)
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(
-        self,
-        status: SolveStatus,
-        prep: PreparedLP,
-        st: "_TableauState",
-        stats: IterationStats,
-        t_wall: float,
-        extra: dict | None = None,
-    ) -> SolveResult:
-        dev = st.dev
+    def timing(self, wall_seconds: float) -> TimingStats:
+        dev = self.dev
         breakdown = dict(dev.stats.sections)
         breakdown["transfer"] = dev.stats.transfer_seconds
-        timing = TimingStats(
+        return TimingStats(
             modeled_seconds=dev.clock,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             transfer_seconds=dev.stats.transfer_seconds,
             kernel_breakdown=breakdown,
         )
-        result = SolveResult(
-            status=status,
-            iterations=stats,
-            timing=timing,
-            solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
+
+    def standard_extras(self, result: SolveResult) -> None:
+        dev = self.dev
         result.extra["device"] = dev.params.name
         result.extra["kernel_launches"] = dev.stats.kernel_launches
         result.extra["kernel_bytes"] = sum(
@@ -294,26 +269,19 @@ class GpuTableauSimplex:
         )
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
         result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
-        if status is SolveStatus.OPTIMAL:
-            beta_host = st.beta.copy_to_host().astype(np.float64)
-            x, objective, x_std = extract_solution(prep, st.basis, beta_host)
-            result.x = x
-            result.objective = objective
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = st.basis.copy()
-            result.extra["x_std"] = x_std
-            from repro.lp.postsolve import attach_certificate
 
-            attach_certificate(result, prep)
-        # the solution download above advanced the clock; the
+    def extract(self, result: SolveResult) -> None:
+        st = self._st
+        beta_host = st.beta.copy_to_host().astype(np.float64)
+        attach_standard_solution(result, self.prep, st.basis, beta_host)
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        # the solution download in extract() advanced the clock; the
         # reported machine time must include it
+        dev = self.dev
         result.timing.modeled_seconds = dev.clock
         result.timing.transfer_seconds = dev.stats.transfer_seconds
         result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
-        record_solve(result)
-        return result
 
 
 class _TableauState:

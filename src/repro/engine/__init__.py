@@ -1,0 +1,51 @@
+"""The shared solver-engine layer behind every simplex method.
+
+The paper's algorithm is one method on two machines; this package makes the
+code match that shape.  It owns everything a solve has in common —
+
+- the **lifecycle**: phase-1/phase-2 driving, status mapping, the
+  infeasibility verdict, artificial drive-out sequencing and the
+  ``SolveResult`` assembly (:func:`run_solve` in
+  :mod:`repro.engine.lifecycle`);
+- the **observer protocol**: trace records and metrics counters are
+  emitted through :class:`SolveHooks` / the lifecycle finish path only, so
+  backends contain zero instrumentation plumbing
+  (:mod:`repro.engine.hooks`);
+- the **method table**: a declarative :class:`MethodSpec` registry with
+  warm-start/device capability flags that ``repro.solve`` and
+  ``repro.batch`` both dispatch from (:mod:`repro.engine.registry`);
+
+while each of the seven methods is a thin
+:class:`~repro.engine.backend.SolverBackend` implementing only its own
+numerics (state preparation, the per-phase pricing/ratio/pivot loop,
+solution read-back).  The refactor is behaviour-preserving by construction
+and by test: ``tests/test_engine_golden.py`` pins statuses, objectives,
+pivot sequences and modeled seconds bit-for-bit against a committed
+fixture for all methods.
+
+``rule_label`` is re-exported here so backends can label pricing rules in
+trace records without importing :mod:`repro.trace` themselves.
+"""
+
+from repro.engine.backend import SolverBackend, attach_standard_solution
+from repro.engine.hooks import SolveHooks
+from repro.engine.lifecycle import run_solve
+from repro.engine.registry import (
+    METHODS,
+    MethodSpec,
+    device_methods,
+    warm_start_methods,
+)
+from repro.trace import rule_label
+
+__all__ = [
+    "METHODS",
+    "MethodSpec",
+    "SolveHooks",
+    "SolverBackend",
+    "attach_standard_solution",
+    "device_methods",
+    "rule_label",
+    "run_solve",
+    "warm_start_methods",
+]

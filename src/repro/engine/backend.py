@@ -1,0 +1,127 @@
+"""The narrow interface a simplex method implements to run on the engine.
+
+The engine owns the *lifecycle* — the phase-1/phase-2 driver, status
+mapping, the phase-1 feasibility verdict, result assembly and observer
+wiring (:func:`repro.engine.lifecycle.run_solve`).  A backend owns the
+*method*: how state is prepared, how a phase's iteration loop prices,
+ratio-tests and pivots, and how the optimal solution is read back.  The
+split keeps the seven methods' numerics byte-for-byte intact (their inner
+loops differ structurally: eta files vs Gauss–Jordan tableaus, one- vs
+three-way ratio tests, primal vs dual pivoting) while the surrounding
+boilerplate that used to be cloned per solver lives exactly once.
+
+Lifecycle call order (see :func:`~repro.engine.lifecycle.run_solve`)::
+
+    begin(problem, warm_hint)        # build state; may short-circuit
+    run_phase(1)                     # iff self.needs_phase1
+    phase1_objective()               #   on phase-1 optimality
+    drive_out_artificials()          #   when feasible
+    run_phase(2)
+    timing(wall) / standard_extras / extract / finalize_timing
+    cleanup()                        # always (finally)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.result import SolveResult, TimingStats
+from repro.status import SolveStatus
+
+if TYPE_CHECKING:  # avoids the repro.simplex package-import cycle
+    from repro.simplex.common import PreparedLP
+
+
+class SolverBackend:
+    """Base class for engine backends (one per solve method).
+
+    Subclasses must set the class attribute ``name`` and implement
+    :meth:`begin`, :meth:`run_phase`, :meth:`timing` and :meth:`extract`;
+    phase-1 capable backends also implement :meth:`phase1_objective` and
+    :meth:`drive_out_artificials`.  ``begin`` must populate ``self.prep``,
+    ``self.stats``, ``self.needs_phase1`` and ``self.phase1_feas_tol``.
+    """
+
+    name: str = "?"
+
+    #: Whether ``solve(..., initial_basis_hint=...)`` is honored.  The
+    #: engine rejects a hint passed to a backend that does not opt in, so a
+    #: direct caller cannot have one silently ignored.
+    accepts_warm_start: bool = False
+
+    # Populated by the lifecycle before begin() runs.
+    hooks = None
+
+    # Populated by begin().
+    prep: "PreparedLP"
+    stats = None
+    needs_phase1: bool = False
+    phase1_feas_tol: float = 0.0
+
+    # -- public entry ----------------------------------------------------
+
+    def solve(self, problem, initial_basis_hint: "np.ndarray | None" = None):
+        """Run the full engine lifecycle for this method."""
+        from repro.engine.lifecycle import run_solve
+
+        return run_solve(self, problem, warm_hint=initial_basis_hint)
+
+    # -- lifecycle interface ---------------------------------------------
+
+    def begin(self, problem, warm_hint) -> "SolveResult | None":
+        """Prepare all solver state up to the first phase iteration.
+
+        Returning a finished :class:`SolveResult` short-circuits the
+        lifecycle (the dual method's primal fallback); returning ``None``
+        proceeds to the phase driver.
+        """
+        raise NotImplementedError
+
+    def run_phase(self, phase: int) -> "tuple[SolveStatus, int]":
+        """Run one phase's iteration loop; returns (status, iterations)."""
+        raise NotImplementedError
+
+    def phase1_objective(self) -> float:
+        """The phase-1 objective at phase-1 optimality (Σ artificials)."""
+        raise NotImplementedError
+
+    def drive_out_artificials(self) -> None:
+        """Pivot zero-valued basic artificials out before phase 2."""
+        raise NotImplementedError
+
+    def timing(self, wall_seconds: float) -> TimingStats:
+        """Assemble the modeled-time accounting for the finished solve."""
+        raise NotImplementedError
+
+    def standard_extras(self, result: SolveResult) -> None:
+        """Attach method-specific ``result.extra`` entries (optional)."""
+
+    def extract(self, result: SolveResult) -> None:
+        """Populate x / objective / residuals / basis on OPTIMAL."""
+        raise NotImplementedError
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        """Last-moment timing resync (GPU solution download; optional)."""
+
+    def cleanup(self) -> None:
+        """Release per-solve resources; runs on every exit path."""
+
+
+def attach_standard_solution(
+    result: SolveResult, prep: "PreparedLP", basis: np.ndarray, beta: np.ndarray
+) -> None:
+    """The shared OPTIMAL extraction: solution, residuals, basis handles
+    and the optimality certificate (used by every non-bounded backend)."""
+    from repro.simplex.common import extract_solution
+
+    x, objective, x_std = extract_solution(prep, basis, beta)
+    result.x = x
+    result.objective = objective
+    result.residuals = SolveResult.compute_residuals(prep.std.a, prep.std.b, x_std)
+    result.extra["basis"] = basis.copy()
+    result.extra["x_std"] = x_std
+    from repro.lp.postsolve import attach_certificate
+
+    attach_certificate(result, prep)

@@ -1,0 +1,66 @@
+"""The engine's observer protocol: one gateway for solver instrumentation.
+
+Backends never import :mod:`repro.trace` or :mod:`repro.metrics` (a lint
+under ``tools/`` enforces it).  Instead the lifecycle hands every backend a
+:class:`SolveHooks` and the backend
+
+- calls :meth:`SolveHooks.arm` once, at the exact point its hand-rolled
+  tracer used to be constructed (the collector snapshots the modeled clock
+  at construction, so the arming point is part of the bit-identical trace
+  contract), and
+- emits iteration events through :meth:`SolveHooks.record`.
+
+When tracing is off every call is a no-op and nothing trace-related is even
+imported — the zero-overhead-when-off guarantee lives here, in one place,
+instead of being re-proved per solver.  Metrics counters are emitted by the
+lifecycle's finish path (:func:`repro.engine.lifecycle.run_solve`), never
+by backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+
+class SolveHooks:
+    """Per-solve observer handle owned by the engine lifecycle."""
+
+    __slots__ = ("solver", "enabled", "_collector")
+
+    def __init__(self, solver: str, enabled: bool):
+        self.solver = solver
+        #: True when the user asked for tracing (``SolverOptions.trace``).
+        #: Backends branch on this to skip uncharged diagnostic peeks.
+        self.enabled = enabled
+        self._collector = None
+
+    # -- backend side ---------------------------------------------------
+
+    def arm(
+        self,
+        *,
+        clock: Callable[[], float],
+        sections: "Callable[[], Mapping[str, float]] | None" = None,
+        meta: "dict[str, Any] | None" = None,
+    ) -> None:
+        """Start collecting: snapshot ``clock()`` as the first record's
+        ``t_start``.  No-op (and import-free) when tracing is off."""
+        if not self.enabled:
+            return
+        from repro.trace import TraceCollector
+
+        self._collector = TraceCollector(
+            self.solver, clock=clock, sections=sections, meta=meta
+        )
+
+    def record(self, **fields) -> None:
+        """Append one iteration-level trace record (no-op when off)."""
+        if self._collector is not None:
+            self._collector.record(**fields)
+
+    # -- engine side ----------------------------------------------------
+
+    @property
+    def trace(self):
+        """The collected :class:`~repro.trace.SolveTrace`, or ``None``."""
+        return None if self._collector is None else self._collector.trace

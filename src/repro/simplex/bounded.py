@@ -26,14 +26,16 @@ Per iteration:
 This is the classic extension the thesis's future work points at
 ("využití slackových proměnných … efektivnější nalezení počáteční báze"),
 and the A5 ablation measures what it buys over bounds-as-rows.
+
+Runs as a :class:`~repro.engine.backend.SolverBackend` on the shared
+:mod:`repro.engine` lifecycle.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.engine import SolverBackend
 from repro.errors import SingularBasisError, SolverError
 from repro.lp.problem import LPProblem
 from repro.lp.standard_form import StandardFormLP
@@ -41,7 +43,6 @@ from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.basis import make_basis
 from repro.simplex.common import (
     PHASE1_TOL,
@@ -53,13 +54,12 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
-from repro.trace import TraceCollector
 
 #: Ratio-test outcome marker for a bound flip (no basis change).
 BOUND_FLIP = -2
 
 
-class BoundedRevisedSimplexSolver:
+class BoundedRevisedSimplexSolver(SolverBackend):
     """CPU revised simplex with native upper-bound handling."""
 
     name = "revised-bounded"
@@ -83,13 +83,12 @@ class BoundedRevisedSimplexSolver:
             CpuCostModel(cpu_params), dtype=self.options.dtype
         )
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         self.recorder.reset()
         opts = self.options
-        prep = prepare(problem, opts, range_bounds_as_rows=False)
+        self.prep = prep = prepare(problem, opts, range_bounds_as_rows=False)
         m, n = prep.m, prep.n_total
         upper = prep.std.upper_bounds()
         u_full = np.concatenate([upper, np.full(m, np.inf)])  # artificials
@@ -100,50 +99,39 @@ class BoundedRevisedSimplexSolver:
         in_basis[basis] = True
         at_upper = np.zeros(n, dtype=bool)  # all nonbasics start at lower
         x_b = prep.b.astype(np.float64).copy()
-        stats = IterationStats()
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: self.recorder.total_seconds,
-                sections=lambda: self.recorder.by_op,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "dtype": np.dtype(opts.dtype).name,
-                },
-            )
+        self.stats = stats = IterationStats()
+        self.hooks.arm(
+            clock=lambda: self.recorder.total_seconds,
+            sections=lambda: self.recorder.by_op,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "dtype": np.dtype(opts.dtype).name,
+            },
+        )
 
-        state = _BoundedState(prep, basisrep, basis, in_basis, at_upper, x_b,
-                              u_full, stats)
+        self.st = _BoundedState(prep, basisrep, basis, in_basis, at_upper, x_b,
+                                u_full, stats)
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = PHASE1_TOL
+        return None
 
-        if needs_phase1:
-            status, z1, iters = self._run_phase(state, phase1_costs(prep),
-                                                phase=1)
-            stats.phase1_iterations = iters
-            if status is not SolveStatus.OPTIMAL:
-                if status is SolveStatus.UNBOUNDED:
-                    status = SolveStatus.NUMERICAL
-                return self._finish(status, state, t_wall)
-            feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-            if z1 > PHASE1_TOL * feas_scale:
-                return self._finish(
-                    SolveStatus.INFEASIBLE, state, t_wall,
-                    extra={"phase1_objective": z1},
-                )
-            self._drive_out_artificials(state)
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        c_full = phase1_costs(self.prep) if phase == 1 else phase2_costs(self.prep)
+        status, z, iters = self._run_phase(self.st, c_full, phase=phase)
+        self._z = z
+        return status, iters
 
-        status, z2, iters = self._run_phase(state, phase2_costs(prep), phase=2)
-        stats.phase2_iterations = iters
-        return self._finish(status, state, t_wall)
+    def phase1_objective(self) -> float:
+        return self._z
 
     # ------------------------------------------------------------------
 
     def _run_phase(self, st: "_BoundedState", c_full: np.ndarray,
                    phase: int = 2):
         opts = self.options
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
         prep = st.prep
         m, n = prep.m, prep.n_total
         w = np.dtype(opts.dtype).itemsize
@@ -337,7 +325,8 @@ class BoundedRevisedSimplexSolver:
         np.clip(st.x_b, 0.0, None, out=st.x_b)
         return True
 
-    def _drive_out_artificials(self, st: "_BoundedState") -> None:
+    def drive_out_artificials(self) -> None:
+        st = self.st
         prep = st.prep
         m, n = prep.m, prep.n_total
         for p in np.nonzero(st.basis >= n)[0]:
@@ -362,52 +351,44 @@ class BoundedRevisedSimplexSolver:
                 st.at_upper[j] = False
                 break
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(self, status, st: "_BoundedState", t_wall, extra=None) -> SolveResult:
-        timing = TimingStats(
+    def timing(self, wall_seconds: float) -> TimingStats:
+        return TimingStats(
             modeled_seconds=self.recorder.total_seconds,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             kernel_breakdown=dict(self.recorder.by_op),
         )
-        result = SolveResult(
-            status=status,
-            iterations=st.stats,
-            timing=timing,
-            solver=self.name,
-            extra=extra or {},
+
+    def standard_extras(self, result: SolveResult) -> None:
+        result.extra["bound_flips"] = self.st.flips
+
+    def extract(self, result: SolveResult) -> None:
+        st = self.st
+        prep = st.prep
+        n = prep.n_total
+        x_std = np.zeros(n)
+        x_std[st.at_upper] = st.u[:n][st.at_upper]
+        real = st.basis < n
+        x_std[st.basis[real]] = st.x_b[real]
+        z_std = float(prep.std.c @ x_std)
+        result.objective = prep.std.original_objective(z_std)
+        result.x = prep.std.recover_x(x_std)
+        result.residuals = SolveResult.compute_residuals(
+            prep.std.a, prep.std.b, x_std
         )
-        result.extra["bound_flips"] = st.flips
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
-        if status is SolveStatus.OPTIMAL:
-            prep = st.prep
-            n = prep.n_total
-            x_std = np.zeros(n)
-            x_std[st.at_upper] = st.u[:n][st.at_upper]
-            real = st.basis < n
-            x_std[st.basis[real]] = st.x_b[real]
-            z_std = float(prep.std.c @ x_std)
-            result.objective = prep.std.original_objective(z_std)
-            result.x = prep.std.recover_x(x_std)
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
+        result.extra["basis"] = st.basis.copy()
+        result.extra["x_std"] = x_std
+        result.extra["at_upper"] = st.at_upper.copy()
+        # duals directly from the final basis
+        c_full = np.concatenate([prep.c, np.zeros(prep.m)])
+        try:
+            y = np.linalg.solve(
+                prep.basis_matrix(st.basis).T, c_full[st.basis]
             )
-            result.extra["basis"] = st.basis.copy()
-            result.extra["x_std"] = x_std
-            result.extra["at_upper"] = st.at_upper.copy()
-            # duals directly from the final basis
-            c_full = np.concatenate([prep.c, np.zeros(prep.m)])
-            try:
-                y = np.linalg.solve(
-                    prep.basis_matrix(st.basis).T, c_full[st.basis]
-                )
-                result.extra["duals"] = prep.std.recover_duals(y)
-            except np.linalg.LinAlgError:
-                pass
-        record_solve(result)
-        return result
+            result.extra["duals"] = prep.std.recover_duals(y)
+        except np.linalg.LinAlgError:
+            pass
 
 
 class _BoundedState:

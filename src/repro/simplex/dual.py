@@ -26,14 +26,18 @@ The solver requires a dual-feasible start (pass the previous optimal basis
 via ``initial_basis_hint``); with none, it attempts the crash basis and
 falls back to an exact primal pre-solve of the phase-1 type only if
 ``allow_primal_fallback`` is set.
+
+Runs as a :class:`~repro.engine.backend.SolverBackend`: it is the
+single-phase backend (``needs_phase1`` is always False) and the one that
+exercises the lifecycle's early-return path (the primal fallback produces
+a finished result before the phase driver starts).
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.engine import SolverBackend, attach_standard_solution
 from repro.errors import SingularBasisError, SolverError
 from repro.lp.problem import LPProblem
 from repro.lp.standard_form import StandardFormLP
@@ -41,11 +45,8 @@ from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.basis import make_basis
 from repro.simplex.common import (
-    PreparedLP,
-    extract_solution,
     initial_basis,
     phase2_costs,
     prepare,
@@ -53,13 +54,13 @@ from repro.simplex.common import (
 )
 from repro.simplex.options import SolverOptions
 from repro.status import SolveStatus
-from repro.trace import TraceCollector
 
 
-class DualSimplexSolver:
+class DualSimplexSolver(SolverBackend):
     """CPU dual simplex for re-optimisation from a dual-feasible basis."""
 
     name = "dual-cpu"
+    accepts_warm_start = True
 
     def __init__(
         self,
@@ -75,27 +76,24 @@ class DualSimplexSolver:
             CpuCostModel(cpu_params), dtype=self.options.dtype
         )
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(
-        self,
-        problem: "LPProblem | StandardFormLP",
-        initial_basis_hint: np.ndarray | None = None,
-    ) -> SolveResult:
-        t_wall = time.perf_counter()
+    def begin(
+        self, problem: "LPProblem | StandardFormLP", warm_hint
+    ) -> "SolveResult | None":
         self.recorder.reset()
         opts = self.options
-        prep = prepare(problem, opts)
+        self.prep = prep = prepare(problem, opts)
         m, n = prep.m, prep.n_total
-        c_full = phase2_costs(prep)
+        self.c_full = c_full = phase2_costs(prep)
 
-        basisrep = make_basis(opts.basis_update, m, self.recorder)
-        if initial_basis_hint is not None:
-            basis = validate_warm_basis(prep, initial_basis_hint)
+        self.basisrep = basisrep = make_basis(opts.basis_update, m, self.recorder)
+        if warm_hint is not None:
+            basis = validate_warm_basis(prep, warm_hint)
             try:
                 basisrep.refactorize(prep.basis_matrix(basis))
             except SingularBasisError:
-                return self._fallback(problem, t_wall, "singular warm basis")
+                return self._fallback(problem, "singular warm basis")
         else:
             basis, _ = initial_basis(prep)
 
@@ -105,27 +103,30 @@ class DualSimplexSolver:
         in_basis = np.zeros(n + m, dtype=bool)
         in_basis[basis] = True
         if np.any(d[~in_basis[:n]] < -1e-7):
-            return self._fallback(problem, t_wall, "start not dual feasible")
+            return self._fallback(problem, "start not dual feasible")
 
-        x_b = basisrep.ftran(prep.b)
-        stats = IterationStats()
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: self.recorder.total_seconds,
-                sections=lambda: self.recorder.by_op,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "dtype": np.dtype(opts.dtype).name,
-                },
-            )
-        status, iters = self._iterate(prep, basisrep, basis, in_basis, x_b,
-                                      c_full, stats)
-        stats.phase2_iterations = iters
-        return self._finish(status, prep, basis, x_b, stats, t_wall)
+        self.basis = basis
+        self.in_basis = in_basis
+        self.x_b = basisrep.ftran(prep.b)
+        self.stats = IterationStats()
+        self.hooks.arm(
+            clock=lambda: self.recorder.total_seconds,
+            sections=lambda: self.recorder.by_op,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "dtype": np.dtype(opts.dtype).name,
+            },
+        )
+        self.needs_phase1 = False
+        return None
+
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        return self._iterate(
+            self.prep, self.basisrep, self.basis, self.in_basis, self.x_b,
+            self.c_full, self.stats,
+        )
 
     # ------------------------------------------------------------------
 
@@ -137,7 +138,7 @@ class DualSimplexSolver:
         use_bland = opts.pricing == "bland"
         iters = 0
         feas_tol = 1e-9 * max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
         row_rule = "bland" if use_bland else "dantzig"
 
         def objective() -> float:
@@ -280,7 +281,7 @@ class DualSimplexSolver:
 
     # ------------------------------------------------------------------
 
-    def _fallback(self, problem, t_wall, reason: str) -> SolveResult:
+    def _fallback(self, problem, reason: str) -> SolveResult:
         """No dual-feasible start: defer to the primal solver (documented
         behaviour) or fail loudly."""
         if not self.allow_primal_fallback:
@@ -292,32 +293,15 @@ class DualSimplexSolver:
         result.extra["dual_fallback_reason"] = reason
         return result
 
-    def _finish(self, status, prep, basis, x_b, stats, t_wall,
-                extra=None) -> SolveResult:
-        timing = TimingStats(
+    # -- finish participation ------------------------------------------
+
+    def timing(self, wall_seconds: float) -> TimingStats:
+        return TimingStats(
             modeled_seconds=self.recorder.total_seconds,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             kernel_breakdown=dict(self.recorder.by_op),
         )
-        result = SolveResult(
-            status=status, iterations=stats, timing=timing, solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
-        if status is SolveStatus.OPTIMAL:
-            x_clip = np.clip(x_b, 0.0, None)
-            x, objective, x_std = extract_solution(prep, basis, x_clip)
-            result.x = x
-            result.objective = objective
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = basis.copy()
-            result.extra["x_std"] = x_std
-            from repro.lp.postsolve import attach_certificate
 
-            attach_certificate(result, prep)
-        record_solve(result)
-        return result
+    def extract(self, result: SolveResult) -> None:
+        x_clip = np.clip(self.x_b, 0.0, None)
+        attach_standard_solution(result, self.prep, self.basis, x_clip)

@@ -15,14 +15,17 @@ Algorithm (per iteration):
 Phase 1 minimises the sum of implicit artificial variables; artificials are
 driven out of the basis before phase 2 (rows that cannot be driven out are
 redundant and keep their artificial pinned at zero).
+
+The two-phase driving, status handling and result assembly live in
+:mod:`repro.engine`; this module implements only the method itself behind
+the :class:`~repro.engine.backend.SolverBackend` interface.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.engine import SolverBackend, attach_standard_solution, rule_label
 from repro.errors import SingularBasisError, SolverError
 from repro.lp.problem import LPProblem
 from repro.lp.standard_form import StandardFormLP
@@ -34,7 +37,6 @@ from repro.simplex.basis import make_basis
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
-    extract_solution,
     initial_basis,
     phase1_costs,
     phase2_costs,
@@ -43,15 +45,19 @@ from repro.simplex.common import (
 from repro.simplex.options import SolverOptions
 from repro.simplex.pricing import HybridRule, make_pricing_rule
 from repro.simplex.ratio import run_ratio_test
-from repro.metrics.instrument import record_solve
 from repro.status import SolveStatus
-from repro.trace import TraceCollector, rule_label
 
 
-class RevisedSimplexSolver:
-    """CPU revised simplex (dense or sparse standard-form data)."""
+class RevisedSimplexSolver(SolverBackend):
+    """CPU revised simplex (dense or sparse standard-form data).
+
+    ``solve(problem, initial_basis_hint=...)`` warm-starts from a previous
+    basis (e.g. ``previous_result.extra["basis"]``).  A hint that is
+    singular or infeasible silently falls back to the cold crash basis.
+    """
 
     name = "revised-cpu"
+    accepts_warm_start = True
 
     def __init__(
         self,
@@ -68,88 +74,67 @@ class RevisedSimplexSolver:
             CpuCostModel(cpu_params), dtype=self.options.dtype
         )
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(
-        self,
-        problem: "LPProblem | StandardFormLP",
-        initial_basis_hint: np.ndarray | None = None,
-    ) -> SolveResult:
-        """Solve; ``initial_basis_hint`` warm-starts from a previous basis
-        (e.g. ``previous_result.extra["basis"]``).  A hint that is singular
-        or infeasible silently falls back to the cold crash basis."""
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         self.recorder.reset()
         opts = self.options
-        prep = prepare(problem, opts)
+        self.prep = prep = prepare(problem, opts)
         m, n = prep.m, prep.n_total
 
-        basisrep = make_basis(opts.basis_update, m, self.recorder)
+        self.basisrep = make_basis(opts.basis_update, m, self.recorder)
         basis, needs_phase1 = initial_basis(prep)
-        beta = prep.b.astype(np.float64).copy()
-        stats = IterationStats()
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: self.recorder.total_seconds,
-                sections=lambda: self.recorder.by_op,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "ratio_test": opts.ratio_test,
-                    "dtype": np.dtype(opts.dtype).name,
-                },
-            )
+        self.beta = prep.b.astype(np.float64).copy()
+        self.stats = stats = IterationStats()
+        self.hooks.arm(
+            clock=lambda: self.recorder.total_seconds,
+            sections=lambda: self.recorder.by_op,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "ratio_test": opts.ratio_test,
+                "dtype": np.dtype(opts.dtype).name,
+            },
+        )
         self._phase = 1
 
-        if initial_basis_hint is not None:
-            from repro.errors import SingularBasisError as _SBE
+        if warm_hint is not None:
             from repro.simplex.common import validate_warm_basis
 
-            warm = validate_warm_basis(prep, initial_basis_hint)
+            warm = validate_warm_basis(prep, warm_hint)
             try:
-                basisrep.refactorize(prep.basis_matrix(warm))
-                warm_beta = basisrep.ftran(prep.b)
+                self.basisrep.refactorize(prep.basis_matrix(warm))
+                warm_beta = self.basisrep.ftran(prep.b)
                 if warm_beta.min() >= -1e-7:
                     basis = warm
-                    beta = np.clip(warm_beta, 0.0, None)
+                    self.beta = np.clip(warm_beta, 0.0, None)
                     needs_phase1 = bool(np.any(warm >= n))
                     stats.refactorizations += 1
                 else:
-                    basisrep.reset_identity()  # infeasible hint: cold start
-            except _SBE:
-                basisrep.reset_identity()
+                    self.basisrep.reset_identity()  # infeasible hint: cold start
+            except SingularBasisError:
+                self.basisrep.reset_identity()
 
-        in_basis = np.zeros(n + m, dtype=bool)
-        in_basis[basis] = True
+        self.basis = basis
+        self.in_basis = np.zeros(n + m, dtype=bool)
+        self.in_basis[basis] = True
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = PHASE1_TOL
+        return None
 
-        if needs_phase1:
-            status, z1, iters = self._run_phase(
-                prep, basisrep, basis, in_basis, beta, phase1_costs(prep), stats
-            )
-            stats.phase1_iterations = iters
-            if status is not SolveStatus.OPTIMAL:
-                # Phase 1 is bounded below by 0; unboundedness here is a
-                # numerical artefact, surfaced as such.
-                if status is SolveStatus.UNBOUNDED:
-                    status = SolveStatus.NUMERICAL
-                return self._finish(status, prep, basis, beta, stats, t_wall)
-            feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-            if z1 > PHASE1_TOL * feas_scale:
-                return self._finish(
-                    SolveStatus.INFEASIBLE, prep, basis, beta, stats, t_wall,
-                    extra={"phase1_objective": z1},
-                )
-            self._drive_out_artificials(prep, basisrep, basis, in_basis, beta)
-
-        self._phase = 2
-        status, z2, iters = self._run_phase(
-            prep, basisrep, basis, in_basis, beta, phase2_costs(prep), stats
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        self._phase = phase
+        c_full = phase1_costs(self.prep) if phase == 1 else phase2_costs(self.prep)
+        status, z, iters = self._run_phase(
+            self.prep, self.basisrep, self.basis, self.in_basis, self.beta,
+            c_full, self.stats,
         )
-        stats.phase2_iterations = iters
-        return self._finish(status, prep, basis, beta, stats, t_wall)
+        self._z = z
+        return status, iters
+
+    def phase1_objective(self) -> float:
+        return self._z
 
     # ------------------------------------------------------------------
 
@@ -216,7 +201,7 @@ class RevisedSimplexSolver:
         m, n = prep.m, prep.n_total
         w = np.dtype(opts.dtype).itemsize
         iters = 0
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
 
         while iters < cap:
             iters += 1
@@ -320,15 +305,15 @@ class RevisedSimplexSolver:
         np.clip(beta, 0.0, None, out=beta)
         return True
 
-    def _drive_out_artificials(
-        self, prep: PreparedLP, basisrep, basis, in_basis, beta
-    ) -> None:
+    def drive_out_artificials(self) -> None:
         """Pivot zero-valued basic artificials out in favour of real columns.
 
         Rows where no real nonbasic column has a nonzero entry in the
         transformed row are redundant: their artificial stays basic at zero
         (it can never grow — phase 2 keeps its cost at 0 and β_p = 0).
         """
+        prep, basisrep = self.prep, self.basisrep
+        basis, in_basis, beta = self.basis, self.in_basis, self.beta
         m, n = prep.m, prep.n_total
         for p in np.nonzero(basis >= n)[0]:
             e_p = np.zeros(m)
@@ -357,44 +342,14 @@ class RevisedSimplexSolver:
                 basis[p] = int(j)
                 break
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(
-        self,
-        status: SolveStatus,
-        prep: PreparedLP,
-        basis: np.ndarray,
-        beta: np.ndarray,
-        stats: IterationStats,
-        t_wall: float,
-        extra: dict | None = None,
-    ) -> SolveResult:
-        timing = TimingStats(
+    def timing(self, wall_seconds: float) -> TimingStats:
+        return TimingStats(
             modeled_seconds=self.recorder.total_seconds,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             kernel_breakdown=dict(self.recorder.by_op),
         )
-        result = SolveResult(
-            status=status,
-            iterations=stats,
-            timing=timing,
-            solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
-        if status is SolveStatus.OPTIMAL:
-            x, objective, x_std = extract_solution(prep, basis, beta)
-            result.x = x
-            result.objective = objective
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = basis.copy()
-            result.extra["x_std"] = x_std
-            from repro.lp.postsolve import attach_certificate
 
-            attach_certificate(result, prep)
-        record_solve(result)
-        return result
+    def extract(self, result: SolveResult) -> None:
+        attach_standard_solution(result, self.prep, self.basis, self.beta)

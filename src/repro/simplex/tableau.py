@@ -7,25 +7,25 @@ is exactly the inefficiency the revised method (and the paper) avoids.  It
 serves as (a) an independent correctness oracle, (b) the host of the exact
 steepest-edge / Devex pricing rules (they need updated columns), and (c) the
 CPU side of the A3 tableau-vs-revised ablation.
+
+Runs as a :class:`~repro.engine.backend.SolverBackend` on the shared
+:mod:`repro.engine` lifecycle.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from repro.engine import SolverBackend, attach_standard_solution, rule_label
 from repro.lp.problem import LPProblem
 from repro.lp.standard_form import StandardFormLP
 from repro.perfmodel.cpu_model import CpuCostModel, CpuCostRecorder
 from repro.perfmodel.ops import OpCost
 from repro.perfmodel.presets import CORE2_CPU_PARAMS, CpuModelParams
 from repro.result import IterationStats, SolveResult, TimingStats
-from repro.metrics.instrument import record_solve
 from repro.simplex.common import (
     PHASE1_TOL,
     PreparedLP,
-    extract_solution,
     initial_basis,
     prepare,
 )
@@ -38,10 +38,9 @@ from repro.simplex.pricing import (
 )
 from repro.simplex.ratio import run_ratio_test
 from repro.status import SolveStatus
-from repro.trace import TraceCollector, rule_label
 
 
-class TableauSimplexSolver:
+class TableauSimplexSolver(SolverBackend):
     """CPU dense full-tableau simplex."""
 
     name = "tableau-cpu"
@@ -56,13 +55,12 @@ class TableauSimplexSolver:
             CpuCostModel(cpu_params), dtype=self.options.dtype
         )
 
-    # ------------------------------------------------------------------
+    # -- engine backend interface --------------------------------------
 
-    def solve(self, problem: "LPProblem | StandardFormLP") -> SolveResult:
-        t_wall = time.perf_counter()
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
         self.recorder.reset()
         opts = self.options
-        prep = prepare(problem, opts)
+        self.prep = prep = prepare(problem, opts)
         m, n = prep.m, prep.n_total
 
         basis, needs_phase1 = initial_basis(prep)
@@ -72,55 +70,47 @@ class TableauSimplexSolver:
         tableau[:, :n] = prep.a.to_dense() if prep.is_sparse else np.asarray(prep.a)
         if needs_phase1:
             tableau[:, n:] = np.eye(m)
-        beta = prep.b.astype(np.float64).copy()
-        in_basis = np.zeros(n_cols, dtype=bool)
-        in_basis[basis] = True
-        stats = IterationStats()
-        self._tracer: TraceCollector | None = None
-        if opts.trace:
-            self._tracer = TraceCollector(
-                self.name,
-                clock=lambda: self.recorder.total_seconds,
-                sections=lambda: self.recorder.by_op,
-                meta={
-                    "m": m,
-                    "n": n,
-                    "pricing": opts.pricing,
-                    "ratio_test": opts.ratio_test,
-                    "dtype": np.dtype(opts.dtype).name,
-                },
-            )
+        self.tableau = tableau
+        self.n_cols = n_cols
+        self.basis = basis
+        self.beta = prep.b.astype(np.float64).copy()
+        self.in_basis = np.zeros(n_cols, dtype=bool)
+        self.in_basis[basis] = True
+        self.stats = IterationStats()
+        self.hooks.arm(
+            clock=lambda: self.recorder.total_seconds,
+            sections=lambda: self.recorder.by_op,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "ratio_test": opts.ratio_test,
+                "dtype": np.dtype(opts.dtype).name,
+            },
+        )
         artificial = np.zeros(n_cols, dtype=bool)
         artificial[n:] = True
+        self.enterable = ~artificial
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = PHASE1_TOL
+        return None
 
-        if needs_phase1:
-            c1 = np.zeros(n_cols)
-            c1[n:] = 1.0
-            status, z1, iters = self._run_phase(
-                prep, tableau, beta, basis, in_basis, c1, ~artificial, stats,
-                phase=1,
-            )
-            stats.phase1_iterations = iters
-            if status is not SolveStatus.OPTIMAL:
-                if status is SolveStatus.UNBOUNDED:
-                    status = SolveStatus.NUMERICAL
-                return self._finish(status, prep, basis, beta, stats, t_wall)
-            feas_scale = max(1.0, float(np.max(np.abs(prep.b), initial=0.0)))
-            if z1 > PHASE1_TOL * feas_scale:
-                return self._finish(
-                    SolveStatus.INFEASIBLE, prep, basis, beta, stats, t_wall,
-                    extra={"phase1_objective": z1},
-                )
-            self._drive_out_artificials(tableau, beta, basis, in_basis, n)
-
-        c2 = np.zeros(n_cols)
-        c2[:n] = prep.c
-        status, z2, iters = self._run_phase(
-            prep, tableau, beta, basis, in_basis, c2, ~artificial, stats,
-            phase=2,
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        n = self.prep.n_total
+        c_full = np.zeros(self.n_cols)
+        if phase == 1:
+            c_full[n:] = 1.0
+        else:
+            c_full[:n] = self.prep.c
+        status, z, iters = self._run_phase(
+            self.prep, self.tableau, self.beta, self.basis, self.in_basis,
+            c_full, self.enterable, self.stats, phase=phase,
         )
-        stats.phase2_iterations = iters
-        return self._finish(status, prep, basis, beta, stats, t_wall)
+        self._z = z
+        return status, iters
+
+    def phase1_objective(self) -> float:
+        return self._z
 
     # ------------------------------------------------------------------
 
@@ -137,7 +127,7 @@ class TableauSimplexSolver:
         phase: int = 2,
     ) -> tuple[SolveStatus, float, int]:
         opts = self.options
-        tr = self._tracer
+        tr = self.hooks if self.hooks.enabled else None
         m, n_cols = tableau.shape
         w = np.dtype(opts.dtype).itemsize
         rule = make_pricing_rule(opts.pricing, opts.stall_window)
@@ -246,10 +236,11 @@ class TableauSimplexSolver:
 
         return finish_phase(SolveStatus.ITERATION_LIMIT, z, iters)
 
-    @staticmethod
-    def _drive_out_artificials(tableau, beta, basis, in_basis, n) -> None:
+    def drive_out_artificials(self) -> None:
         """Pivot zero-valued artificial basics onto real columns in place."""
-        m = tableau.shape[0]
+        tableau, beta = self.tableau, self.beta
+        basis, in_basis = self.basis, self.in_basis
+        n = self.prep.n_total
         for p in np.nonzero(basis >= n)[0]:
             row = tableau[p, :n]
             candidates = np.nonzero((~in_basis[:n]) & (np.abs(row) > 1e-7))[0]
@@ -269,46 +260,16 @@ class TableauSimplexSolver:
             in_basis[q] = True
             basis[p] = q
 
-    # ------------------------------------------------------------------
+    # -- finish participation ------------------------------------------
 
-    def _finish(
-        self,
-        status: SolveStatus,
-        prep: PreparedLP,
-        basis: np.ndarray,
-        beta: np.ndarray,
-        stats: IterationStats,
-        t_wall: float,
-        extra: dict | None = None,
-    ) -> SolveResult:
-        timing = TimingStats(
+    def timing(self, wall_seconds: float) -> TimingStats:
+        return TimingStats(
             modeled_seconds=self.recorder.total_seconds,
-            wall_seconds=time.perf_counter() - t_wall,
+            wall_seconds=wall_seconds,
             kernel_breakdown=dict(self.recorder.by_op),
         )
-        result = SolveResult(
-            status=status,
-            iterations=stats,
-            timing=timing,
-            solver=self.name,
-            extra=extra or {},
-        )
-        if self._tracer is not None:
-            result.trace = self._tracer.trace
-            result.extra["trace"] = result.trace.legacy_tuples()
-        if status is SolveStatus.OPTIMAL:
-            # Artificial basics (redundant rows) sit at zero; they are
-            # filtered by extract_solution's `basis < n_total` mask.
-            x, objective, x_std = extract_solution(prep, basis, beta)
-            result.x = x
-            result.objective = objective
-            result.residuals = SolveResult.compute_residuals(
-                prep.std.a, prep.std.b, x_std
-            )
-            result.extra["basis"] = basis.copy()
-            result.extra["x_std"] = x_std
-            from repro.lp.postsolve import attach_certificate
 
-            attach_certificate(result, prep)
-        record_solve(result)
-        return result
+    def extract(self, result: SolveResult) -> None:
+        # Artificial basics (redundant rows) sit at zero; they are
+        # filtered by extract_solution's `basis < n_total` mask.
+        attach_standard_solution(result, self.prep, self.basis, self.beta)

@@ -19,6 +19,12 @@ All methods accept the same :class:`~repro.simplex.options.SolverOptions`.
 ``tests/test_solve_facade.py`` asserts this list covers every registered
 method, so it cannot drift from ``_METHODS`` again.
 
+Dispatch is data-driven: ``_METHODS`` is the declarative method table of
+:mod:`repro.engine.registry` — one :class:`~repro.engine.registry.MethodSpec`
+per method with a solver factory and capability flags.  Warm-start and
+shared-device support are checked against those flags here, uniformly, so a
+method gains a capability by flipping its flag, not by editing the façade.
+
 For many LPs at once, :func:`solve_batch` / :func:`solve_batch_chain`
 (re-exported here from :mod:`repro.batch`) share one simulated device
 across the solves and price the batch under a sequential or concurrent
@@ -27,93 +33,14 @@ across the solves and price the batch under a sequential or concurrent
 
 from __future__ import annotations
 
-from typing import Callable
-
+from repro.engine.registry import METHODS, warm_start_methods
 from repro.errors import UnknownMethodError
 from repro.lp.problem import LPProblem
 from repro.result import SolveResult
 from repro.simplex.options import SolverOptions
 
-
-def _reject_device(method: str, device) -> None:
-    if device is not None:
-        from repro.errors import SolverError
-
-        raise SolverError(
-            f"method {method!r} runs on the host; sharing a simulated device "
-            "applies to the gpu-* methods only"
-        )
-
-
-def _solve_tableau(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.errors import SolverError
-    from repro.simplex.tableau import TableauSimplexSolver
-
-    _reject_device("tableau", device)
-    if initial_basis is not None:
-        raise SolverError("warm starts are supported by the revised solvers only")
-    return TableauSimplexSolver(options).solve(problem)
-
-
-def _solve_revised(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.simplex.revised_cpu import RevisedSimplexSolver
-
-    _reject_device("revised", device)
-    return RevisedSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
-
-
-def _solve_revised_bounded(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.errors import SolverError
-    from repro.simplex.bounded import BoundedRevisedSimplexSolver
-
-    _reject_device("revised-bounded", device)
-    if initial_basis is not None:
-        raise SolverError("the bounded solver does not support warm starts yet")
-    return BoundedRevisedSimplexSolver(options).solve(problem)
-
-
-def _solve_dual(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.simplex.dual import DualSimplexSolver
-
-    _reject_device("dual", device)
-    return DualSimplexSolver(options).solve(problem, initial_basis_hint=initial_basis)
-
-
-def _solve_gpu_revised(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.core.gpu_revised_simplex import GpuRevisedSimplex
-
-    return GpuRevisedSimplex(options=options, device=device).solve(
-        problem, initial_basis_hint=initial_basis
-    )
-
-
-def _solve_gpu_revised_bounded(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.core.gpu_bounded_simplex import GpuBoundedRevisedSimplex
-    from repro.errors import SolverError
-
-    if initial_basis is not None:
-        raise SolverError("the bounded solvers do not support warm starts yet")
-    return GpuBoundedRevisedSimplex(options=options, device=device).solve(problem)
-
-
-def _solve_gpu_tableau(problem, options, initial_basis=None, device=None) -> SolveResult:
-    from repro.errors import SolverError
-    from repro.core.gpu_tableau_simplex import GpuTableauSimplex
-
-    if initial_basis is not None:
-        raise SolverError("warm starts are supported by the revised solvers only")
-    return GpuTableauSimplex(options=options, device=device).solve(problem)
-
-
-_METHODS: dict[str, Callable[..., SolveResult]] = {
-    "tableau": _solve_tableau,
-    "revised": _solve_revised,
-    "revised-bounded": _solve_revised_bounded,
-    "dual": _solve_dual,
-    "gpu-revised": _solve_gpu_revised,
-    "gpu-revised-bounded": _solve_gpu_revised_bounded,
-    "gpu-tableau": _solve_gpu_tableau,
-}
+#: The method table (name → :class:`~repro.engine.registry.MethodSpec`).
+_METHODS = METHODS
 
 
 def available_methods() -> list[str]:
@@ -141,13 +68,28 @@ def solve(
     if not isinstance(problem, LPProblem):
         raise TypeError(f"expected LPProblem, got {type(problem).__name__}")
     try:
-        runner = _METHODS[method]
+        spec = _METHODS[method]
     except KeyError:
         raise UnknownMethodError(
             f"unknown method {method!r}; available: {available_methods()}"
         ) from None
+    if device is not None and not spec.supports_device:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} runs on the host; sharing a simulated device "
+            "applies to the gpu-* methods only"
+        )
+    if initial_basis is not None and not spec.supports_warm_start:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} does not support warm starts; "
+            f"warm-start methods: {sorted(warm_start_methods())}"
+        )
     opts = (options or SolverOptions()).replace(**option_overrides)
-    return runner(problem, opts, initial_basis, device)
+    solver = spec.factory(opts, device)
+    return solver.solve(problem, initial_basis_hint=initial_basis)
 
 
 # Batch façade re-exports (the batch layer builds on solve(); importing at

@@ -1,0 +1,91 @@
+"""Cross-solver result-shape property: all 7 methods populate the same
+:class:`~repro.result.SolveResult` surface.
+
+The engine lifecycle assembles every result in one place, so an OPTIMAL
+solve must expose the same fields regardless of method: solution vector,
+objective, residuals, iteration stats, modeled timing, basis handles and a
+trace when tracing is on.  A backend that forgets to participate in a
+lifecycle step (``extract``, ``timing``, ``standard_extras``) shows up here
+as a field-population mismatch against its six siblings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import solve
+from repro.lp.generators import random_dense_lp
+from repro.solve import available_methods
+from repro.status import SolveStatus
+
+
+@pytest.fixture(scope="module")
+def results():
+    lp = random_dense_lp(8, 12, seed=3, name="shape-probe")
+    return {
+        method: solve(lp, method=method, trace=True)
+        for method in available_methods()
+    }
+
+
+def _populated_fields(result) -> frozenset:
+    """The shape signature: which core fields a result actually populates."""
+    fields = set()
+    if result.x is not None:
+        fields.add("x")
+    if result.objective is not None:
+        fields.add("objective")
+    if result.residuals:
+        fields.add("residuals")
+    if result.trace is not None:
+        fields.add("trace")
+    if result.iterations is not None:
+        fields.add("iterations")
+    if result.timing is not None:
+        fields.add("timing")
+    for key in ("basis", "x_std", "trace"):
+        if key in result.extra:
+            fields.add(f"extra.{key}")
+    return frozenset(fields)
+
+
+EXPECTED = frozenset(
+    {
+        "x", "objective", "residuals", "trace", "iterations", "timing",
+        "extra.basis", "extra.x_std", "extra.trace",
+    }
+)
+
+
+def test_all_methods_optimal(results):
+    for method, r in results.items():
+        assert r.status is SolveStatus.OPTIMAL, method
+
+
+def test_same_field_population_across_methods(results):
+    shapes = {m: _populated_fields(r) for m, r in results.items()}
+    assert set(shapes.values()) == {EXPECTED}, {
+        m: sorted(EXPECTED.symmetric_difference(s))
+        for m, s in shapes.items()
+        if s != EXPECTED
+    }
+
+
+def test_agreeing_objectives(results):
+    objectives = [r.objective for r in results.values()]
+    assert np.allclose(objectives, objectives[0], rtol=1e-8)
+
+
+def test_common_shape_details(results):
+    for method, r in results.items():
+        assert r.solver, method
+        assert r.timing.modeled_seconds > 0.0, method
+        assert r.timing.kernel_breakdown, method
+        assert r.iterations.total_iterations >= 1, method
+        assert len(r.x) == 12, method
+        assert r.residuals["primal_infeasibility"] < 1e-7, method
+        assert len(r.trace) >= 1, method
+        # the legacy-tuple mirror holds the trace's pivot/flip records
+        # (terminal records like "optimal" are trace-only)
+        assert 1 <= len(r.extra["trace"]) <= len(r.trace), method

@@ -1,0 +1,77 @@
+"""Pytest wrapper around the backend-import architecture lint.
+
+``make lint`` runs ``tools/lint_backend_imports.py`` standalone; this
+wrapper makes the same check part of the tier-1 suite, so a backend that
+reaches around the engine observer (importing :mod:`repro.trace` or
+:mod:`repro.metrics` directly) fails CI even when the Makefile target is
+skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import textwrap
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+
+import lint_backend_imports as lint  # noqa: E402
+
+
+def test_backends_do_not_import_trace_or_metrics():
+    violations = lint.run()
+    assert violations == []
+
+
+def test_lint_catches_direct_import(tmp_path):
+    bad = tmp_path / "bad_backend.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            import repro.trace
+
+            def f():
+                from repro.metrics.instrument import record_solve
+                return record_solve
+            """
+        )
+    )
+    violations = lint.check_file(bad)
+    assert len(violations) == 2
+
+
+def test_lint_allows_engine_and_docstrings(tmp_path):
+    ok = tmp_path / "ok_backend.py"
+    ok.write_text(
+        textwrap.dedent(
+            '''
+            """Mentions repro.trace in prose only."""
+            from repro.engine import SolverBackend
+            from repro.tracefoo import unrelated  # prefix, not the package
+            '''
+        )
+    )
+    assert lint.check_file(ok) == []
+
+
+def test_forbidden_prefix_matching():
+    assert lint._is_forbidden("repro.trace")
+    assert lint._is_forbidden("repro.metrics.instrument")
+    assert not lint._is_forbidden("repro.tracefoo")
+    assert not lint._is_forbidden("repro.engine.hooks")
+
+
+def test_every_backend_module_is_scanned():
+    scanned = {
+        os.path.basename(p)
+        for d in lint.BACKEND_DIRS
+        for p in map(str, (lint.REPO / d).glob("*.py"))
+    }
+    # the seven solver modules must all be in scope of the lint
+    for module in (
+        "tableau.py", "revised_cpu.py", "bounded.py", "dual.py",
+        "gpu_revised_simplex.py", "gpu_tableau_simplex.py",
+        "gpu_bounded_simplex.py",
+    ):
+        assert module in scanned, module

@@ -62,6 +62,74 @@ class TestDispatch:
             solve(textbook_lp, method="revised", pricing="nope")
 
 
+class TestMethodRegistry:
+    """The declarative method table (repro.engine.registry) drives dispatch."""
+
+    def test_facade_dispatches_from_registry(self):
+        import importlib
+
+        from repro.engine.registry import METHODS
+
+        solve_mod = importlib.import_module("repro.solve")
+        assert solve_mod._METHODS is METHODS
+
+    def test_registry_flags_match_backend_capabilities(self):
+        # A spec's supports_warm_start flag must agree with what the
+        # constructed backend actually accepts — the registry is a claim,
+        # the backend class attribute is the implementation.
+        from repro.engine import SolverBackend
+        from repro.engine.registry import METHODS
+
+        for name, spec in METHODS.items():
+            backend = spec.factory(SolverOptions(), None)
+            assert isinstance(backend, SolverBackend), name
+            assert backend.accepts_warm_start == spec.supports_warm_start, name
+
+    def test_registry_capability_sets(self):
+        from repro.engine.registry import device_methods, warm_start_methods
+
+        assert device_methods() == {
+            "gpu-revised", "gpu-revised-bounded", "gpu-tableau",
+        }
+        assert warm_start_methods() == {"revised", "dual", "gpu-revised"}
+
+    def test_batch_sets_derive_from_registry(self):
+        from repro.batch import GPU_METHODS, WARM_START_METHODS
+        from repro.engine.registry import device_methods, warm_start_methods
+
+        assert GPU_METHODS == device_methods()
+        assert WARM_START_METHODS == warm_start_methods()
+
+    @pytest.mark.parametrize(
+        "method", ["tableau", "revised-bounded", "gpu-revised-bounded", "gpu-tableau"]
+    )
+    def test_uniform_warm_start_rejection(self, method, textbook_lp):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError, match="does not support warm start"):
+            solve(textbook_lp, method=method, initial_basis=np.arange(3))
+
+    @pytest.mark.parametrize("method", ["tableau", "revised", "revised-bounded", "dual"])
+    def test_uniform_device_rejection(self, method, textbook_lp):
+        from repro.errors import SolverError
+        from repro.gpu.device import Device
+        from repro.perfmodel.presets import GTX280_PARAMS
+
+        with pytest.raises(SolverError, match="runs on the host"):
+            solve(textbook_lp, method=method, device=Device(GTX280_PARAMS))
+
+    def test_direct_backend_call_rejects_unsupported_hint(self, textbook_lp):
+        # Bypassing the façade must not bypass the capability check: the
+        # engine lifecycle enforces accepts_warm_start itself.
+        from repro.errors import SolverError
+        from repro.simplex.tableau import TableauSimplexSolver
+
+        with pytest.raises(SolverError, match="initial basis hint"):
+            TableauSimplexSolver(SolverOptions()).solve(
+                textbook_lp, initial_basis_hint=np.arange(3)
+            )
+
+
 class TestPackageSurface:
     def test_version(self):
         assert repro.__version__

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Regenerate the engine golden fixture (tests/golden/engine_golden.json).
+
+The fixture pins the *exact* behaviour of every registered solve method on a
+small seeded problem suite: termination status, objective value, the full
+pivot sequence (phase, iteration, entering column, leaving row, event) and
+the modeled machine seconds.  Floats are stored in ``float.hex()`` form so
+the comparison is bit-level, not approximate.
+
+``tests/test_engine_golden.py`` replays the suite and asserts equality; the
+fixture therefore guards any refactor of the solver lifecycle (the
+``repro.engine`` layer) against silent behaviour drift.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/gen_golden.py
+
+and commit the diff only when a behaviour change is intended.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.lp.generators import degenerate_lp, random_dense_lp, random_sparse_lp
+from repro.lp.problem import Bounds, LPProblem
+from repro.solve import available_methods, solve
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "..", "tests", "golden", "engine_golden.json"
+)
+
+
+def boxed_lp() -> LPProblem:
+    """A small boxed problem: finite upper bounds exercise bound flips."""
+    rng = np.random.default_rng(42)
+    m, n = 6, 9
+    a = rng.uniform(0.1, 1.1, size=(m, n))
+    b = rng.uniform(n / 2.0, float(n), size=m)
+    c = rng.uniform(0.1, 1.1, size=n)
+    upper = rng.uniform(0.5, 4.0, size=n)
+    return LPProblem(
+        c=c, a=a, senses=["<="] * m, b=b,
+        bounds=Bounds(np.zeros(n), upper), maximize=True, name="golden-boxed",
+    )
+
+
+def equality_lp() -> LPProblem:
+    """Equality rows force phase 1 and the artificial drive-out path."""
+    rng = np.random.default_rng(7)
+    m, n = 5, 8
+    a = rng.uniform(0.1, 1.1, size=(m, n))
+    x_feas = rng.uniform(0.2, 1.0, size=n)
+    b = a @ x_feas
+    c = rng.uniform(0.1, 1.1, size=n)
+    senses = ["=", "=", "<=", ">=", "="]
+    b = b + np.array([0.0, 0.0, 1.0, -0.5, 0.0])
+    return LPProblem(
+        c=c, a=a, senses=senses, b=b,
+        bounds=Bounds.nonnegative(n), maximize=False, name="golden-equality",
+    )
+
+
+def suite() -> list[LPProblem]:
+    return [
+        random_dense_lp(8, 12, seed=3, name="golden-dense-8x12"),
+        random_dense_lp(14, 10, seed=21, name="golden-dense-14x10"),
+        random_sparse_lp(10, 16, density=0.3, seed=11, name="golden-sparse"),
+        degenerate_lp(7, 9, seed=5),
+        boxed_lp(),
+        equality_lp(),
+    ]
+
+
+def hexf(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "nan"
+    return value.hex()
+
+
+def run_one(problem: LPProblem, method: str) -> dict:
+    result = solve(problem, method=method, dtype=np.float64, trace=True)
+    pivots = []
+    if result.trace is not None:
+        for rec in result.trace:
+            pivots.append(
+                [rec.phase, rec.iteration, rec.event, rec.entering, rec.leaving_row]
+            )
+    return {
+        "solver": result.solver,
+        "status": result.status.value,
+        "objective": hexf(result.objective),
+        "phase1_iterations": result.iterations.phase1_iterations,
+        "phase2_iterations": result.iterations.phase2_iterations,
+        "degenerate_steps": result.iterations.degenerate_steps,
+        "refactorizations": result.iterations.refactorizations,
+        "modeled_seconds": hexf(result.timing.modeled_seconds),
+        "pivots": pivots,
+    }
+
+
+def main() -> None:
+    fixture: dict = {"problems": {}}
+    for problem in suite():
+        per_method: dict = {}
+        for method in available_methods():
+            per_method[method] = run_one(problem, method)
+        fixture["problems"][problem.name] = per_method
+    os.makedirs(os.path.dirname(FIXTURE), exist_ok=True)
+    with open(FIXTURE, "w") as fh:
+        json.dump(fixture, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    n = len(fixture["problems"]) * len(available_methods())
+    print(f"wrote {FIXTURE}: {n} (problem, method) cells")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Lint: solver backend modules must not import repro.trace / repro.metrics.
+
+The engine's observer layer (:mod:`repro.engine.hooks` for trace records,
+:mod:`repro.engine.lifecycle` for metrics emission) is the *only* place
+solver events leave a backend.  A backend that imports :mod:`repro.trace`
+or :mod:`repro.metrics` directly would bypass the observer protocol and
+reintroduce the per-solver instrumentation clones the engine refactor
+removed — this lint turns that architectural rule into a CI failure.
+
+Checked trees (the backend modules):
+
+- ``src/repro/simplex/*.py``  — the CPU methods
+- ``src/repro/core/*.py``     — the GPU methods
+
+Both ``import repro.trace`` / ``import repro.metrics`` statements and
+``from repro.trace import ...`` / ``from repro.metrics import ...`` forms
+are rejected, at any nesting depth (the AST walk sees function-local
+imports too).  Exit status 0 = clean, 1 = violations (one line each).
+
+Run via ``make lint`` or ``python tools/lint_backend_imports.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Module prefixes backends may not import (the observer owns them).
+FORBIDDEN = ("repro.trace", "repro.metrics")
+
+#: Directories holding solver backend modules.
+BACKEND_DIRS = ("src/repro/simplex", "src/repro/core")
+
+
+def _is_forbidden(module: str) -> bool:
+    return any(
+        module == pfx or module.startswith(pfx + ".") for pfx in FORBIDDEN
+    )
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one violation message per forbidden import in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        shown = path.relative_to(REPO)
+    except ValueError:
+        shown = path
+    violations = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if _is_forbidden(alias.name):
+                    violations.append(
+                        f"{shown}:{node.lineno}: "
+                        f"backend imports {alias.name!r} (use the engine "
+                        f"observer hooks instead)"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.level == 0 and _is_forbidden(node.module):
+                violations.append(
+                    f"{shown}:{node.lineno}: "
+                    f"backend imports from {node.module!r} (use the engine "
+                    f"observer hooks instead)"
+                )
+    return violations
+
+
+def run() -> list[str]:
+    violations: list[str] = []
+    for dirname in BACKEND_DIRS:
+        for path in sorted((REPO / dirname).glob("*.py")):
+            violations.extend(check_file(path))
+    return violations
+
+
+def main() -> int:
+    violations = run()
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"lint: {len(violations)} forbidden backend import(s)")
+        return 1
+    n_files = sum(len(list((REPO / d).glob('*.py'))) for d in BACKEND_DIRS)
+    print(f"lint: ok ({n_files} backend modules clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
