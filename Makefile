@@ -6,16 +6,20 @@
 # `make metrics-smoke` runs the canonical metrics workload and validates the
 # Prometheus exposition; `make gate` re-runs it and compares the snapshot
 # against the committed baseline, failing on any metric regression.
+# `make sparse-smoke` exercises the sparse solver path end to end (generate
+# a sparse instance, solve it with the dense and both sparse revised
+# backends, assert the objectives agree).
 # `make lint` enforces the engine-layer architecture (no direct trace/metrics
 # imports inside solver backends); `make verify` is the single pre-commit
-# entry point: tier-1 tests + lint + the metrics regression gate.
+# entry point: tier-1 tests + lint + the sparse smoke + the metrics
+# regression gate.
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
-.PHONY: test test-batch trace-smoke metrics-smoke gate gate-baseline \
-	bench bench-batch lint verify
+.PHONY: test test-batch trace-smoke sparse-smoke metrics-smoke gate \
+	gate-baseline bench bench-batch lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
@@ -23,7 +27,7 @@ test:  ## tier-1: the full test suite
 lint:  ## architecture lint: backends may not import repro.trace/repro.metrics
 	python tools/lint_backend_imports.py
 
-verify: test lint gate  ## pre-commit: tier-1 tests + lint + metrics gate
+verify: test lint sparse-smoke gate  ## pre-commit: tests + lint + smokes + gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
@@ -37,6 +41,19 @@ trace-smoke:  ## end-to-end: repro trace -> merged Chrome JSON -> validate
 		cats = {e.get('cat') for e in doc['traceEvents']}; \
 		assert 'solver-phase' in cats and 'kernel' in cats, cats; \
 		print('trace-smoke ok:', len(doc['traceEvents']), 'events')"
+
+sparse-smoke:  ## end-to-end: sparse instance -> dense + sparse solvers agree
+	$(PYTHONPATH_SRC) python -m repro generate sparse 80 120 --density 0.05 \
+		--seed 11 --out /tmp/sparse-smoke.mps
+	$(PYTHONPATH_SRC) python -c "\
+	from repro.lp.mps import read_mps; \
+	from repro import solve; \
+	lp = read_mps('/tmp/sparse-smoke.mps'); \
+	objs = {m: solve(lp, method=m).objective \
+	        for m in ('revised', 'revised-sparse', 'gpu-revised-sparse')}; \
+	ref = objs['revised']; \
+	assert all(abs(o - ref) <= 1e-6 * max(1.0, abs(ref)) for o in objs.values()), objs; \
+	print('sparse-smoke ok:', objs)"
 
 metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
 	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \

@@ -1,4 +1,4 @@
-"""F6 — sparse random LPs: the revised method's sparse-pricing advantage."""
+"""F6 — sparse LPs: dense vs sparse revised backends, and the crossover."""
 
 from repro.bench.experiments import f6_sparse
 
@@ -18,3 +18,16 @@ def test_f6_sparse(benchmark, sweep_sizes):
         assert z < 0.2 * s * s
     # both machines produce times; speedup series is finite
     assert all(s > 0 for s in table.column("speedup"))
+    # the sparse CPU backend prices sections of CSC columns instead of the
+    # whole matrix: it must beat the dense CPU comparator on every instance
+    for dense_ms, sparse_ms in zip(table.column("cpu ms"), table.column("cpu-sp ms")):
+        assert sparse_ms < dense_ms
+    # dense-vs-sparse GPU crossover on banded instances (density ≲3%):
+    # beyond m ≈ 500 the sparse backend's nnz-proportional basis solves beat
+    # the dense backend's m² kernels
+    crossover = report.tables[1]
+    for band_size, speedup in zip(
+        crossover.column("band size"), crossover.column("sparse speedup")
+    ):
+        if band_size >= 500:
+            assert speedup > 1.0, (band_size, speedup)

@@ -49,7 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve an MPS file")
     p_solve.add_argument("path", help="MPS file to solve")
     p_solve.add_argument("--method", default="gpu-revised",
-                         help="tableau | revised | gpu-revised | gpu-tableau")
+                         help="tableau | revised | revised-sparse | "
+                              "gpu-revised | gpu-revised-sparse | gpu-tableau")
     p_solve.add_argument("--pricing", default="dantzig",
                          help="dantzig | bland | hybrid | devex | steepest-edge")
     p_solve.add_argument("--dtype", default="float64",

@@ -1,0 +1,577 @@
+"""Sparse revised simplex on the (simulated) GPU.
+
+The sparse counterpart of :mod:`repro.core.gpu_revised_simplex`, following
+the explicit-sparse-memory design of Gahrouei & Ghatee (arXiv:1803.04378)
+rather than the paper's dense layout: the constraint matrix stays on the
+device in CSC form, pricing is one ``spmv_csc_t`` launch (the CSC of A *is*
+the CSR of Aᵀ, so one thread per column prices every nonbasic variable),
+and the dense m×m basis inverse — the allocation that capped the dense
+solver's problem size — is replaced by sparse LU factors plus a sparse eta
+file whose device footprint scales with their nonzeros.
+
+Factor placement follows the hybrid scheme real sparse-simplex GPU codes
+use: the triangular solves (FTRAN/BTRAN) launch as device kernels whose
+modeled cost scales with ``nnz(L)+nnz(U)+nnz(etas)``, while the *numerics*
+of those solves are mirrored by a host-side
+:class:`~repro.simplex.sparse_basis.SparseLUBasis` (uncharged — it is the
+functional backing store of the device factors, exactly as dense device
+arrays are backed by host ndarrays).  Refactorisation happens on the host
+— sparse LU pivoting is sequential and branchy, the classic CPU-side step
+— and the fresh factors are uploaded over PCIe, which the model charges.
+
+Per-iteration kernel schedule:
+
+======== ==========================================================
+section  kernels
+======== ==========================================================
+pricing  sparse.btran_lu (π), sparse.spmv_csc_t (Aᵀπ), axpy,
+         mask map, arg-min tree reduction
+ftran    sparse.fill_zero + sparse.scatter_col (a_q), sparse.ftran_lu
+ratio    ratio map kernel, arg-min tree reduction (+ tie-break pass)
+update   β update kernel, sparse.eta_append, scalar HtoD writes
+======== ==========================================================
+
+Runs as a :class:`~repro.engine.backend.SolverBackend`; instrumentation
+flows only through the engine observer hooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import gpu_kernels as K
+from repro.core.gpu_revised_simplex import _GpuPricing
+from repro.engine import SolverBackend, attach_standard_solution, rule_label
+from repro.errors import SingularBasisError, SolverError
+from repro.gpu import blas
+from repro.gpu import reduce as gpured
+from repro.gpu.device import Device
+from repro.gpu.memory import DeviceArray
+from repro.gpu.sparse_kernels import INDEX_BYTES, DeviceCscMatrix, spmv_csc_t
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import (
+    PHASE1_TOL,
+    PreparedLP,
+    initial_basis,
+    phase1_costs,
+    phase2_costs,
+    prepare,
+)
+from repro.simplex.options import SolverOptions
+from repro.simplex.revised_sparse import _as_sparse_prep
+from repro.simplex.sparse_basis import SparseLUBasis, basis_columns_csc
+from repro.status import SolveStatus
+
+
+class GpuSparseRevisedSimplex(SolverBackend):
+    """Two-phase sparse revised simplex on the simulated SIMT device.
+
+    ``solve(problem, initial_basis_hint=...)`` warm-starts from a previous
+    basis: the hint is factorised sparsely on the host and the factors are
+    uploaded (one PCIe round trip).  A singular or primal-infeasible hint
+    falls back to the cold crash basis.  Dense inputs are converted to CSC
+    on entry — this method always runs the sparse data path.
+    """
+
+    name = "gpu-revised-sparse"
+    accepts_warm_start = True
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        device: Device | None = None,
+        gpu_params: GpuModelParams = GTX280_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        if self.options.pricing in ("devex", "steepest-edge"):
+            raise SolverError(
+                f"pricing {self.options.pricing!r} needs tableau columns; "
+                "use the tableau solvers"
+            )
+        self._external_device = device
+        self._gpu_params = gpu_params
+        self._st: "_SparseState | None" = None
+        #: The device of the last solve (statistics inspection).
+        self.device: Device | None = device
+
+    # -- engine backend interface --------------------------------------
+
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
+        opts = self.options
+        self.prep = prep = _as_sparse_prep(prepare(problem, opts))
+        dev = self._external_device or Device(self._gpu_params)
+        self.device = self.dev = dev
+        dev.reset_stats()
+
+        dtype = np.dtype(opts.dtype)
+        eps = float(np.finfo(dtype).eps)
+        self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
+        self._tol_piv = max(opts.tol_pivot, 50 * eps)
+
+        m, n = prep.m, prep.n_total
+        self._st = st = _SparseState(prep, dev, dtype)
+        self.stats = stats = IterationStats()
+        basis, needs_phase1 = initial_basis(prep)
+        st.init_basis(basis)
+        self.hooks.arm(
+            clock=lambda: dev.clock,
+            sections=lambda: dev.stats.sections,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": opts.pricing,
+                "dtype": dtype.name,
+                "device": dev.params.name,
+                "nnz": prep.nnz,
+            },
+        )
+
+        if warm_hint is not None:
+            from repro.simplex.common import validate_warm_basis
+
+            warm = validate_warm_basis(prep, warm_hint)
+            warm_beta = None
+            try:
+                # host-side trial factorisation (the backing store of the
+                # device factors; the upload below is what the model charges)
+                st.lu.refactorize(basis_columns_csc(prep, warm))
+                warm_beta = st.lu.ftran(prep.b)
+            except SingularBasisError:
+                pass
+            if warm_beta is not None and warm_beta.min() >= -1e-7:
+                st.init_basis(warm)
+                st.upload_factor()
+                with dev.timed_section("transfer"):
+                    st.beta.copy_from_host(
+                        np.clip(warm_beta, 0.0, None).astype(dtype)
+                    )
+                needs_phase1 = bool(np.any(warm >= n))
+                stats.refactorizations += 1
+            else:
+                st.lu.reset_identity()
+
+        self.needs_phase1 = needs_phase1
+        self.phase1_feas_tol = max(PHASE1_TOL, 50 * eps)
+        return None
+
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        c_full = phase1_costs(self.prep) if phase == 1 else phase2_costs(self.prep)
+        return self._run_phase(self._st, c_full, self.stats, phase)
+
+    def phase1_objective(self) -> float:
+        return blas.dot(self._st.c_b, self._st.beta)
+
+    def cleanup(self) -> None:
+        if self._st is not None:
+            self._st.free()
+            self._st = None
+
+    # ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        st: "_SparseState",
+        c_full: np.ndarray,
+        stats: IterationStats,
+        phase: int,
+    ) -> tuple[SolveStatus, int]:
+        opts = self.options
+        dev = st.dev
+        prep = st.prep
+        m, n = prep.m, prep.n_total
+        cap = opts.iteration_cap(m, n)
+        pricing = _GpuPricing(opts.pricing, opts.stall_window)
+
+        st.load_phase_costs(c_full)
+        z = blas.dot(st.c_b, st.beta)
+        iters = 0
+        tr = self.hooks if self.hooks.enabled else None
+
+        while iters < cap:
+            iters += 1
+
+            # -- pricing: π = B⁻ᵀ c_B (sparse BTRAN);  d = c − Aᵀπ;  arg-min
+            with dev.timed_section("pricing"):
+                st.btran_lu(st.c_b, st.pi)
+                blas.copy(st.c_real, st.d)
+                spmv_csc_t(st.a_sparse, st.pi, st.tmp_n)
+                blas.axpy(-1.0, st.tmp_n, st.d)
+                choice = pricing.select(st.d, st.mask, st.tmp_n, self._tol_rc)
+            if choice is None:
+                stats.bland_activations += pricing.activations
+                if tr is not None:
+                    tr.record(
+                        phase=phase, iteration=iters, event="optimal",
+                        pricing_rule=rule_label(pricing),
+                        eta_count=st.lu.eta_count, objective=float(z),
+                    )
+                return SolveStatus.OPTIMAL, iters
+            q, d_q = choice
+
+            # -- ftran: α = B⁻¹ a_q through the sparse factors
+            with dev.timed_section("ftran"):
+                st.load_column(q)
+                alpha64 = st.ftran_lu(st.a_q, st.alpha)
+
+            # -- ratio test (device map + reductions, Bland tie-break)
+            with dev.timed_section("ratio"):
+                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, self._tol_piv)
+                p, theta = gpured.argmin(st.ratios)
+                if not np.isfinite(theta):
+                    stats.bland_activations += pricing.activations
+                    if tr is not None:
+                        tr.record(
+                            phase=phase, iteration=iters, event="unbounded",
+                            entering=int(q), pricing_rule=rule_label(pricing),
+                            eta_count=st.lu.eta_count, objective=float(z),
+                        )
+                    return SolveStatus.UNBOUNDED, iters
+                cut = theta * (1.0 + 1e-6) + 1e-30
+                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
+                p2, key = gpured.argmin(st.tmp_m)
+                if np.isfinite(key):
+                    p = p2
+                pivot = st.alpha.scalar_to_host(p)
+            if theta <= opts.tol_zero:
+                stats.degenerate_steps += 1
+            if tr is not None:
+                # uncharged diagnostic peeks at the functional backing store
+                trace_leaving = int(st.basis[p])
+                trace_ties = int(np.count_nonzero(st.ratios.data <= cut))
+
+            # -- update: β, eta file, basis metadata, objective
+            with dev.timed_section("update"):
+                K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+                appended = st.append_eta(alpha64, p, self._tol_piv)
+                if appended:
+                    st.pivot_metadata(p, q, float(c_full[q]))
+            if not appended:
+                # pivot too small for the factors: refactorise and retry
+                if not self._refactor(st, stats):
+                    if tr is not None:
+                        tr.record(
+                            phase=phase, iteration=iters, event="numerical",
+                            entering=int(q), leaving_row=int(p),
+                            pricing_rule=rule_label(pricing), objective=float(z),
+                        )
+                    return SolveStatus.NUMERICAL, iters
+                z = blas.dot(st.c_b, st.beta)
+                continue
+            z += theta * d_q
+            if tr is not None:
+                tr.record(
+                    phase=phase, iteration=iters, event="pivot",
+                    entering=int(q), leaving_row=int(p),
+                    leaving_var=trace_leaving,
+                    pivot=float(pivot), theta=float(theta),
+                    ratio_ties=trace_ties, pricing_rule=rule_label(pricing),
+                    eta_count=st.lu.eta_count, objective=float(z),
+                    degenerate=theta <= opts.tol_zero,
+                )
+            pricing.notify(theta * (-d_q) > 1e-12 * (1.0 + abs(z)))
+
+            # periodic *or* fill-triggered refactorisation
+            if (
+                opts.refactor_period and iters % opts.refactor_period == 0
+            ) or st.lu.needs_refresh():
+                if not self._refactor(st, stats):
+                    return SolveStatus.NUMERICAL, iters
+                z = blas.dot(st.c_b, st.beta)
+
+        stats.bland_activations += pricing.activations
+        return SolveStatus.ITERATION_LIMIT, iters
+
+    def _refactor(self, st: "_SparseState", stats: IterationStats) -> bool:
+        try:
+            st.refactor()
+        except SingularBasisError:
+            return False
+        stats.refactorizations += 1
+        return True
+
+    # ------------------------------------------------------------------
+
+    def drive_out_artificials(self) -> None:
+        """Replace zero-valued artificial basics by real columns: the
+        transformed row e_pᵀB⁻¹A comes from a sparse BTRAN plus one SpMVᵀ."""
+        st = self._st
+        tol_piv = self._tol_piv
+        dev = st.dev
+        prep = st.prep
+        m, n = prep.m, prep.n_total
+        for p in np.nonzero(st.basis >= n)[0]:
+            p = int(p)
+            e_p = np.zeros(m)
+            e_p[p] = 1.0
+            with dev.timed_section("transfer"):
+                st.tmp_m.copy_from_host(e_p.astype(st.dtype))
+            st.btran_lu(st.tmp_m, st.tmp_m)
+            spmv_csc_t(st.a_sparse, st.tmp_m, st.tmp_n)
+            alpha_row = st.tmp_n.copy_to_host().astype(np.float64)
+            eligible = (~st.in_basis[:n]) & (np.abs(alpha_row) > 1e-5)
+            candidates = np.nonzero(eligible)[0]
+            if candidates.size == 0:
+                continue  # redundant row; artificial stays basic at zero
+            j = int(candidates[np.argmax(np.abs(alpha_row[candidates]))])
+            st.load_column(j)
+            alpha64 = st.ftran_lu(st.a_q, st.alpha)
+            pivot = float(alpha64[p])
+            if abs(pivot) <= tol_piv:
+                continue
+            beta_p = st.beta.scalar_to_host(p)
+            theta = beta_p / pivot
+            K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+            if not st.append_eta(alpha64, p, tol_piv):
+                continue
+            st.pivot_metadata(p, j, 0.0)
+
+    # -- finish participation ------------------------------------------
+
+    def timing(self, wall_seconds: float) -> TimingStats:
+        dev = self.dev
+        breakdown = dict(dev.stats.sections)
+        breakdown["transfer"] = dev.stats.transfer_seconds
+        return TimingStats(
+            modeled_seconds=dev.clock,
+            wall_seconds=wall_seconds,
+            transfer_seconds=dev.stats.transfer_seconds,
+            kernel_breakdown=breakdown,
+        )
+
+    def standard_extras(self, result: SolveResult) -> None:
+        dev = self.dev
+        st = self._st
+        result.extra["device"] = dev.params.name
+        result.extra["kernel_launches"] = dev.stats.kernel_launches
+        result.extra["kernel_bytes"] = sum(
+            rec.bytes for rec in dev.stats.by_kernel.values()
+        )
+        result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        if st is not None:
+            result.extra["a_nnz"] = st.prep.nnz
+            result.extra["lu_nnz"] = st.lu.lu_nnz
+            result.extra["eta_nnz"] = st.lu.eta_nnz
+            result.extra["fill_ratio"] = st.lu.fill_ratio
+
+    def extract(self, result: SolveResult) -> None:
+        st = self._st
+        beta_host = st.beta.copy_to_host().astype(np.float64)
+        attach_standard_solution(result, self.prep, st.basis, beta_host)
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        # the solution download in extract() advanced the clock; the
+        # reported machine time must include it
+        dev = self.dev
+        result.timing.modeled_seconds = dev.clock
+        result.timing.transfer_seconds = dev.stats.transfer_seconds
+        result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+
+
+class _SparseState:
+    """Device-resident sparse solver state plus host-side bookkeeping.
+
+    The device holds: the CSC constraint matrix, all dense m/n work vectors,
+    a byte buffer standing for the packed LU factors and one small buffer
+    per sparse eta.  The host mirrors the factor *numerics* in ``self.lu``
+    (the functional backing store) and the basis index bookkeeping.
+    """
+
+    def __init__(self, prep: PreparedLP, dev: Device, dtype: np.dtype):
+        self.prep = prep
+        self.dev = dev
+        self.dtype = dtype
+        m, n = prep.m, prep.n_total
+        self._w = int(np.dtype(dtype).itemsize)
+
+        self.lu = SparseLUBasis(m, recorder=None)
+        self.factor_buf: DeviceArray | None = None
+        self.eta_bufs: list[DeviceArray] = []
+        try:
+            with dev.timed_section("transfer"):
+                self.a_sparse = DeviceCscMatrix(dev, prep.a, dtype)
+                self.b = dev.to_device(prep.b, dtype)
+                self.beta = dev.to_device(prep.b, dtype)
+                self.c_real = dev.to_device(np.zeros(n), dtype)
+                self.c_b = dev.to_device(np.zeros(m), dtype)
+                self.mask = dev.to_device(np.ones(n), dtype)
+            self.pi = dev.zeros(m, dtype)
+            self.d = dev.zeros(n, dtype)
+            self.tmp_n = dev.zeros(n, dtype)
+            self.tmp_m = dev.zeros(m, dtype)
+            self.basis_keys = dev.zeros(m, dtype)
+            self.a_q = dev.zeros(m, dtype)
+            self.alpha = dev.zeros(m, dtype)
+            self.ratios = dev.zeros(m, dtype)
+            self.upload_factor()  # identity factors of the crash basis
+        except Exception:
+            # a failed allocation (device OOM) must not leak what was
+            # already placed on the card
+            self.free()
+            raise
+
+        self.basis = np.zeros(m, dtype=np.int64)
+        self.in_basis = np.zeros(n + m, dtype=bool)
+
+    # -- factor placement --------------------------------------------------
+
+    def _factor_nbytes(self) -> int:
+        return max(1, self.lu.lu_nnz * (self._w + INDEX_BYTES))
+
+    def upload_factor(self) -> None:
+        """(Re)place the packed factors on the device; frees stale etas.
+
+        The upload is a real HtoD transfer in the model — refactorisation
+        is host work and the fresh factors must cross PCIe.
+        """
+        for buf in self.eta_bufs:
+            if not buf.is_freed:
+                buf.free()
+        self.eta_bufs.clear()
+        if self.factor_buf is not None and not self.factor_buf.is_freed:
+            self.factor_buf.free()
+        with self.dev.timed_section("transfer"):
+            self.factor_buf = self.dev.to_device(
+                np.zeros(self._factor_nbytes(), dtype=np.uint8)
+            )
+
+    def _lu_solve_cost(self) -> OpCost:
+        # Vector-style level-scheduled triangular solve (cuSPARSE csrsv2
+        # lineage): one thread per stored nonzero, columns of a level in
+        # parallel, factor segments streamed contiguously.  Same thread and
+        # coalescing convention as the SpMV kernels above it in the stack.
+        work = self.lu.lu_nnz + self.lu.eta_nnz
+        m = self.prep.m
+        w = self._w
+        return OpCost(
+            flops=2.0 * work,
+            bytes_read=work * (w + INDEX_BYTES) + m * w,
+            bytes_written=m * w,
+            threads=max(1, work),
+            coalesced_fraction=0.6,
+        )
+
+    def ftran_lu(self, src: DeviceArray, dst: DeviceArray) -> np.ndarray:
+        """α := B⁻¹ src through the device factors; returns the exact
+        float64 result (the factor mirror's arithmetic) for the eta update."""
+        holder: dict[str, np.ndarray] = {}
+
+        def body() -> None:
+            x = self.lu.ftran(src.data.astype(np.float64))
+            holder["x"] = x
+            dst.data[:] = x.astype(self.dtype)
+
+        self.dev.launch("sparse.ftran_lu", body, self._lu_solve_cost(), dtype=self.dtype)
+        return holder["x"]
+
+    def btran_lu(self, src: DeviceArray, dst: DeviceArray) -> None:
+        """dst := B⁻ᵀ src through the device factors."""
+
+        def body() -> None:
+            pi = self.lu.btran(src.data.astype(np.float64))
+            dst.data[:] = pi.astype(self.dtype)
+
+        self.dev.launch("sparse.btran_lu", body, self._lu_solve_cost(), dtype=self.dtype)
+
+    def append_eta(self, alpha64: np.ndarray, p: int, tol_pivot: float) -> bool:
+        """Mirror the pivot into the factor file and charge the device eta
+        kernel + its buffer; False when the pivot is below tolerance."""
+        before = self.lu.eta_nnz
+        try:
+            self.lu.update(alpha64, p, tol_pivot)
+        except SingularBasisError:
+            return False
+        added = self.lu.eta_nnz - before
+        m = self.prep.m
+        w = self._w
+        # the kernel scans α once and writes the compacted eta column
+        self.dev.launch(
+            "sparse.eta_append",
+            lambda: None,  # numerics live in the host factor mirror
+            OpCost(
+                flops=float(m),
+                bytes_read=m * w,
+                bytes_written=added * (w + INDEX_BYTES),
+                threads=max(1, m),
+                coalesced_fraction=0.6,
+            ),
+            dtype=self.dtype,
+        )
+        self.eta_bufs.append(
+            self.dev.alloc(max(1, added * (w + INDEX_BYTES)), np.uint8)
+        )
+        return True
+
+    def refactor(self) -> None:
+        """Host refactorisation from the basis' CSC columns, PCIe upload,
+        and a device β refresh through the fresh factors."""
+        self.lu.refactorize(basis_columns_csc(self.prep, self.basis))
+        self.upload_factor()
+        self.ftran_lu(self.b, self.beta)
+        K.clamp_nonneg_kernel(self.dev, self.beta)
+
+    # -- basis bookkeeping ------------------------------------------------
+
+    def init_basis(self, basis: np.ndarray) -> None:
+        self.basis = basis.astype(np.int64).copy()
+        self.in_basis = np.zeros(self.prep.n_total + self.prep.m, dtype=bool)
+        self.in_basis[self.basis] = True
+        mask_host = np.where(self.in_basis[: self.prep.n_total], 0.0, 1.0)
+        with self.dev.timed_section("transfer"):
+            self.mask.copy_from_host(mask_host.astype(self.dtype))
+            self.basis_keys.copy_from_host(self.basis.astype(self.dtype))
+
+    def load_phase_costs(self, c_full: np.ndarray) -> None:
+        """Upload the phase cost data: c over real columns and c_B."""
+        n = self.prep.n_total
+        with self.dev.timed_section("transfer"):
+            self.c_real.copy_from_host(c_full[:n].astype(self.dtype))
+            self.c_b.copy_from_host(c_full[self.basis].astype(self.dtype))
+
+    def load_column(self, j: int) -> None:
+        """a_q := column j (CSC scatter or synthesised artificial e_i)."""
+        n = self.prep.n_total
+        if j >= n:
+            K.unit_vector(self.dev, self.a_q, j - n)
+        else:
+            self.a_sparse.getcol_device(j, self.a_q)
+
+    def pivot_metadata(self, p: int, q: int, c_q: float) -> None:
+        """Host-side basis swap + the device metadata writes it entails."""
+        leaving = int(self.basis[p])
+        n = self.prep.n_total
+        self.in_basis[leaving] = False
+        self.in_basis[q] = True
+        self.basis[p] = q
+        if q < n:
+            self.mask.set_scalar(q, 0.0)
+        if leaving < n:
+            self.mask.set_scalar(leaving, 1.0)
+        self.c_b.set_scalar(p, c_q)
+        self.basis_keys.set_scalar(p, float(q))
+
+    def free(self) -> None:
+        """Release every device allocation; tolerates partially-constructed
+        state (OOM during ``__init__``)."""
+        for name in (
+            "b", "beta", "c_real", "c_b", "mask",
+            "pi", "d", "tmp_n", "tmp_m", "basis_keys",
+            "a_q", "alpha", "ratios",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None and not arr.is_freed:
+                arr.free()
+        if self.factor_buf is not None and not self.factor_buf.is_freed:
+            self.factor_buf.free()
+        for buf in self.eta_bufs:
+            if not buf.is_freed:
+                buf.free()
+        self.eta_bufs.clear()
+        a = getattr(self, "a_sparse", None)
+        if a is not None and not a.data.is_freed:
+            a.free()

@@ -62,6 +62,12 @@ def _dual(options: SolverOptions, device: Any):
     return DualSimplexSolver(options)
 
 
+def _revised_sparse(options: SolverOptions, device: Any):
+    from repro.simplex.revised_sparse import SparseRevisedSimplexSolver
+
+    return SparseRevisedSimplexSolver(options)
+
+
 def _gpu_revised(options: SolverOptions, device: Any):
     from repro.core.gpu_revised_simplex import GpuRevisedSimplex
 
@@ -72,6 +78,12 @@ def _gpu_revised_bounded(options: SolverOptions, device: Any):
     from repro.core.gpu_bounded_simplex import GpuBoundedRevisedSimplex
 
     return GpuBoundedRevisedSimplex(options=options, device=device)
+
+
+def _gpu_revised_sparse(options: SolverOptions, device: Any):
+    from repro.core.gpu_sparse_simplex import GpuSparseRevisedSimplex
+
+    return GpuSparseRevisedSimplex(options=options, device=device)
 
 
 def _gpu_tableau(options: SolverOptions, device: Any):
@@ -86,9 +98,14 @@ METHODS: "dict[str, MethodSpec]" = {
         MethodSpec("tableau", _tableau),
         MethodSpec("revised", _revised, supports_warm_start=True),
         MethodSpec("revised-bounded", _revised_bounded),
+        MethodSpec("revised-sparse", _revised_sparse, supports_warm_start=True),
         MethodSpec("dual", _dual, supports_warm_start=True),
         MethodSpec(
             "gpu-revised", _gpu_revised,
+            supports_warm_start=True, supports_device=True,
+        ),
+        MethodSpec(
+            "gpu-revised-sparse", _gpu_revised_sparse,
             supports_warm_start=True, supports_device=True,
         ),
         MethodSpec(

@@ -15,6 +15,7 @@ from repro.errors import DeviceArrayError
 from repro.gpu.device import Device
 from repro.gpu.memory import DeviceArray
 from repro.perfmodel.ops import OpCost
+from repro.sparse.base import segment_sums
 from repro.sparse.csc import CscMatrix
 from repro.sparse.csr import CsrMatrix
 
@@ -67,6 +68,14 @@ class DeviceCscMatrix:
         self.nnz = host.nnz
         self.dtype = np.dtype(dtype)
         self.device = device
+        #: Host-resident mirror of the column pointers, captured at upload.
+        #: Real sparse GPU codes keep the pointer array on the host for
+        #: exactly this: the launch parameters of a column scatter (lo, hi)
+        #: are host scalars, and reading them from device memory would
+        #: either cost a DtoH transfer per column or — as the old code did
+        #: by peeking at ``self.indptr.data`` — silently bypass the device
+        #: cost model.
+        self.host_indptr = host.indptr.astype(np.int64, copy=True)
         try:
             self.indptr = device.to_device(host.indptr.astype(np.int32))
             self.indices = device.to_device(host.indices.astype(np.int32))
@@ -99,8 +108,8 @@ class DeviceCscMatrix:
             raise DeviceArrayError("output vector has wrong length")
         dev = self.device
         w = out.itemsize
-        lo = int(self.indptr.data[j])
-        hi = int(self.indptr.data[j + 1])
+        lo = int(self.host_indptr[j])
+        hi = int(self.host_indptr[j + 1])
         col_nnz = hi - lo
 
         dev.launch(
@@ -140,13 +149,8 @@ def spmv_csr(a: DeviceCsrMatrix, x: DeviceArray, y: DeviceArray) -> None:
 
     def body() -> None:
         host = a  # device-resident structure
-        indptr = host.indptr.data.astype(np.int64)
         prods = host.data.data.astype(np.float64) * x.data[host.indices.data]
-        out = np.add.reduceat(
-            np.concatenate([prods, [0.0]]), np.minimum(indptr[:-1], prods.size)
-        )
-        lengths = np.diff(indptr)
-        y.data[:] = np.where(lengths > 0, out, 0.0).astype(y.dtype)
+        y.data[:] = segment_sums(prods, host.indptr.data).astype(y.dtype)
 
     cost = OpCost(
         flops=2 * a.nnz,
@@ -176,13 +180,8 @@ def spmv_csc_t(a: DeviceCscMatrix, x: DeviceArray, y: DeviceArray) -> None:
     w = x.itemsize
 
     def body() -> None:
-        indptr = a.indptr.data.astype(np.int64)
         prods = a.data.data.astype(np.float64) * x.data[a.indices.data]
-        out = np.add.reduceat(
-            np.concatenate([prods, [0.0]]), np.minimum(indptr[:-1], prods.size)
-        )
-        lengths = np.diff(indptr)
-        y.data[:] = np.where(lengths > 0, out, 0.0).astype(y.dtype)
+        y.data[:] = segment_sums(prods, a.indptr.data).astype(y.dtype)
 
     cost = OpCost(
         flops=2 * a.nnz,

@@ -346,4 +346,8 @@ def make_basis(
         return ProductFormBasis(m, recorder)
     if kind == "lu":
         return LUBasis(m, recorder)
+    if kind == "sparse-lu":
+        from repro.simplex.sparse_basis import SparseLUBasis
+
+        return SparseLUBasis(m, recorder)
     raise ValueError(f"unknown basis update {kind!r}")

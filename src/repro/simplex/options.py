@@ -15,7 +15,7 @@ PRICING_RULES = ("dantzig", "bland", "hybrid", "devex", "steepest-edge")
 RATIO_TESTS = ("standard", "harris")
 
 #: Basis-update strategies of the revised solvers.
-BASIS_UPDATES = ("explicit", "pfi", "lu")
+BASIS_UPDATES = ("explicit", "pfi", "lu", "sparse-lu")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -37,7 +37,11 @@ class SolverOptions:
     basis_update:
         Revised solvers only: ``explicit`` keeps B⁻¹ explicitly and applies
         rank-1 eta updates (the paper's scheme); ``pfi`` keeps a product-form
-        eta file over a refactorised base.
+        eta file over a refactorised base; ``lu`` refactorises into dense LU
+        triangular factors; ``sparse-lu`` factorises the basis sparsely from
+        its CSC columns with sparse eta updates (the default of the
+        ``revised-sparse`` methods, which additionally refactorise early
+        when fill-in grows).
     max_iterations:
         Per-phase iteration cap; 0 means the dimension-derived default
         ``50 * (m + n)``.

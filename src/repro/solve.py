@@ -6,10 +6,15 @@
 - ``"revised"``      — CPU dense revised simplex (the paper's comparator).
 - ``"revised-bounded"`` — CPU revised simplex with native upper-bound
   handling (bound flips instead of extra rows).
+- ``"revised-sparse"`` — CPU sparse revised simplex: CSC data, sparse LU
+  basis factors with a sparse eta file, sectioned partial pricing.
 - ``"dual"``         — CPU dual simplex (re-optimization after rhs changes
   from a dual-feasible warm basis).
 - ``"gpu-revised"``  — the paper's contribution: revised simplex on the
   simulated GPU.
+- ``"gpu-revised-sparse"`` — sparse revised simplex on the simulated GPU:
+  device CSC matrix, SpMVᵀ pricing, sparse LU factors instead of the
+  dense m×m basis inverse.
 - ``"gpu-revised-bounded"`` — the GPU revised simplex with native
   upper-bound handling (bound flips on the device).
 - ``"gpu-tableau"``  — full-tableau simplex on the simulated GPU (the A3

@@ -9,6 +9,29 @@ import numpy as np
 from repro.errors import SparseFormatError
 
 
+def segment_sums(data: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``data`` partitioned by ``indptr`` boundaries.
+
+    Segment ``i`` covers ``data[indptr[i]:indptr[i+1]]``; the result has
+    ``len(indptr) - 1`` entries.  This is the single shared implementation of
+    the ``np.add.reduceat`` empty-segment workaround (previously copy-pasted
+    across both host formats and both device SpMV kernels): a sentinel 0.0 is
+    appended so start indices can be clamped into range, and zero-length
+    segments — for which ``reduceat`` reports the *next* segment's first
+    element — are forced to 0.0.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    if indptr.size <= 1:
+        return np.zeros(0, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    out = np.add.reduceat(
+        np.concatenate([data, [0.0]]),
+        np.minimum(indptr[:-1], data.size),
+    )
+    lengths = np.diff(indptr)
+    return np.asarray(np.where(lengths > 0, out, 0.0), dtype=np.float64)
+
+
 class SparseMatrix(abc.ABC):
     """Abstract base: shape/nnz bookkeeping and format-neutral helpers."""
 

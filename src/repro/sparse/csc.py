@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SparseFormatError
-from repro.sparse.base import SparseMatrix
+from repro.sparse.base import SparseMatrix, segment_sums
 
 
 class CscMatrix(SparseMatrix):
@@ -74,13 +74,7 @@ class CscMatrix(SparseMatrix):
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         y = self._rmatvec_check(y)
         prods = self.data * y[self.indices]
-        out = np.add.reduceat(
-            np.concatenate([prods, [0.0]]),
-            np.minimum(self.indptr[:-1], prods.size),
-        ) if self.shape[1] else np.zeros(0)
-        lengths = np.diff(self.indptr)
-        out = np.where(lengths > 0, out, 0.0)
-        return np.asarray(out, dtype=np.float64)
+        return segment_sums(prods, self.indptr)  # one sum per column
 
     # -- column access ------------------------------------------------------------
 
@@ -114,7 +108,11 @@ class CscMatrix(SparseMatrix):
         return self.tocoo().tocsr()
 
     def transpose(self):
-        """Aᵀ as CSC."""
+        """Aᵀ as CSR — a pure buffer reinterpretation, O(nnz) copies.
+
+        This CSC *is* the CSR of the transpose, so no sort through COO is
+        needed; use ``.tocsc()`` on the result if Aᵀ is wanted column-major.
+        """
         from repro.sparse.csr import CsrMatrix
 
         return CsrMatrix(
@@ -122,4 +120,4 @@ class CscMatrix(SparseMatrix):
             self.indptr.copy(),
             self.indices.copy(),
             self.data.copy(),
-        ).tocsc()
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SparseFormatError
-from repro.sparse.base import SparseMatrix
+from repro.sparse.base import SparseMatrix, segment_sums
 
 
 class CsrMatrix(SparseMatrix):
@@ -73,15 +73,7 @@ class CsrMatrix(SparseMatrix):
     def matvec(self, x: np.ndarray) -> np.ndarray:
         x = self._matvec_check(x)
         prods = self.data * x[self.indices]
-        # segment sum per row
-        out = np.add.reduceat(
-            np.concatenate([prods, [0.0]]),
-            np.minimum(self.indptr[:-1], prods.size),
-        ) if self.shape[0] else np.zeros(0)
-        # reduceat quirk: empty rows pick up the next segment's first element
-        lengths = np.diff(self.indptr)
-        out = np.where(lengths > 0, out, 0.0)
-        return np.asarray(out, dtype=np.float64)
+        return segment_sums(prods, self.indptr)  # one sum per row
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
         y = self._rmatvec_check(y)
@@ -122,16 +114,19 @@ class CsrMatrix(SparseMatrix):
         return self.tocoo().tocsc()
 
     def transpose(self):
-        """Aᵀ as CSR (equivalently: reinterpret this CSR as CSC of Aᵀ)."""
+        """Aᵀ as CSC — a pure buffer reinterpretation, O(nnz) copies.
+
+        This CSR *is* the CSC of the transpose, so no sort through COO is
+        needed; use ``.tocsr()`` on the result if Aᵀ is wanted row-major.
+        """
         from repro.sparse.csc import CscMatrix
 
-        # This CSR *is* the CSC of the transpose.
         return CscMatrix(
             (self.shape[1], self.shape[0]),
             self.indptr.copy(),
             self.indices.copy(),
             self.data.copy(),
-        ).tocsr()
+        )
 
     def prune(self, tol: float = 0.0) -> "CsrMatrix":
         """Drop entries of magnitude <= tol (counters fill-in from updates)."""

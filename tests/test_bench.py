@@ -175,7 +175,9 @@ class TestExperimentsSmoke:
     def test_f6_small(self):
         from repro.bench.experiments import f6_sparse
 
-        assert "nnz" in f6_sparse(sizes=(32,), density=0.1).render()
+        out = f6_sparse(sizes=(32,), density=0.1, crossover_sizes=(48,)).render()
+        assert "nnz" in out
+        assert "gpu-sp ms" in out and "sparse speedup" in out
 
     def test_dispatcher_unknown(self, capsys):
         from repro.bench.experiments import main

@@ -68,10 +68,12 @@ def test_every_backend_module_is_scanned():
         for d in lint.BACKEND_DIRS
         for p in map(str, (lint.REPO / d).glob("*.py"))
     }
-    # the seven solver modules must all be in scope of the lint
+    # every solver module — including the sparse backends and their
+    # basis/pricing support modules — must be in scope of the lint
     for module in (
         "tableau.py", "revised_cpu.py", "bounded.py", "dual.py",
+        "revised_sparse.py", "sparse_basis.py", "sparse_pricing.py",
         "gpu_revised_simplex.py", "gpu_tableau_simplex.py",
-        "gpu_bounded_simplex.py",
+        "gpu_bounded_simplex.py", "gpu_sparse_simplex.py",
     ):
         assert module in scanned, module

@@ -11,7 +11,11 @@ from repro.simplex.options import SolverOptions
 
 
 class TestDispatch:
-    @pytest.mark.parametrize("method", ["tableau", "revised", "gpu-revised", "gpu-tableau"])
+    @pytest.mark.parametrize(
+        "method",
+        ["tableau", "revised", "revised-sparse",
+         "gpu-revised", "gpu-revised-sparse", "gpu-tableau"],
+    )
     def test_all_methods_reachable(self, method, textbook_lp):
         r = solve(textbook_lp, method=method)
         assert r.status is SolveStatus.OPTIMAL
@@ -19,8 +23,9 @@ class TestDispatch:
 
     def test_available_methods(self):
         assert set(available_methods()) == {
-            "tableau", "revised", "revised-bounded", "dual",
-            "gpu-revised", "gpu-revised-bounded", "gpu-tableau",
+            "tableau", "revised", "revised-bounded", "revised-sparse", "dual",
+            "gpu-revised", "gpu-revised-sparse", "gpu-revised-bounded",
+            "gpu-tableau",
         }
 
     def test_docstring_lists_every_method(self):
@@ -89,9 +94,13 @@ class TestMethodRegistry:
         from repro.engine.registry import device_methods, warm_start_methods
 
         assert device_methods() == {
-            "gpu-revised", "gpu-revised-bounded", "gpu-tableau",
+            "gpu-revised", "gpu-revised-sparse", "gpu-revised-bounded",
+            "gpu-tableau",
         }
-        assert warm_start_methods() == {"revised", "dual", "gpu-revised"}
+        assert warm_start_methods() == {
+            "revised", "revised-sparse", "dual",
+            "gpu-revised", "gpu-revised-sparse",
+        }
 
     def test_batch_sets_derive_from_registry(self):
         from repro.batch import GPU_METHODS, WARM_START_METHODS

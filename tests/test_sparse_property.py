@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sparse import CooMatrix, CscMatrix, CsrMatrix
+from repro.sparse import CooMatrix, CscMatrix, CsrMatrix, segment_sums
 
 
 @st.composite
@@ -90,3 +90,126 @@ def test_prune_drops_exactly_small_entries(dense, tol):
     expected = dense.copy()
     expected[np.abs(expected) <= tol] = 0.0
     np.testing.assert_array_equal(pruned.to_dense(), expected)
+
+
+# ---------------------------------------------------------------------------
+# segment_sums — the shared segmented reduction behind every SpMV
+# ---------------------------------------------------------------------------
+
+# The reduceat workaround it replaced was wrong for *empty segments*, so the
+# edge cases concentrate there: leading, trailing, consecutive, and all-empty.
+EMPTY_SEGMENT_PATTERNS = [
+    # (name, segment lengths)
+    ("leading-empty", [0, 2, 3]),
+    ("trailing-empty", [3, 2, 0]),
+    ("consecutive-empty", [2, 0, 0, 0, 1]),
+    ("interior-empty", [1, 0, 2]),
+    ("all-empty", [0, 0, 0, 0]),
+    ("single-empty", [0]),
+    ("single-full", [4]),
+]
+
+
+@pytest.mark.parametrize(
+    "lengths", [p[1] for p in EMPTY_SEGMENT_PATTERNS],
+    ids=[p[0] for p in EMPTY_SEGMENT_PATTERNS],
+)
+def test_segment_sums_empty_segment_patterns(lengths):
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=int(indptr[-1]))
+    out = segment_sums(data, indptr)
+    expected = [data[indptr[i]:indptr[i + 1]].sum() for i in range(len(lengths))]
+    np.testing.assert_allclose(out, expected)
+    # empty segments are exactly zero, not reduceat's neighbour-copy garbage
+    for i, length in enumerate(lengths):
+        if length == 0:
+            assert out[i] == 0.0
+
+
+def test_segment_sums_no_segments():
+    np.testing.assert_array_equal(segment_sums(np.zeros(0), np.array([0])), [])
+    np.testing.assert_array_equal(segment_sums(np.zeros(0), np.array([])), [])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    lengths=st.lists(st.integers(0, 5), min_size=1, max_size=20),
+    seed=st.integers(0, 2**31),
+)
+def test_segment_sums_matches_python_loop(lengths, seed):
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    data = np.random.default_rng(seed).normal(size=int(indptr[-1]))
+    out = segment_sums(data, indptr)
+    expected = [data[indptr[i]:indptr[i + 1]].sum() for i in range(len(lengths))]
+    np.testing.assert_allclose(out, expected, atol=1e-12)
+
+
+def _empty_row_col_cases():
+    """Dense matrices whose sparse forms have empty rows/columns."""
+    z = np.zeros
+    cases = {
+        "nnz-0": z((3, 4)),
+        "leading-empty-row": np.vstack([z((2, 3)), np.ones((2, 3))]),
+        "trailing-empty-col": np.hstack([np.ones((3, 2)), z((3, 2))]),
+        "checker-empty": np.diag([1.0, 0.0, 2.0, 0.0, 3.0]),
+        "single-entry": np.pad([[7.0]], ((3, 3), (2, 2))),
+    }
+    rng = np.random.default_rng(1)
+    interior = rng.normal(size=(6, 5))
+    interior[2:5, :] = 0.0   # three consecutive empty rows
+    interior[:, 1:3] = 0.0   # two consecutive empty columns
+    cases["consecutive-empty-bands"] = interior
+    return cases
+
+
+@pytest.mark.parametrize(
+    "dense", list(_empty_row_col_cases().values()),
+    ids=list(_empty_row_col_cases().keys()),
+)
+def test_host_spmv_with_empty_rows_and_columns(dense):
+    # both host formats route through segment_sums (CSR matvec over rows,
+    # CSC rmatvec over columns); empty segments must yield exact zeros
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=dense.shape[1])
+    y = rng.normal(size=dense.shape[0])
+    csr = CsrMatrix.from_dense(dense)
+    csc = CscMatrix.from_dense(dense)
+    np.testing.assert_allclose(csr.matvec(x), dense @ x, atol=1e-12)
+    np.testing.assert_allclose(csc.matvec(x), dense @ x, atol=1e-12)
+    np.testing.assert_allclose(csr.rmatvec(y), dense.T @ y, atol=1e-12)
+    np.testing.assert_allclose(csc.rmatvec(y), dense.T @ y, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# transpose() — direct buffer reinterpretation, no COO round-trip
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(dense=sparse_instances())
+def test_transpose_equals_dense_transpose(dense):
+    csr = CsrMatrix.from_dense(dense)
+    csc = CscMatrix.from_dense(dense)
+    rt = csr.transpose()
+    ct = csc.transpose()
+    assert isinstance(rt, CscMatrix)   # CSRᵀ *is* a CSC buffer
+    assert isinstance(ct, CsrMatrix)   # CSCᵀ *is* a CSR buffer
+    np.testing.assert_array_equal(rt.to_dense(), dense.T)
+    np.testing.assert_array_equal(ct.to_dense(), dense.T)
+
+
+def test_transpose_copies_buffers():
+    dense = np.array([[1.0, 0.0], [2.0, 3.0]])
+    csr = CsrMatrix.from_dense(dense)
+    t = csr.transpose()
+    t.data[0] = 99.0
+    np.testing.assert_array_equal(csr.to_dense(), dense)  # original untouched
+
+
+def test_double_transpose_roundtrips():
+    dense = np.diag([1.0, 0.0, 2.0])
+    for mat in (CsrMatrix.from_dense(dense), CscMatrix.from_dense(dense)):
+        np.testing.assert_array_equal(
+            mat.transpose().transpose().to_dense(), dense
+        )
