@@ -9,25 +9,28 @@
 # `make sparse-smoke` exercises the sparse solver path end to end (generate
 # a sparse instance, solve it with the dense and both sparse revised
 # backends, assert the objectives agree).
-# `make lint` enforces the engine-layer architecture (no direct trace/metrics
-# imports inside solver backends); `make verify` is the single pre-commit
-# entry point: tier-1 tests + lint + the sparse smoke + the metrics
+# `make serve-smoke` replays a small arrival trace through the serving layer
+# (fleet beats sequential, warm-start cache hits land).
+# `make lint` enforces the layering architecture (no direct trace/metrics
+# imports inside solver backends; serve modules reach metrics only through
+# the instrument façade); `make verify` is the single pre-commit entry
+# point: tier-1 tests + lint + the sparse and serve smokes + the metrics
 # regression gate.
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
-.PHONY: test test-batch trace-smoke sparse-smoke metrics-smoke gate \
-	gate-baseline bench bench-batch lint verify
+.PHONY: test test-batch trace-smoke sparse-smoke serve-smoke metrics-smoke \
+	gate gate-baseline bench bench-batch lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
 
-lint:  ## architecture lint: backends may not import repro.trace/repro.metrics
+lint:  ## architecture lint: backend/serve import layering rules
 	python tools/lint_backend_imports.py
 
-verify: test lint sparse-smoke gate  ## pre-commit: tests + lint + smokes + gate
+verify: test lint sparse-smoke serve-smoke gate  ## pre-commit: tests + lint + smokes + gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
@@ -54,6 +57,17 @@ sparse-smoke:  ## end-to-end: sparse instance -> dense + sparse solvers agree
 	ref = objs['revised']; \
 	assert all(abs(o - ref) <= 1e-6 * max(1.0, abs(ref)) for o in objs.values()), objs; \
 	print('sparse-smoke ok:', objs)"
+
+serve-smoke:  ## end-to-end: arrival trace -> fleet serving -> invariants
+	$(PYTHONPATH_SRC) python -c "\
+	from repro.serve import ServeConfig, serve_trace, synthetic_trace; \
+	trace = synthetic_trace(n_jobs=16, seed=7); \
+	seq = serve_trace(trace, ServeConfig(n_devices=1, n_streams=1, cache_capacity=1)); \
+	fleet = serve_trace(trace, ServeConfig(n_devices=2)); \
+	assert fleet.all_optimal and seq.all_optimal; \
+	assert fleet.span_seconds < seq.span_seconds, (fleet.span_seconds, seq.span_seconds); \
+	assert fleet.cache_hits >= 1, fleet.cache.summary(); \
+	print('serve-smoke ok:', fleet.summary())"
 
 metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
 	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \

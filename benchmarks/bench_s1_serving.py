@@ -1,0 +1,38 @@
+"""S1 — serving-layer fleet scaling (reconstructed; beyond-paper).
+
+Replays the canonical 32-LP mixed-priority arrival trace through
+``repro.serve`` fleets of 1/2/4 simulated devices and checks the serving
+acceptance properties: the 4-device fleet beats the 1-device sequential
+baseline in modeled makespan, and perturbed resubmissions produce
+warm-start cache hits.
+"""
+
+import pytest
+
+from repro.bench.experiments import s1_serving_fleet
+
+
+@pytest.mark.batch
+def test_s1_serving_fleet(benchmark):
+    report = benchmark.pedantic(s1_serving_fleet, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    table = report.tables[0]
+    rows = dict(zip(table.column("fleet"), zip(
+        table.column("span ms"),
+        table.column("cache hits"),
+        table.column("served"),
+    )))
+    seq_span, _, seq_served = rows["1 dev, sequential"]
+    fleet_span, fleet_hits, fleet_served = rows["4 dev x4 streams"]
+    # every configuration serves the whole trace
+    assert seq_served == fleet_served
+    # the 4-device fleet beats the 1-device sequential baseline in
+    # modeled makespan
+    assert fleet_span < seq_span
+    # perturbed resubmissions share fingerprints with their originals, so
+    # the warm-start cache must land hits
+    assert fleet_hits >= 1
+    # tail latency improves with the fleet too
+    p99 = dict(zip(table.column("fleet"), table.column("p99 ms")))
+    assert p99["4 dev x4 streams"] < p99["1 dev, sequential"]

@@ -45,7 +45,7 @@ from repro.engine.registry import device_methods, warm_start_methods
 from repro.errors import SolverError
 from repro.gpu.device import Device
 from repro.lp.problem import LPProblem
-from repro.metrics.instrument import record_batch
+from repro.metrics.instrument import record_batch, record_chain_break
 from repro.perfmodel.gpu_model import GpuModelParams
 from repro.perfmodel.presets import GTX280_PARAMS
 from repro.simplex.options import SolverOptions
@@ -241,12 +241,21 @@ def solve_batch_chain(
             problem, method=method, options=options, device=dev,
             initial_basis=basis, **option_overrides,
         )
+        # A non-optimal intermediate result breaks the chain: there is no
+        # basis to hand to the next LP, which silently cold-starts.  Flag
+        # it per item and count it, so re-optimization sweeps (and the
+        # serving layer's warm-start cache, which checks the same flag)
+        # can see the warm-start loss instead of just a pivot-count bump.
+        chain_broken = not result.is_optimal
+        if chain_broken:
+            record_chain_break(method)
         items.append(
             BatchItem(
                 index=i,
                 name=_item_name(problem, i),
                 result=result,
                 warm_started=basis is not None,
+                chain_broken=chain_broken,
             )
         )
         if on_gpu:

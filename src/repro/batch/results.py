@@ -27,6 +27,12 @@ class BatchItem:
     #: Whether this solve was warm-started from the previous basis in a
     #: :func:`~repro.batch.solve_batch_chain` re-optimization stream.
     warm_started: bool = False
+    #: Whether this solve *broke* the warm-start chain: it finished
+    #: non-optimal, so no basis could be handed to the next LP (which then
+    #: cold-starts).  Re-optimization sweeps and the serving layer's
+    #: warm-start cache check this flag instead of silently losing warm
+    #: starts.
+    chain_broken: bool = False
 
     @property
     def status(self) -> SolveStatus:
@@ -106,6 +112,12 @@ class BatchResult:
         return sum(item.iterations for item in self.items)
 
     @property
+    def chain_breaks(self) -> int:
+        """How many members broke the warm-start chain (non-optimal result
+        forcing the next LP to cold-start); 0 outside chain mode."""
+        return sum(1 for item in self.items if item.chain_broken)
+
+    @property
     def throughput_lps(self) -> float:
         """Solved LPs per modeled machine second (context included)."""
         if self.modeled_seconds <= 0.0:
@@ -174,7 +186,8 @@ class BatchResult:
                 item.objective if item.result.is_optimal else None,
                 item.iterations,
                 item.result.timing.modeled_seconds * 1e3,
-                "yes" if item.warm_started else "-",
+                ("broken" if item.chain_broken
+                 else "yes" if item.warm_started else "-"),
             )
         lines = [t.render(), self.summary()]
         if self.context_seconds:

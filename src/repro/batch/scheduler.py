@@ -37,7 +37,9 @@ exact sequence of kernel launches and PCIe transfers the solver issued
   at 100% do not overlap at all, which is exactly why batching pays off for
   small LPs and fades for large ones.  Copy/compute overlap (GT200's async
   engine) is on by default; without it the copy-engine time adds to the
-  compute makespan instead of hiding under it.
+  compute makespan instead of hiding under it, and the reported bounds
+  switch to the serialized composition (``stream-device-path`` — each
+  stream's compute-only critical path — replaces ``stream-critical-path``).
 
 Concurrent *kernel* execution across streams is a Fermi-and-later ability
 (on GT200 the same overlap is achieved by fusing the per-LP kernels into one
@@ -224,21 +226,36 @@ class ConcurrentSchedule:
         launch_overhead = params.launch_overhead if params is not None else 0.0
         launches = sum(tl.kernel_launches for tl in timelines)
 
-        bounds = {
-            "copy-engine": transfer,
-            "compute-capacity": busy,
-            "stream-critical-path": max(stream_path),
-            "launch-serialization": launches * launch_overhead,
-        }
         if self.copy_compute_overlap:
+            bounds = {
+                "copy-engine": transfer,
+                "compute-capacity": busy,
+                "stream-critical-path": max(stream_path),
+                "launch-serialization": launches * launch_overhead,
+            }
             makespan = max(bounds.values())
         else:
-            compute_only = max(
+            # Serialized composition: with no async copy engine, every PCIe
+            # transfer adds to the compute makespan instead of hiding under
+            # it, and a stream's critical path through the *device* excludes
+            # its transfers (those all queue on the one copy engine).  The
+            # reported bounds are exactly the terms composed here — not the
+            # overlap-mode bounds, whose stream-critical-path (transfer +
+            # compute per stream) never enters this makespan.
+            bounds = {
+                "copy-engine": transfer,
+                "compute-capacity": busy,
+                "stream-device-path": max(stream_device),
+                "launch-serialization": launches * launch_overhead,
+            }
+            makespan = transfer + max(
                 bounds["compute-capacity"],
-                max(stream_device),
+                bounds["stream-device-path"],
                 bounds["launch-serialization"],
             )
-            makespan = transfer + compute_only
+        # Ties are broken by declaration order of the bounds dict (copy
+        # engine first), so binding_resource is deterministic for equal
+        # bounds — max() returns the first maximal key.
         binding = max(bounds, key=lambda k: bounds[k])
         return ScheduleOutcome(
             schedule=self.name,

@@ -854,6 +854,75 @@ def m1_metrics_snapshot() -> Report:
     return report
 
 
+def s1_serving_fleet(
+    n_jobs: int = 32, seed: int = 0, fleet_sizes: Sequence[int] = (1, 2, 4)
+) -> Report:
+    """S1: serving-layer fleet scaling on the canonical arrival trace.
+
+    Replays the same 32-LP mixed-priority synthetic trace (with perturbed
+    resubmissions) through ``repro.serve`` fleets of 1, 2 and 4 devices and
+    compares modeled span, latency quantiles, utilization and warm-start
+    hit rate against the 1-device 1-stream *sequential* baseline — the
+    serving analogue of B1's single-batch throughput question.
+    *Reconstructed* — the source paper solves one LP at a time; this probes
+    the thesis at service scale.
+    """
+    from repro.serve import ServeConfig, serve_trace, synthetic_trace
+
+    trace = synthetic_trace(n_jobs=n_jobs, seed=seed)
+    report = Report(
+        "S1",
+        f"Serving fleet scaling on a {n_jobs}-job mixed-priority trace",
+    )
+    t = report.add_table(
+        Table(["fleet", "served", "span ms", "speedup", "p50 ms",
+               "p95 ms", "p99 ms", "mean util %", "cache hits"])
+    )
+
+    baseline = serve_trace(
+        trace, ServeConfig(n_devices=1, n_streams=1, cache_capacity=1)
+    )
+    rows = [("1 dev, sequential", baseline)]
+    for n_devices in fleet_sizes:
+        rows.append(
+            (
+                f"{n_devices} dev x4 streams",
+                serve_trace(trace, ServeConfig(n_devices=n_devices)),
+            )
+        )
+    for label, rep in rows:
+        utils = rep.device_utilization().values()
+        t.add_row(
+            label,
+            f"{len(rep.completed)}/{len(rep.jobs)}",
+            rep.span_seconds * 1e3,
+            baseline.span_seconds / rep.span_seconds
+            if rep.span_seconds > 0 else 1.0,
+            rep.latency_quantile(0.5) * 1e3,
+            rep.latency_quantile(0.95) * 1e3,
+            rep.latency_quantile(0.99) * 1e3,
+            100.0 * sum(utils) / len(utils) if utils else 0.0,
+            rep.cache_hits,
+        )
+
+    report.add_note(
+        "Same trace, same solves: every fleet admits and completes the "
+        "identical 32 LPs; only placement and overlap differ.  Speedup is "
+        "modeled span vs the 1-device 1-stream sequential baseline "
+        "(its cache is capacity-1, so warm starts barely help it)."
+    )
+    report.add_note(
+        "Spans stay arrival-bound at small fleets: the trace's mean "
+        "interarrival gap (2ms) is of the order of one solve, so speedup "
+        "comes from absorbing bursts, not from raw throughput."
+    )
+    report.add_note(
+        "Reconstructed experiment (serving layer; not a figure from the "
+        "source paper)."
+    )
+    return report
+
+
 # ---------------------------------------------------------------------------
 # dispatcher
 # ---------------------------------------------------------------------------
@@ -879,6 +948,7 @@ EXPERIMENTS = {
     "a6": a6_reoptimisation,
     "b1": b1_batch_throughput,
     "m1": m1_metrics_snapshot,
+    "s1": s1_serving_fleet,
 }
 
 

@@ -11,7 +11,9 @@ Commands
 ``info``      print structural statistics of an MPS file
 ``generate``  write a random dense/sparse instance to MPS
 ``bench``     run one of the evaluation experiments (T1–T3, F1–F9, A1–A6,
-              B1, M1)
+              B1, M1, S1)
+``serve``     replay a synthetic arrival trace through the serving layer
+              (``repro.serve``): fleet, admission queue, warm-start cache
 ``devices``   print the modeled hardware table
 
 Examples::
@@ -26,6 +28,7 @@ Examples::
     python -m repro metrics --gate benchmarks/baselines/metrics-smoke.json
     python -m repro info /tmp/d64.mps
     python -m repro bench f2
+    python -m repro serve --jobs 32 --devices 4 --jobs-table
 """
 
 from __future__ import annotations
@@ -151,7 +154,31 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True, help="output MPS path")
 
     p_bench = sub.add_parser("bench", help="run an evaluation experiment")
-    p_bench.add_argument("experiment", help="t1..t3 f1..f9 a1..a6 b1 m1 | all")
+    p_bench.add_argument("experiment",
+                         help="t1..t3 f1..f9 a1..a6 b1 m1 s1 | all")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="replay a synthetic arrival trace through the serving layer",
+    )
+    p_serve.add_argument("--jobs", type=int, default=32,
+                         help="trace length (default 32)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--devices", type=int, default=2,
+                         help="fleet size (default 2)")
+    p_serve.add_argument("--streams", type=int, default=4,
+                         help="concurrent streams per device")
+    p_serve.add_argument("--method", default="gpu-revised")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission queue bound")
+    p_serve.add_argument("--cache", type=int, default=128,
+                         help="warm-start cache capacity")
+    p_serve.add_argument("--mean-gap", type=float, default=0.002,
+                         help="mean interarrival gap in modeled seconds")
+    p_serve.add_argument("--jobs-table", action="store_true",
+                         help="also print the per-job table")
+    p_serve.add_argument("--metrics", action="store_true",
+                         help="print the Prometheus metrics exposition too")
 
     sub.add_parser("devices", help="print the modeled hardware table")
     return parser
@@ -389,6 +416,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main([args.experiment])
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.metrics import disable, enable, to_prometheus
+    from repro.serve import ServeConfig, serve_trace, synthetic_trace
+    from repro.serve.job import JobState, priority_name
+
+    trace = synthetic_trace(
+        n_jobs=args.jobs, seed=args.seed, mean_interarrival=args.mean_gap
+    )
+    config = ServeConfig(
+        n_devices=args.devices,
+        n_streams=args.streams,
+        method=args.method,
+        max_queue_depth=args.queue_depth,
+        cache_capacity=args.cache,
+    )
+    registry = enable() if args.metrics else None
+    try:
+        report = serve_trace(trace, config)
+    finally:
+        if registry is not None:
+            disable()
+    if args.jobs_table:
+        from repro.bench.tables import Table
+
+        t = Table(["job", "prio", "state", "device",
+                   "latency ms", "warm", "status"])
+        for job in report.jobs:
+            t.add_row(
+                job.job_id,
+                priority_name(job.priority),
+                job.state.value,
+                job.device or "-",
+                (job.latency_seconds or 0.0) * 1e3
+                if job.state is JobState.COMPLETED else 0.0,
+                "yes" if job.warm_started else "-",
+                job.result.status.value if job.result is not None
+                else (job.reject_reason or "-"),
+            )
+        print(t.render())
+        print()
+    print(report.render())
+    if registry is not None:
+        print()
+        print(to_prometheus(registry.snapshot()), end="")
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     from repro.bench.experiments import t1_device_table
 
@@ -404,6 +478,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "generate": _cmd_generate,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
     "devices": _cmd_devices,
 }
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 from typing import Sequence
 
 import numpy as np
@@ -266,6 +267,40 @@ class LPProblem:
 
     def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
         return self.constraint_violation(x) <= tol
+
+    # -- identity ------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Structural identity hash (hex digest) for warm-start caching.
+
+        Two problems share a fingerprint exactly when they have the same
+        shape, objective orientation, constraint senses, bound
+        finite/infinite pattern and constraint-matrix sparsity pattern —
+        the conditions under which an optimal basis of one is a meaningful
+        warm-start hint for the other.  The *numeric values* of ``c``,
+        ``b``, ``A`` and the bounds are deliberately excluded: a perturbed
+        re-submission (new rhs, drifted costs) keeps its fingerprint, which
+        is what lets a serving layer chain it from a cached basis.  Names
+        are cosmetic and excluded too.
+        """
+        h = hashlib.sha256()
+        h.update(b"repro.lp/fingerprint/v1\0")
+        m, n = self.num_constraints, self.num_vars
+        h.update(f"{m}x{n}|{'max' if self.maximize else 'min'}|".encode())
+        h.update("".join(s.value for s in self.senses).encode())
+        h.update(b"|")
+        h.update(np.isfinite(self.bounds.lower).tobytes())
+        h.update(np.isfinite(self.bounds.upper).tobytes())
+        if self.is_sparse:
+            # Format-neutral sparsity pattern: row-major nonzero coordinates
+            # (a CSR and a CSC holding the same matrix fingerprint alike).
+            rows, cols = np.nonzero(self.a_dense())
+            h.update(b"sparse|")
+            h.update(rows.astype(np.int64).tobytes())
+            h.update(cols.astype(np.int64).tobytes())
+        else:
+            h.update(b"dense|")
+        return h.hexdigest()
 
     # -- misc ---------------------------------------------------------------
 

@@ -60,11 +60,13 @@ from repro.metrics.registry import (
     MetricsError,
     MetricsRegistry,
     active,
+    bucket_quantile,
     check_snapshot,
     diff_snapshots,
     disable,
     enable,
     enabled,
+    quantile,
     snapshot_value,
 )
 
@@ -79,6 +81,7 @@ __all__ = [
     "MetricsError",
     "MetricsRegistry",
     "active",
+    "bucket_quantile",
     "check_snapshot",
     "collecting",
     "compare",
@@ -90,6 +93,7 @@ __all__ = [
     "from_json",
     "load_baseline",
     "make_baseline",
+    "quantile",
     "snapshot",
     "snapshot_value",
     "to_json",

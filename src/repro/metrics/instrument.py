@@ -9,7 +9,12 @@ Three families, mirroring the layers named in the metric names:
   :class:`~repro.result.IterationStats` / :class:`~repro.result.TimingStats`
   the solver already produced;
 - ``repro_batch_*``  — written by :func:`repro.batch.solve_batch` /
-  ``solve_batch_chain`` from the schedule outcome.
+  ``solve_batch_chain`` from the schedule outcome;
+- ``repro_serve_*``  — written by the :mod:`repro.serve` event loop
+  (submissions, admission rejections, dispatches, completions, warm-start
+  cache traffic, modeled-latency quantile gauges).  Serve modules may
+  import metrics **only** through this module (the architecture lint
+  enforces it, mirroring the solver-backend rule).
 
 Every function is a no-op (one ``is None`` check) while no registry is
 installed, and none of them touches the modeled clock, the cost models or
@@ -22,7 +27,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Sequence
 
-from repro.metrics.registry import active
+from repro.metrics.registry import active, bucket_quantile
 
 if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
     from repro.batch.scheduler import LPTimeline, ScheduleOutcome
@@ -31,6 +36,17 @@ if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
 
 #: Buckets for per-solve iteration-count histograms.
 ITERATION_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
+
+#: Buckets for serving-layer modeled latencies (seconds).  Modeled solves
+#: run from fractions of a millisecond (tiny LPs) to tens of seconds
+#: (large batches queueing behind each other).
+SERVE_LATENCY_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Quantile gauges the serving loop keeps up to date (p50/p95/p99).
+SERVE_LATENCY_QUANTILES = (0.5, 0.95, 0.99)
 
 
 # ---------------------------------------------------------------------------
@@ -237,3 +253,185 @@ def record_batch(
         )
         for tl in timelines:
             share.observe(tl.total_seconds / total)
+
+
+def record_chain_break(method: str) -> None:
+    """One broken warm-start chain link: a non-optimal intermediate result
+    forced the next solve (or the serve cache) to drop its basis."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_batch_chain_breaks_total",
+        "Warm-start chains broken by a non-optimal intermediate result.",
+        labels=("method",),
+    ).inc(method=method)
+
+
+# ---------------------------------------------------------------------------
+# serving layer (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+def record_job_submitted(priority: str) -> None:
+    """One job submitted to the serving loop (before admission control)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_jobs_submitted_total", "Jobs submitted by priority.",
+        labels=("priority",),
+    ).inc(priority=priority)
+
+
+def record_job_rejected(reason: str) -> None:
+    """One admission rejection (queue-full / memory / deadline)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_jobs_rejected_total",
+        "Admission-control rejections by reason.", labels=("reason",),
+    ).inc(reason=reason)
+
+
+def record_job_expired() -> None:
+    """One queued job whose deadline passed before it could be dispatched."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_jobs_expired_total",
+        "Queued jobs dropped because their deadline passed.",
+    ).inc()
+
+
+def record_queue_depth(depth: int) -> None:
+    """Queue depth after the last admission or dispatch."""
+    reg = active()
+    if reg is None:
+        return
+    reg.gauge(
+        "repro_serve_queue_depth", "Jobs waiting in the admission queue."
+    ).set(depth)
+    reg.gauge(
+        "repro_serve_queue_depth_peak",
+        "High-water mark of the admission queue depth.",
+    ).set_max(depth)
+
+
+def record_serve_dispatch(
+    device: str, n_jobs: int, makespan_seconds: float, utilization: float
+) -> None:
+    """One dispatch group priced onto a device of the fleet."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_dispatches_total", "Dispatch groups by device.",
+        labels=("device",),
+    ).inc(device=device)
+    reg.counter(
+        "repro_serve_dispatched_jobs_total", "Jobs dispatched by device.",
+        labels=("device",),
+    ).inc(n_jobs, device=device)
+    reg.counter(
+        "repro_serve_device_busy_seconds_total",
+        "Modeled busy seconds by device.", labels=("device",),
+    ).inc(makespan_seconds, device=device)
+    reg.histogram(
+        "repro_serve_dispatch_utilization",
+        "Stream utilization of each dispatch group.",
+    ).observe(utilization)
+
+
+def record_device_utilization(device: str, utilization: float) -> None:
+    """End-of-replay utilization of one device (busy / span)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.gauge(
+        "repro_serve_device_utilization",
+        "Fraction of the replay span each device spent busy.",
+        labels=("device",),
+    ).set(utilization, device=device)
+
+
+def record_job_completed(
+    status: str, latency_seconds: float, warm_started: bool
+) -> None:
+    """One job that ran to completion (any solver status)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_jobs_completed_total",
+        "Completed jobs by solver status and warm-start origin.",
+        labels=("status", "warm"),
+    ).inc(status=status, warm="yes" if warm_started else "no")
+    reg.histogram(
+        "repro_serve_latency_seconds",
+        "Modeled submit-to-finish latency of completed jobs.",
+        buckets=SERVE_LATENCY_BUCKETS,
+    ).observe(latency_seconds)
+    update_serve_latency_quantiles()
+
+
+def record_cache_lookup(hit: bool) -> None:
+    """One warm-start cache lookup at dispatch time."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_cache_lookups_total",
+        "Warm-start cache lookups by outcome.", labels=("outcome",),
+    ).inc(outcome="hit" if hit else "miss")
+
+
+def record_cache_store(evicted: bool) -> None:
+    """One basis stored in the warm-start cache (plus any LRU eviction)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_serve_cache_stores_total", "Bases stored in the cache."
+    ).inc()
+    if evicted:
+        reg.counter(
+            "repro_serve_cache_evictions_total", "LRU evictions of bases."
+        ).inc()
+
+
+def record_cache_size(size: int) -> None:
+    """Current number of cached bases."""
+    reg = active()
+    if reg is None:
+        return
+    reg.gauge(
+        "repro_serve_cache_size", "Bases currently held by the cache."
+    ).set(size)
+
+
+def update_serve_latency_quantiles() -> None:
+    """Re-derive the p50/p95/p99 modeled-latency gauges from the latency
+    histogram's buckets (:func:`repro.metrics.bucket_quantile`), so the
+    service's tail latency is readable straight off the exposition."""
+    reg = active()
+    if reg is None:
+        return
+    hist = reg.get("repro_serve_latency_seconds")
+    if hist is None:
+        return
+    gauge = reg.gauge(
+        "repro_serve_latency_quantile_seconds",
+        "Bucket-estimated modeled-latency quantiles (p50/p95/p99).",
+        labels=("q",),
+    )
+    for _labels, series in hist.series_items():
+        for q in SERVE_LATENCY_QUANTILES:
+            gauge.set(
+                bucket_quantile(
+                    hist.buckets, series.bucket_counts, series.count, q
+                ),
+                q=f"{q:g}",
+            )

@@ -188,6 +188,80 @@ class Histogram(Metric):
         series.total += value
         series.count += 1
 
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Bucket-estimated q-quantile of one series (NaN when the series
+        is absent or empty).  See :func:`bucket_quantile` for semantics."""
+        key = _check_labels(self.label_names, labels)
+        series = self._series.get(key)
+        if series is None:
+            return float("nan")
+        return bucket_quantile(
+            self.buckets, series.bucket_counts, series.count, q
+        )
+
+
+def bucket_quantile(
+    bounds: Sequence[float],
+    cumulative_counts: Sequence[int],
+    count: int,
+    q: float,
+) -> float:
+    """Estimate the q-quantile of a cumulative-bucket histogram.
+
+    Prometheus ``histogram_quantile`` semantics: find the first bucket
+    whose cumulative count reaches ``q * count`` and interpolate linearly
+    inside it.  The lower edge of the first bucket is taken as 0 when its
+    upper bound is positive (the library's histograms observe non-negative
+    quantities), otherwise the bound itself; a rank falling past the last
+    finite bucket (the implicit ``+Inf`` bucket) returns the highest
+    finite bound.  An empty histogram returns NaN.
+
+    The estimate is exact whenever the true quantile sits on a bucket
+    boundary and is otherwise off by at most one bucket width — the usual
+    cumulative-histogram trade-off (unit-tested against known
+    distributions in ``tests/test_metrics.py``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricsError(f"quantile must lie in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    target = q * count
+    for i, (bound, cum) in enumerate(zip(bounds, cumulative_counts)):
+        if cum > 0 and cum >= target:
+            prev_cum = cumulative_counts[i - 1] if i > 0 else 0
+            lower = bounds[i - 1] if i > 0 else (0.0 if bound > 0.0 else bound)
+            in_bucket = cum - prev_cum
+            frac = (target - prev_cum) / in_bucket if in_bucket > 0 else 1.0
+            frac = min(max(frac, 0.0), 1.0)
+            return float(lower + (bound - lower) * frac)
+    return float(bounds[-1]) if bounds else float("nan")
+
+
+def quantile(h: "Histogram | Mapping[str, Any]", q: float, **labels: Any) -> float:
+    """Bucket-estimated q-quantile of a histogram.
+
+    ``h`` is either a live :class:`Histogram` metric (``labels`` select the
+    series) or one histogram series entry from a snapshot —
+    ``{"buckets": {"0.05": 3, ...}, "count": 7, ...}`` as produced by
+    :meth:`MetricsRegistry.snapshot`.  This is what turns exported
+    sum/count/bucket data into the p50/p95/p99 gauges the serving loop
+    reports.
+    """
+    if isinstance(h, Histogram):
+        return h.quantile(q, **labels)
+    if isinstance(h, Mapping) and "buckets" in h:
+        pairs = sorted(
+            ((float(bound), int(c)) for bound, c in h["buckets"].items()),
+            key=lambda bc: bc[0],
+        )
+        bounds = [b for b, _ in pairs]
+        cumulative = [c for _, c in pairs]
+        return bucket_quantile(bounds, cumulative, int(h["count"]), q)
+    raise MetricsError(
+        "quantile() needs a Histogram or a snapshot histogram series "
+        "(a mapping with 'buckets' and 'count')"
+    )
+
 
 class MetricsRegistry:
     """A namespace of metrics with stable snapshot/diff semantics."""

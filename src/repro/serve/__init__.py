@@ -1,0 +1,66 @@
+"""``repro.serve`` — an LP-solving *service* on top of the solver engine.
+
+The batch layer answers "how fast does one device chew through a fixed
+list of LPs?"; this layer answers the serving question one level up: LPs
+*arrive over time*, with priorities and deadlines, and a fleet of devices
+must admit, place and solve them while a warm-start cache exploits the
+structural repeats that dominate real re-optimization traffic.
+
+Everything runs on the library's simulated clock (modeled seconds): the
+solves are real, the timing is analytic, and the whole stack — admission
+queue, placement bin-packing, :class:`~repro.batch.scheduler
+.ConcurrentSchedule` group pricing, cache — is deterministic and unit
+testable.  See DESIGN.md §9 for the architecture.
+
+Metrics discipline: serve modules touch ``repro.metrics`` only through the
+``repro.metrics.instrument`` hook façade (enforced by
+``tools/lint_backend_imports.py``), so serving code never couples to the
+registry internals and runs at zero cost when collection is off.
+"""
+
+from repro.serve.cache import WarmStartCache
+from repro.serve.fleet import (
+    DeviceWorker,
+    MakespanPredictor,
+    estimate_footprint_bytes,
+    make_fleet,
+)
+from repro.serve.job import (
+    Job,
+    JobState,
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    priority_name,
+)
+from repro.serve.queue import AdmissionQueue
+from repro.serve.service import LPServer, ServeConfig, ServeReport, serve_trace
+from repro.serve.traces import (
+    DEFAULT_SIZES,
+    TraceEntry,
+    perturb_problem,
+    synthetic_trace,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "DEFAULT_SIZES",
+    "DeviceWorker",
+    "Job",
+    "JobState",
+    "LPServer",
+    "MakespanPredictor",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "ServeConfig",
+    "ServeReport",
+    "TraceEntry",
+    "WarmStartCache",
+    "estimate_footprint_bytes",
+    "make_fleet",
+    "perturb_problem",
+    "priority_name",
+    "serve_trace",
+    "synthetic_trace",
+]

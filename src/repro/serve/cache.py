@@ -1,0 +1,87 @@
+"""Warm-start cache: optimal bases keyed by problem fingerprint.
+
+Re-submitted and perturbed LPs dominate serving workloads (pricing sweeps
+re-run with fresh data, per-scenario re-planning): their structure is
+identical, only the numbers drift, and the previous optimal basis is an
+excellent starting point — the same observation behind
+:func:`repro.batch.solve_batch_chain`.  The cache maps
+:meth:`LPProblem.fingerprint() <repro.lp.problem.LPProblem.fingerprint>` —
+a *structural* hash that survives rhs/cost perturbation — to the most
+recent optimal basis of that structure, with LRU eviction.
+
+Only **optimal** bases are stored: a solve that ends non-optimal broke the
+warm-start chain (the same ``chain_broken`` condition
+``solve_batch_chain`` flags per item), so the server records the break and
+leaves any previously cached basis alone rather than poisoning it.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.metrics.instrument import (
+    record_cache_lookup,
+    record_cache_size,
+    record_cache_store,
+)
+
+
+class WarmStartCache:
+    """LRU cache of optimal bases, keyed by structural fingerprint."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise SolverError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "collections.OrderedDict[str, np.ndarray]" = (
+            collections.OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def get(self, fingerprint: str) -> np.ndarray | None:
+        """The cached basis for this structure (a copy), or ``None``."""
+        basis = self._entries.get(fingerprint)
+        if basis is None:
+            self.misses += 1
+            record_cache_lookup(hit=False)
+            return None
+        self._entries.move_to_end(fingerprint)
+        self.hits += 1
+        record_cache_lookup(hit=True)
+        return basis.copy()
+
+    def put(self, fingerprint: str, basis: np.ndarray) -> None:
+        """Store (or refresh) the basis for this structure."""
+        evicted = False
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            evicted = True
+        self._entries[fingerprint] = np.array(basis, copy=True)
+        self.stores += 1
+        record_cache_store(evicted=evicted)
+        record_cache_size(len(self._entries))
+
+    def summary(self) -> str:
+        return (
+            f"cache: {len(self)}/{self.capacity} bases, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.0f}% hit rate), "
+            f"{self.evictions} evictions"
+        )

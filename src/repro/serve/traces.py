@@ -1,0 +1,128 @@
+"""Arrival traces: the synthetic workloads the serving layer replays.
+
+A trace is a list of :class:`TraceEntry` — (problem, arrival time,
+priority, timeout) — on the simulated clock.  :func:`synthetic_trace`
+builds the canonical mixed workload used by the ``serve`` CLI command, the
+S1 experiment and the serve benchmark: Poisson-ish arrivals over a mix of
+problem sizes and priorities, with a configurable fraction of *perturbed
+resubmissions* — later arrivals whose LP shares an earlier one's structure
+(same constraint pattern, drifted numbers), the case the warm-start cache
+exists for.
+
+Determinism: everything is driven by one ``numpy`` generator seeded by the
+caller, so a (seed, size) pair always replays the identical trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.lp.generators import random_dense_lp
+from repro.lp.problem import LPProblem
+from repro.serve.job import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEntry:
+    """One arrival of a trace (all times in simulated seconds)."""
+
+    problem: LPProblem
+    at: float
+    priority: int = PRIORITY_NORMAL
+    timeout: float | None = None
+    #: Index of the earlier entry this one perturbs (``None`` = fresh
+    #: structure).  Perturbed entries share the original's fingerprint.
+    resubmit_of: int | None = None
+
+
+def perturb_problem(
+    problem: LPProblem, rng: np.random.Generator, scale: float = 0.05
+) -> LPProblem:
+    """A structure-preserving perturbation of ``problem``: the constraint
+    pattern, senses and bounds stay fixed while ``b`` and ``c`` drift by a
+    relative ``scale`` — so the perturbed LP shares the original's
+    :meth:`~repro.lp.problem.LPProblem.fingerprint` and its cached basis
+    is a meaningful warm start."""
+    if problem.is_sparse:
+        raise SolverError(
+            "perturb_problem supports dense problems (sparse perturbation "
+            "would need pattern-preserving value jitter)"
+        )
+    b = problem.b * (1.0 + scale * rng.uniform(-1.0, 1.0, size=problem.b.shape))
+    c = problem.c * (1.0 + scale * rng.uniform(-1.0, 1.0, size=problem.c.shape))
+    return LPProblem(
+        c=c,
+        a=np.array(problem.a, copy=True),
+        senses=list(problem.senses),
+        b=b,
+        bounds=problem.bounds,
+        maximize=problem.maximize,
+        name=f"{problem.name}-perturbed",
+    )
+
+
+#: (m, n) mix of the default trace: small/medium/larger dense LPs, echoing
+#: the paper's problem-size sweep at serving-friendly scale.
+DEFAULT_SIZES = ((24, 36), (40, 60), (64, 96))
+
+_PRIORITIES = (PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_LOW)
+#: Mostly normal traffic, some latency-sensitive, some background.
+_PRIORITY_WEIGHTS = (0.25, 0.5, 0.25)
+
+
+def synthetic_trace(
+    n_jobs: int = 32,
+    seed: int = 0,
+    *,
+    mean_interarrival: float = 0.002,
+    resubmit_fraction: float = 0.375,
+    timeout_fraction: float = 0.25,
+    timeout_seconds: float = 0.5,
+    sizes: tuple = DEFAULT_SIZES,
+) -> list[TraceEntry]:
+    """The canonical mixed-priority serving workload.
+
+    ``resubmit_fraction`` of the jobs (after a warm-up prefix) are
+    perturbed resubmissions of an earlier entry — same structure, drifted
+    rhs/cost — so a warm-start cache sees guaranteed fingerprint repeats.
+    ``timeout_fraction`` of the jobs carry a relative deadline of
+    ``timeout_seconds``.  Arrivals are exponential with the given mean gap.
+    """
+    if n_jobs < 1:
+        raise SolverError("trace needs at least one job")
+    if not 0.0 <= resubmit_fraction < 1.0:
+        raise SolverError("resubmit_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    entries: list[TraceEntry] = []
+    clock = 0.0
+    for i in range(n_jobs):
+        clock += float(rng.exponential(mean_interarrival))
+        resubmit_of = None
+        if entries and rng.random() < resubmit_fraction:
+            resubmit_of = int(rng.integers(len(entries)))
+            base = entries[resubmit_of]
+            problem = perturb_problem(base.problem, rng)
+        else:
+            m, n = sizes[int(rng.integers(len(sizes)))]
+            problem = random_dense_lp(
+                m, n, seed=seed * 10_000 + i, name=f"trace{seed}-job{i}-{m}x{n}"
+            )
+        priority = _PRIORITIES[
+            int(rng.choice(len(_PRIORITIES), p=_PRIORITY_WEIGHTS))
+        ]
+        timeout = (
+            timeout_seconds if rng.random() < timeout_fraction else None
+        )
+        entries.append(
+            TraceEntry(
+                problem=problem,
+                at=clock,
+                priority=priority,
+                timeout=timeout,
+                resubmit_of=resubmit_of,
+            )
+        )
+    return entries

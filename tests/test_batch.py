@@ -133,6 +133,54 @@ class TestConcurrentSchedule:
         with pytest.raises(SolverError):
             ConcurrentSchedule(n_streams=0)
 
+    def test_serialized_mode_reports_composed_bounds(self):
+        """Regression: with ``copy_compute_overlap=False`` the reported
+        bounds (and the binding resource picked from them) must be the
+        terms of the serialized composition — not the overlap-mode bounds,
+        which the buggy version reported.  Transfer-heavy case where the
+        two disagree: the overlap bounds' stream-critical-path (transfer +
+        compute per stream, 1.1s) would win the binding vote, but it never
+        enters the serialized makespan, whose largest true term is the
+        copy engine (1.0s)."""
+        p = GTX280_PARAMS
+        events = [
+            TimelineEvent("htod", "transfer", 0.25, nbytes=1 << 20),
+            TimelineEvent("kernel", "k", 0.6, threads=1),  # tiny: busy ~ 0
+            TimelineEvent("dtoh", "transfer", 0.25, nbytes=1 << 20),
+        ]
+        tls = [LPTimeline.from_events(i, events, p) for i in range(2)]
+        out = ConcurrentSchedule(
+            n_streams=2, copy_compute_overlap=False
+        ).plan(tls, params=p)
+        # the serialized composition's own terms, nothing from overlap mode
+        assert set(out.bounds) == {
+            "copy-engine", "compute-capacity",
+            "stream-device-path", "launch-serialization",
+        }
+        assert out.bounds["copy-engine"] == pytest.approx(1.0)
+        assert out.bounds["stream-device-path"] == pytest.approx(0.6)
+        assert out.makespan_seconds == pytest.approx(1.6)
+        # binding picked from the composed bounds: the copy engine, not
+        # the overlap-mode stream-critical-path the old code reported
+        assert out.binding_resource == "copy-engine"
+        # every reported bound is a genuine lower bound of the makespan
+        assert all(
+            b <= out.makespan_seconds + 1e-12 for b in out.bounds.values()
+        )
+
+    def test_binding_tie_is_deterministic(self):
+        """Equal bounds: max() breaks the tie by declaration order, so the
+        binding resource is stable run to run."""
+        tls = _block_timelines(4, 0.1)
+        out1 = ConcurrentSchedule(n_streams=4).plan(tls)
+        out2 = ConcurrentSchedule(n_streams=4).plan(list(tls))
+        assert out1.binding_resource == out2.binding_resource
+        tied = [
+            k for k, v in out1.bounds.items()
+            if v == pytest.approx(out1.makespan_seconds)
+        ]
+        assert out1.binding_resource == tied[0]
+
 
 class TestMakeSchedule:
     def test_names(self):
@@ -288,6 +336,41 @@ class TestSolveBatchChain:
         assert "tableau" not in WARM_START_METHODS
         with pytest.raises(SolverError, match="warm start"):
             solve_batch_chain(scenarios, method="tableau")
+
+    def test_unbroken_chain_has_no_flags(self, scenarios):
+        chain = solve_batch_chain(scenarios, method="revised")
+        assert chain.chain_breaks == 0
+        assert not any(it.chain_broken for it in chain.items)
+
+    def test_chain_break_flagged_and_counted(self, scenarios):
+        """A non-optimal intermediate LP breaks the warm-start chain: the
+        item is flagged, the break is counted, and the next LP cold-starts
+        instead of silently losing its warm start."""
+        from repro import metrics
+        from repro.lp.problem import LPProblem
+
+        base = scenarios[0]
+        # same shape as the rest of the chain (the basis hint must fit),
+        # but b < 0 with A >= 0 and x >= 0: infeasible
+        infeasible = LPProblem(
+            c=base.c, a=base.a_dense(), senses=base.senses,
+            b=-np.ones(base.num_constraints), bounds=base.bounds,
+            maximize=base.maximize, name="broken-link",
+        )
+        lps = [scenarios[0], infeasible, scenarios[1]]
+        with metrics.collecting() as reg:
+            chain = solve_batch_chain(lps, method="revised")
+            snap = reg.snapshot()
+        assert [it.chain_broken for it in chain.items] == [False, True, False]
+        assert chain.chain_breaks == 1
+        # the LP after the break got no basis to start from
+        assert not chain[2].warm_started
+        # ...and the break reached the metrics counter
+        counter = snap["metrics"]["repro_batch_chain_breaks_total"]
+        assert counter["series"][0]["labels"] == {"method": "revised"}
+        assert counter["series"][0]["value"] == 1.0
+        # the rendered table says so too
+        assert "broken" in chain.render()
 
 
 # ---------------------------------------------------------------------------

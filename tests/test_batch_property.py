@@ -6,6 +6,11 @@ LPs through ``solve_batch`` — under either schedule — returns, per LP, the
 calls return, while the concurrent schedule's aggregate modeled time is
 strictly below the sequential sum.  Batching changes the time accounting,
 never the numerics.
+
+The second half covers the *scheduler* itself: over arbitrary synthetic
+timelines, the concurrent makespan must dominate every bound it reports,
+dominate the largest single LP, never exceed the sequential makespan, and
+pick its binding resource deterministically under ties.
 """
 
 import pytest
@@ -13,7 +18,14 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.batch import solve_batch
+from repro.batch.scheduler import (
+    ConcurrentSchedule,
+    LPTimeline,
+    SequentialSchedule,
+)
+from repro.gpu.device import TimelineEvent
 from repro.lp.generators import random_dense_lp
+from repro.perfmodel.presets import GTX280_PARAMS
 from repro.solve import solve
 
 BATCH_SIZE = 32
@@ -91,3 +103,85 @@ def test_batching_invariance_random_families(n_lps, m, n, seed, schedule, method
             item.result.iterations.total_iterations
             == solo.iterations.total_iterations
         )
+
+
+# ---------------------------------------------------------------------------
+# Scheduler bounds: properties over arbitrary synthetic timelines
+# ---------------------------------------------------------------------------
+
+# kernel seconds stay above the modeled launch overhead: the device model
+# charges kernel_time = launch_overhead + max(t_compute, t_memory), so a
+# real timeline can never contain a kernel shorter than the overhead —
+# the launch-serialization bound relies on exactly that invariant.
+_kernel_seconds = st.floats(
+    GTX280_PARAMS.launch_overhead, 1e-2, allow_nan=False
+)
+_transfer_seconds = st.floats(0.0, 1e-2, allow_nan=False)
+_threads = st.integers(1, 2 * GTX280_PARAMS.concurrent_threads)
+
+
+@st.composite
+def _gpu_timelines(draw):
+    n_lps = draw(st.integers(1, 10))
+    tls = []
+    for i in range(n_lps):
+        events = [
+            TimelineEvent("htod", "transfer", draw(_transfer_seconds),
+                          nbytes=1024)
+        ]
+        for _ in range(draw(st.integers(1, 5))):
+            events.append(
+                TimelineEvent("kernel", "k", draw(_kernel_seconds),
+                              threads=draw(_threads))
+            )
+        events.append(
+            TimelineEvent("dtoh", "transfer", draw(_transfer_seconds),
+                          nbytes=1024)
+        )
+        tls.append(LPTimeline.from_events(i, events, GTX280_PARAMS))
+    return tls
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    tls=_gpu_timelines(),
+    n_streams=st.integers(1, 12),
+    overlap=st.booleans(),
+)
+def test_concurrent_makespan_dominates_bounds(tls, n_streams, overlap):
+    """In both overlap modes the makespan is (a) >= every bound the plan
+    reports, (b) >= the largest single LP, (c) <= the sequential makespan,
+    and the binding resource is one of the reported bounds."""
+    out = ConcurrentSchedule(
+        n_streams=n_streams, copy_compute_overlap=overlap
+    ).plan(tls, params=GTX280_PARAMS)
+    seq = SequentialSchedule().plan(tls)
+    eps = 1e-12 + 1e-9 * out.makespan_seconds
+    for name, bound in out.bounds.items():
+        assert out.makespan_seconds >= bound - eps, (name, out.bounds)
+    assert out.makespan_seconds >= max(tl.total_seconds for tl in tls) - eps
+    assert out.makespan_seconds <= seq.makespan_seconds + eps
+    assert out.binding_resource in out.bounds
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    tls=_gpu_timelines(),
+    n_streams=st.integers(1, 12),
+    overlap=st.booleans(),
+)
+def test_binding_resource_is_deterministic(tls, n_streams, overlap):
+    """Replanning identical timelines always reports the same binding
+    resource — ties between equal bounds break by declaration order, not
+    by dict-iteration accidents."""
+    sched = ConcurrentSchedule(n_streams=n_streams, copy_compute_overlap=overlap)
+    first = sched.plan(tls, params=GTX280_PARAMS)
+    for _ in range(3):
+        again = sched.plan(list(tls), params=GTX280_PARAMS)
+        assert again.binding_resource == first.binding_resource
+        assert again.bounds == first.bounds
+    # and the binding is the *first* maximal bound in declaration order
+    best = max(first.bounds.values())
+    assert first.binding_resource == next(
+        k for k, v in first.bounds.items() if v == best
+    )

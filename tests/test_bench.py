@@ -179,6 +179,14 @@ class TestExperimentsSmoke:
         assert "nnz" in out
         assert "gpu-sp ms" in out and "sparse speedup" in out
 
+    def test_s1_small(self):
+        from repro.bench.experiments import s1_serving_fleet
+
+        out = s1_serving_fleet(n_jobs=8, fleet_sizes=(1, 2)).render()
+        assert "1 dev, sequential" in out
+        assert "2 dev x4 streams" in out
+        assert "cache hits" in out
+
     def test_dispatcher_unknown(self, capsys):
         from repro.bench.experiments import main
 

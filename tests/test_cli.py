@@ -114,6 +114,36 @@ class TestOtherCommands:
             main([])
 
 
+class TestServeCommand:
+    def test_serve_default_trace(self, capsys):
+        assert main(["serve", "--jobs", "8", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "served 8/8 jobs" in out
+        assert "dev0" in out and "dev1" in out
+        assert "cache:" in out
+
+    def test_serve_jobs_table(self, capsys):
+        assert main(["serve", "--jobs", "6", "--jobs-table"]) == 0
+        out = capsys.readouterr().out
+        assert "latency ms" in out
+        assert "optimal" in out
+
+    def test_serve_metrics_exposition(self, capsys):
+        assert main(["serve", "--jobs", "6", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_jobs_submitted_total" in out
+        assert "repro_serve_latency_quantile_seconds" in out
+        # the exposition is valid Prometheus text
+        from repro.metrics import validate_prometheus_text
+
+        exposition = out[out.index("# HELP"):]
+        assert validate_prometheus_text(exposition) > 0
+
+    def test_serve_cpu_method(self, capsys):
+        assert main(["serve", "--jobs", "4", "--method", "revised"]) == 0
+        assert "cpu x4" in capsys.readouterr().out
+
+
 class TestTraceCommand:
     def test_trace_mps_file(self, mps_file, capsys):
         assert main(["trace", mps_file, "--method", "gpu-revised"]) == 0

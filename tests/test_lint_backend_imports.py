@@ -3,8 +3,9 @@
 ``make lint`` runs ``tools/lint_backend_imports.py`` standalone; this
 wrapper makes the same check part of the tier-1 suite, so a backend that
 reaches around the engine observer (importing :mod:`repro.trace` or
-:mod:`repro.metrics` directly) fails CI even when the Makefile target is
-skipped.
+:mod:`repro.metrics` directly) — or a serve module that touches the
+metrics layer outside the ``repro.metrics.instrument`` façade — fails CI
+even when the Makefile target is skipped.
 """
 
 from __future__ import annotations
@@ -60,6 +61,58 @@ def test_forbidden_prefix_matching():
     assert lint._is_forbidden("repro.metrics.instrument")
     assert not lint._is_forbidden("repro.tracefoo")
     assert not lint._is_forbidden("repro.engine.hooks")
+
+
+def test_serve_rule_allows_instrument_facade_only(tmp_path):
+    ok = tmp_path / "ok_serve.py"
+    ok.write_text(
+        textwrap.dedent(
+            """
+            from repro.metrics.instrument import record_job_submitted
+            from repro.batch.scheduler import ConcurrentSchedule
+            """
+        )
+    )
+    assert lint.check_file(ok, serve=True) == []
+
+    bad = tmp_path / "bad_serve.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            from repro.metrics import enable          # registry internals
+            from repro.metrics import instrument      # module is repro.metrics
+            from repro.metrics.registry import Counter
+            import repro.trace
+
+            def f():
+                import repro.metrics
+            """
+        )
+    )
+    violations = lint.check_file(bad, serve=True)
+    assert len(violations) == 5
+    assert all("serve module" in v for v in violations)
+
+
+def test_serve_forbidden_predicate():
+    assert not lint._is_forbidden_for_serve("repro.metrics.instrument")
+    assert lint._is_forbidden_for_serve("repro.metrics")
+    assert lint._is_forbidden_for_serve("repro.metrics.registry")
+    assert lint._is_forbidden_for_serve("repro.trace")
+    assert not lint._is_forbidden_for_serve("repro.batch.scheduler")
+
+
+def test_serve_modules_are_scanned_and_clean():
+    scanned = {
+        os.path.basename(p)
+        for d in lint.SERVE_DIRS
+        for p in map(str, (lint.REPO / d).glob("*.py"))
+    }
+    for module in (
+        "service.py", "queue.py", "cache.py", "fleet.py",
+        "job.py", "traces.py",
+    ):
+        assert module in scanned, module
 
 
 def test_every_backend_module_is_scanned():

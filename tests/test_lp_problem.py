@@ -135,3 +135,80 @@ class TestEvaluation:
         lp = LPProblem(c=[1.0], a=[[1.0]], senses=["<="], b=[1.0],
                        bounds=Bounds.nonnegative(1), var_names=["prod_a"])
         assert lp.variable_name(0) == "prod_a"
+
+
+class TestFingerprint:
+    """Structural fingerprints: stable under value perturbation, sensitive
+    to structure — the warm-start cache key contract."""
+
+    def _lp(self, b=None, c=None, senses=None, maximize=True):
+        return LPProblem(
+            c=[2.0, 3.0] if c is None else c,
+            a=[[1.0, 1.0], [2.0, 0.5]],
+            senses=["<=", "<="] if senses is None else senses,
+            b=[4.0, 5.0] if b is None else b,
+            bounds=Bounds.nonnegative(2),
+            maximize=maximize,
+        )
+
+    def test_deterministic(self):
+        assert self._lp().fingerprint() == self._lp().fingerprint()
+        assert len(self._lp().fingerprint()) == 64  # sha256 hex
+
+    def test_survives_value_perturbation(self):
+        base = self._lp()
+        perturbed = self._lp(b=[4.4, 4.9], c=[2.1, 2.9])
+        assert base.fingerprint() == perturbed.fingerprint()
+
+    def test_sensitive_to_structure(self):
+        base = self._lp()
+        assert base.fingerprint() != self._lp(senses=["<=", "="]).fingerprint()
+        assert base.fingerprint() != self._lp(maximize=False).fingerprint()
+        bigger = LPProblem(
+            c=[1.0, 1.0, 1.0], a=[[1.0, 1.0, 1.0]], senses=["<="], b=[1.0],
+            bounds=Bounds.nonnegative(3),
+        )
+        assert base.fingerprint() != bigger.fingerprint()
+
+    def test_sensitive_to_bound_finiteness(self):
+        base = self._lp()
+        free = LPProblem(
+            c=[2.0, 3.0], a=[[1.0, 1.0], [2.0, 0.5]], senses=["<=", "<="],
+            b=[4.0, 5.0],
+            bounds=Bounds(np.array([0.0, -np.inf]), np.array([np.inf, np.inf])),
+        )
+        assert base.fingerprint() != free.fingerprint()
+
+    def test_sparse_pattern_matters(self):
+        def sparse_lp(a):
+            return LPProblem(
+                c=[1.0, 1.0], a=CscMatrix.from_dense(np.array(a)),
+                senses=["<=", "<="], b=[1.0, 1.0],
+                bounds=Bounds.nonnegative(2),
+            )
+
+        same1 = sparse_lp([[1.0, 0.0], [0.0, 1.0]])
+        same2 = sparse_lp([[5.0, 0.0], [0.0, 7.0]])  # same pattern
+        other = sparse_lp([[1.0, 1.0], [0.0, 1.0]])  # extra nonzero
+        assert same1.fingerprint() == same2.fingerprint()
+        assert same1.fingerprint() != other.fingerprint()
+
+    def test_dense_and_sparse_differ(self):
+        dense = LPProblem(
+            c=[1.0, 1.0], a=[[1.0, 0.0], [0.0, 1.0]], senses=["<=", "<="],
+            b=[1.0, 1.0], bounds=Bounds.nonnegative(2),
+        )
+        sparse = LPProblem(
+            c=[1.0, 1.0],
+            a=CscMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 1.0]])),
+            senses=["<=", "<="], b=[1.0, 1.0],
+            bounds=Bounds.nonnegative(2),
+        )
+        assert dense.fingerprint() != sparse.fingerprint()
+
+    def test_name_is_ignored(self):
+        a = LPProblem(c=[1.0], a=[[1.0]], senses=["<="], b=[1.0],
+                      bounds=Bounds.nonnegative(1), name="first")
+        b = LPProblem(c=[9.0], a=[[3.0]], senses=["<="], b=[7.0],
+                      bounds=Bounds.nonnegative(1), name="second")
+        assert a.fingerprint() == b.fingerprint()

@@ -118,6 +118,97 @@ class TestHistogram:
             reg.histogram("h3", buckets=())  # empty
 
 
+class TestQuantileEstimation:
+    """Bucket-based quantile estimation (histogram_quantile semantics):
+    linear interpolation within the bucket containing the target rank."""
+
+    def test_uniform_known_values(self):
+        # values 1..100 into decade buckets: the estimate is exact at
+        # every bucket-aligned quantile
+        h = MetricsRegistry().histogram(
+            "lat", buckets=tuple(float(b) for b in range(10, 101, 10))
+        )
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(50.0)
+        assert h.quantile(0.95) == pytest.approx(95.0)
+        assert h.quantile(0.99) == pytest.approx(99.0)
+        assert h.quantile(0.1) == pytest.approx(10.0)
+        assert h.quantile(1.0) == pytest.approx(100.0)
+
+    def test_interpolation_within_bucket(self):
+        # 4 observations all landing in (10, 20]: the median interpolates
+        # to the midpoint of the bucket's fill
+        h = MetricsRegistry().histogram("lat", buckets=(10.0, 20.0))
+        for v in (12, 14, 16, 18):
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        assert h.quantile(0.25) == pytest.approx(12.5)
+
+    def test_first_bucket_anchors_at_zero(self):
+        # latency-style buckets: the first bucket's lower edge is 0
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.07)
+        assert h.quantile(0.5) == pytest.approx(0.05)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        for v in (0.5, 10.0, 20.0):  # two in the +Inf overflow bucket
+            h.observe(v)
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_empty_and_absent_series_are_nan(self):
+        empty = MetricsRegistry().histogram("lat")
+        assert math.isnan(empty.quantile(0.5))
+        h = MetricsRegistry().histogram("lab", labels=("k",))
+        h.observe(1.0, k="a")
+        assert math.isnan(h.quantile(0.5, k="missing"))
+        assert not math.isnan(h.quantile(0.5, k="a"))
+
+    def test_bad_q_rejected(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(MetricsError):
+            h.quantile(1.5)
+        with pytest.raises(MetricsError):
+            h.quantile(-0.1)
+
+    def test_module_level_quantile_on_snapshot_series(self):
+        from repro.metrics import bucket_quantile, quantile
+
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(10.0, 20.0, 30.0))
+        for v in (5.0, 15.0, 25.0, 28.0):
+            h.observe(v)
+        # Histogram object and its snapshot representation agree
+        series = reg.snapshot()["metrics"]["lat"]["series"][0]
+        assert quantile(h, 0.5) == pytest.approx(quantile(series, 0.5))
+        # ...and both match the raw bucket computation
+        assert quantile(series, 0.5) == pytest.approx(
+            bucket_quantile((10.0, 20.0, 30.0), (1, 2, 4), 4, 0.5)
+        )
+        with pytest.raises(MetricsError):
+            quantile({"count": 3}, 0.5)
+
+    def test_estimate_brackets_true_quantile(self):
+        # against a known distribution: the bucket estimate always lands
+        # inside the bucket holding the true quantile
+        rng = np.random.default_rng(42)
+        values = rng.exponential(0.1, size=2000)
+        buckets = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+        h = MetricsRegistry().histogram("lat", buckets=buckets)
+        for v in values:
+            h.observe(float(v))
+        for q in (0.5, 0.9, 0.95, 0.99):
+            true_q = float(np.quantile(values, q))
+            est = h.quantile(q)
+            hi = next((b for b in buckets if b >= true_q), buckets[-1])
+            lo_candidates = [b for b in buckets if b < true_q]
+            lo = lo_candidates[-1] if lo_candidates else 0.0
+            assert lo <= est <= hi, (q, est, true_q)
+
+
 class TestRegistry:
     def test_declare_or_fetch_is_idempotent(self):
         reg = MetricsRegistry()

@@ -1,22 +1,32 @@
 #!/usr/bin/env python
-"""Lint: solver backend modules must not import repro.trace / repro.metrics.
+"""Lint: architectural import rules, enforced as CI failures.
 
-The engine's observer layer (:mod:`repro.engine.hooks` for trace records,
-:mod:`repro.engine.lifecycle` for metrics emission) is the *only* place
-solver events leave a backend.  A backend that imports :mod:`repro.trace`
-or :mod:`repro.metrics` directly would bypass the observer protocol and
-reintroduce the per-solver instrumentation clones the engine refactor
-removed — this lint turns that architectural rule into a CI failure.
+Two rules, one mechanism (an AST walk over the module trees):
 
-Checked trees (the backend modules):
+**Backend rule.**  Solver backend modules must not import ``repro.trace``
+or ``repro.metrics`` at all.  The engine's observer layer
+(:mod:`repro.engine.hooks` for trace records, :mod:`repro.engine.lifecycle`
+for metrics emission) is the *only* place solver events leave a backend;
+a direct import would bypass the observer protocol and reintroduce the
+per-solver instrumentation clones the engine refactor removed.
 
-- ``src/repro/simplex/*.py``  — the CPU methods
-- ``src/repro/core/*.py``     — the GPU methods
+Checked trees: ``src/repro/simplex/*.py`` (CPU methods) and
+``src/repro/core/*.py`` (GPU methods).
 
-Both ``import repro.trace`` / ``import repro.metrics`` statements and
-``from repro.trace import ...`` / ``from repro.metrics import ...`` forms
-are rejected, at any nesting depth (the AST walk sees function-local
-imports too).  Exit status 0 = clean, 1 = violations (one line each).
+**Serve rule.**  Serving modules (``src/repro/serve/*.py``) may not import
+``repro.trace``, and may touch the metrics layer only through the
+instrumentation façade ``repro.metrics.instrument`` — never the registry
+internals.  The façade's hooks are no-ops when collection is off, which is
+what keeps the serving loop zero-cost by default; importing
+``repro.metrics`` itself (or the registry/exporters) from serve code would
+couple the service to registry internals and dodge that gate.  Note that
+``from repro.metrics import instrument`` also trips the rule: the module
+imported there is ``repro.metrics``.  Use
+``from repro.metrics.instrument import <hook>``.
+
+Both ``import X`` and ``from X import ...`` forms are rejected, at any
+nesting depth (the AST walk sees function-local imports too).  Exit
+status 0 = clean, 1 = violations (one line each).
 
 Run via ``make lint`` or ``python tools/lint_backend_imports.py``.
 """
@@ -35,6 +45,12 @@ FORBIDDEN = ("repro.trace", "repro.metrics")
 #: Directories holding solver backend modules.
 BACKEND_DIRS = ("src/repro/simplex", "src/repro/core")
 
+#: Directories holding serving modules (metrics via the façade only).
+SERVE_DIRS = ("src/repro/serve",)
+
+#: The one metrics module serve code may import from.
+SERVE_ALLOWED = "repro.metrics.instrument"
+
 
 def _is_forbidden(module: str) -> bool:
     return any(
@@ -42,29 +58,42 @@ def _is_forbidden(module: str) -> bool:
     )
 
 
-def check_file(path: Path) -> list[str]:
+def _is_forbidden_for_serve(module: str) -> bool:
+    """Serve modules: repro.trace is out entirely; repro.metrics only via
+    the repro.metrics.instrument façade."""
+    if module == SERVE_ALLOWED or module.startswith(SERVE_ALLOWED + "."):
+        return False
+    return _is_forbidden(module)
+
+
+def check_file(path: Path, *, serve: bool = False) -> list[str]:
     """Return one violation message per forbidden import in ``path``."""
     tree = ast.parse(path.read_text(), filename=str(path))
     try:
         shown = path.relative_to(REPO)
     except ValueError:
         shown = path
+    forbidden = _is_forbidden_for_serve if serve else _is_forbidden
+    role = "serve module" if serve else "backend"
+    hint = (
+        "import hooks from 'repro.metrics.instrument' instead"
+        if serve
+        else "use the engine observer hooks instead"
+    )
     violations = []
     for node in ast.walk(tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if _is_forbidden(alias.name):
+                if forbidden(alias.name):
                     violations.append(
                         f"{shown}:{node.lineno}: "
-                        f"backend imports {alias.name!r} (use the engine "
-                        f"observer hooks instead)"
+                        f"{role} imports {alias.name!r} ({hint})"
                     )
         elif isinstance(node, ast.ImportFrom):
-            if node.module and node.level == 0 and _is_forbidden(node.module):
+            if node.module and node.level == 0 and forbidden(node.module):
                 violations.append(
                     f"{shown}:{node.lineno}: "
-                    f"backend imports from {node.module!r} (use the engine "
-                    f"observer hooks instead)"
+                    f"{role} imports from {node.module!r} ({hint})"
                 )
     return violations
 
@@ -74,6 +103,9 @@ def run() -> list[str]:
     for dirname in BACKEND_DIRS:
         for path in sorted((REPO / dirname).glob("*.py")):
             violations.extend(check_file(path))
+    for dirname in SERVE_DIRS:
+        for path in sorted((REPO / dirname).glob("*.py")):
+            violations.extend(check_file(path, serve=True))
     return violations
 
 
@@ -82,10 +114,13 @@ def main() -> int:
     for line in violations:
         print(line)
     if violations:
-        print(f"lint: {len(violations)} forbidden backend import(s)")
+        print(f"lint: {len(violations)} forbidden import(s)")
         return 1
-    n_files = sum(len(list((REPO / d).glob('*.py'))) for d in BACKEND_DIRS)
-    print(f"lint: ok ({n_files} backend modules clean)")
+    n_files = sum(
+        len(list((REPO / d).glob("*.py")))
+        for d in BACKEND_DIRS + SERVE_DIRS
+    )
+    print(f"lint: ok ({n_files} modules clean)")
     return 0
 
 
