@@ -11,6 +11,9 @@
 # backends, assert the objectives agree).
 # `make serve-smoke` replays a small arrival trace through the serving layer
 # (fleet beats sequential, warm-start cache hits land).
+# `make pdlp-smoke` runs the first-order (PDLP) backends on a sparse
+# instance and asserts they agree with the revised simplex, and that
+# method="auto" dispatches to a registered method.
 # `make lint` enforces the layering architecture (no direct trace/metrics
 # imports inside solver backends; serve modules reach metrics only through
 # the instrument façade); `make verify` is the single pre-commit entry
@@ -21,8 +24,8 @@ PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
-.PHONY: test test-batch trace-smoke sparse-smoke serve-smoke metrics-smoke \
-	gate gate-baseline bench bench-batch lint verify
+.PHONY: test test-batch trace-smoke sparse-smoke serve-smoke pdlp-smoke \
+	metrics-smoke gate gate-baseline bench bench-batch lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
@@ -30,7 +33,7 @@ test:  ## tier-1: the full test suite
 lint:  ## architecture lint: backend/serve import layering rules
 	python tools/lint_backend_imports.py
 
-verify: test lint sparse-smoke serve-smoke gate  ## pre-commit: tests + lint + smokes + gate
+verify: test lint sparse-smoke serve-smoke pdlp-smoke gate  ## pre-commit: tests + lint + smokes + gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
@@ -68,6 +71,24 @@ serve-smoke:  ## end-to-end: arrival trace -> fleet serving -> invariants
 	assert fleet.span_seconds < seq.span_seconds, (fleet.span_seconds, seq.span_seconds); \
 	assert fleet.cache_hits >= 1, fleet.cache.summary(); \
 	print('serve-smoke ok:', fleet.summary())"
+
+pdlp-smoke:  ## end-to-end: first-order backends agree with simplex + auto dispatch
+	$(PYTHONPATH_SRC) python -m repro generate sparse 80 120 --density 0.05 \
+		--seed 11 --out /tmp/pdlp-smoke.mps
+	$(PYTHONPATH_SRC) python -c "\
+	from repro.lp.mps import read_mps; \
+	from repro import solve; \
+	from repro.solve import choose_method; \
+	from repro.lp.generators import random_sparse_lp; \
+	lp = read_mps('/tmp/pdlp-smoke.mps'); \
+	ref = solve(lp, method='revised').objective; \
+	objs = {m: solve(lp, method=m).objective for m in ('pdlp', 'gpu-pdlp')}; \
+	assert all(abs(o - ref) <= 1e-4 * max(1.0, abs(ref)) for o in objs.values()), (ref, objs); \
+	big = random_sparse_lp(400, 600, density=0.02, seed=1); \
+	assert choose_method(big) == 'gpu-pdlp', choose_method(big); \
+	auto = solve(lp, method='auto'); \
+	assert auto.status.value == 'optimal'; \
+	print('pdlp-smoke ok:', {'revised': ref, **objs}, 'auto->', choose_method(lp))"
 
 metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
 	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \

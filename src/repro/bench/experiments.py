@@ -1,4 +1,4 @@
-"""One entry point per evaluation experiment (tables T1–T3, figures F1–F8,
+"""One entry point per evaluation experiment (tables T1–T3, figures F1–F10,
 ablations A1–A6, beyond-paper batching B1).
 
 Each function runs the experiment and returns a
@@ -604,6 +604,69 @@ def f8_binv_fill(size: int = 256, density: float = 0.03, seed: int = 42) -> Repo
 
 
 # ---------------------------------------------------------------------------
+# F10 — simplex vs first-order (PDLP) modeled-time crossover
+# ---------------------------------------------------------------------------
+
+
+def f10_firstorder_crossover(
+    sizes: Sequence[int] = (128, 192, 256, 320, 384),
+    density: float = 0.02,
+    seed: int = 42,
+) -> Report:
+    """Modeled-time crossover between ``gpu-revised-sparse`` and ``gpu-pdlp``.
+
+    First-order iterations cost two SpMVs; simplex iterations cost a basis
+    solve whose factors fill in as pivots accumulate (F8).  On large sparse
+    instances the per-iteration gap overwhelms PDHG's larger iteration
+    count and the first-order method wins — this sweep measures where.
+    The interpolated crossover (in m+n) is what ``solve(method="auto")``
+    uses to dispatch between the two families.
+    """
+    report = Report(
+        "F10",
+        f"Simplex vs first-order crossover (sparse, density {density})",
+    )
+    t = report.add_table(
+        Table([
+            "m", "n", "method", "status", "iters", "modeled ms",
+            "objectives agree", "speedup (simplex/pdlp)",
+        ])
+    )
+    simplex_recs: list = []
+    pdlp_recs: list = []
+    for size in sizes:
+        lp = random_sparse_lp(size, int(1.5 * size), density=density, seed=seed)
+        rs = run_method(lp, "gpu-revised-sparse", dtype=BENCH_DTYPE)
+        rp = run_method(lp, "gpu-pdlp", dtype=BENCH_DTYPE)
+        simplex_recs.append(rs)
+        pdlp_recs.append(rp)
+        agree = relative_error(rs.objective, rp.objective) < 1e-3
+        ratio = (
+            rs.modeled_seconds / rp.modeled_seconds
+            if rp.modeled_seconds > 0 else float("nan")
+        )
+        t.add_row(rs.m, rs.n, "gpu-revised-sparse", rs.status, rs.iterations,
+                  rs.modeled_seconds * 1e3, agree, "")
+        t.add_row(rp.m, rp.n, "gpu-pdlp", rp.status, rp.iterations,
+                  rp.modeled_seconds * 1e3, agree, ratio)
+    speedups = speedup_series(simplex_recs, pdlp_recs)
+    report.add_note(ascii_series(
+        [r.m + r.n for r in pdlp_recs], speedups,
+        label="gpu-pdlp speedup vs m+n",
+    ))
+    crossover = find_crossover([r.m + r.n for r in pdlp_recs], speedups)
+    if crossover is None:
+        report.add_note("no crossover inside the sweep — one method wins everywhere.")
+    else:
+        report.add_note(
+            f"gpu-pdlp overtakes gpu-revised-sparse at m+n ≈ {crossover:.0f} "
+            "on this density; solve(method=\"auto\") dispatches sparse "
+            "problems past that size to the first-order backend."
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
 # A5 — bounded-variable simplex vs bounds-as-rows
 # ---------------------------------------------------------------------------
 
@@ -940,6 +1003,7 @@ EXPERIMENTS = {
     "f7": f7_device_generations,
     "f8": f8_binv_fill,
     "f9": f9_iteration_breakdown,
+    "f10": f10_firstorder_crossover,
     "a1": a1_pricing,
     "a2": a2_basis_update,
     "a3": a3_tableau_vs_revised,

@@ -10,7 +10,7 @@ Commands
               (Prometheus text or JSON), optionally gated against a baseline
 ``info``      print structural statistics of an MPS file
 ``generate``  write a random dense/sparse instance to MPS
-``bench``     run one of the evaluation experiments (T1–T3, F1–F9, A1–A6,
+``bench``     run one of the evaluation experiments (T1–T3, F1–F10, A1–A6,
               B1, M1, S1)
 ``serve``     replay a synthetic arrival trace through the serving layer
               (``repro.serve``): fleet, admission queue, warm-start cache
@@ -52,8 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve an MPS file")
     p_solve.add_argument("path", help="MPS file to solve")
     p_solve.add_argument("--method", default="gpu-revised",
-                         help="tableau | revised | revised-sparse | "
-                              "gpu-revised | gpu-revised-sparse | gpu-tableau")
+                         help="auto | tableau | revised | revised-sparse | "
+                              "gpu-revised | gpu-revised-sparse | gpu-tableau "
+                              "| pdlp | gpu-pdlp")
     p_solve.add_argument("--pricing", default="dantzig",
                          help="dantzig | bland | hybrid | devex | steepest-edge")
     p_solve.add_argument("--dtype", default="float64",
@@ -155,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run an evaluation experiment")
     p_bench.add_argument("experiment",
-                         help="t1..t3 f1..f9 a1..a6 b1 m1 s1 | all")
+                         help="t1..t3 f1..f10 a1..a6 b1 m1 s1 | all")
 
     p_serve = sub.add_parser(
         "serve",

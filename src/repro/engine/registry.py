@@ -92,6 +92,18 @@ def _gpu_tableau(options: SolverOptions, device: Any):
     return GpuTableauSimplex(options=options, device=device)
 
 
+def _pdlp(options: SolverOptions, device: Any):
+    from repro.firstorder.cpu import PdlpSolver
+
+    return PdlpSolver(options)
+
+
+def _gpu_pdlp(options: SolverOptions, device: Any):
+    from repro.firstorder.gpu import GpuPdlpSolver
+
+    return GpuPdlpSolver(options=options, device=device)
+
+
 METHODS: "dict[str, MethodSpec]" = {
     spec.name: spec
     for spec in (
@@ -112,6 +124,8 @@ METHODS: "dict[str, MethodSpec]" = {
             "gpu-revised-bounded", _gpu_revised_bounded, supports_device=True
         ),
         MethodSpec("gpu-tableau", _gpu_tableau, supports_device=True),
+        MethodSpec("pdlp", _pdlp),
+        MethodSpec("gpu-pdlp", _gpu_pdlp, supports_device=True),
     )
 }
 

@@ -1,0 +1,13 @@
+"""First-order LP solvers: restarted, preconditioned PDHG (PDLP-style).
+
+The non-simplex wing of the engine.  ``repro.firstorder.cpu`` and
+``repro.firstorder.gpu`` provide the two backends registered as
+``"pdlp"`` and ``"gpu-pdlp"``; ``repro.firstorder.pdhg`` holds the shared
+restart/termination logic and ``repro.firstorder.rescale`` the diagonal
+preconditioning both backends iterate on.
+"""
+
+from repro.firstorder.cpu import PdlpSolver
+from repro.firstorder.gpu import GpuPdlpSolver
+
+__all__ = ["PdlpSolver", "GpuPdlpSolver"]

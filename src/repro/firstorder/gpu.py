@@ -1,0 +1,491 @@
+"""Restarted, preconditioned PDHG (PDLP-style) on the simulated GPU.
+
+The device sibling of :class:`~repro.firstorder.cpu.PdlpSolver` and the
+method the simulated hardware rewards most: the entire iteration is four
+kernel launches — SpMVᵀ, a fused primal update (projection + extrapolation
++ running sum), SpMV, and a fused dual update — with *no* factorisation,
+no host round-trips in the hot loop, and candidate evaluation every
+``check_every`` iterations built from the same SpMV kernels plus
+device-BLAS reductions (each reduction charges the real scalar-download
+latency, exactly like the simplex pricing loop).
+
+The constraint matrix is resident twice, CSC for ``Âᵀŷ`` and CSR for
+``Âx̂`` — the standard PDLP trade of one extra matrix copy for coalesced
+row-parallel SpMV in both directions.
+
+Setup (Ruiz/Pock–Chambolle rescaling) is host work; the power-iteration
+``‖Â‖₂`` estimate runs on the device so its SpMV cost lands on the device
+clock.  Decision logic (restarts, primal weight, termination, Farkas
+rays) is shared with the CPU backend via :mod:`repro.firstorder.pdhg`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import SolverBackend
+from repro.firstorder.cpu import _as_csc_prep
+from repro.firstorder.pdhg import (
+    PdhgControls,
+    RestartController,
+    attach_firstorder_solution,
+    infeasibility_from_rays,
+    relative_kkt,
+    update_primal_weight,
+)
+from repro.firstorder.rescale import RescaledLP, ruiz_rescale
+from repro.gpu import blas
+from repro.gpu.device import Device
+from repro.gpu.memory import DeviceArray
+from repro.gpu.sparse_kernels import (
+    DeviceCscMatrix,
+    DeviceCsrMatrix,
+    spmv_csc_t,
+    spmv_csr,
+)
+from repro.lp.problem import LPProblem
+from repro.lp.standard_form import StandardFormLP
+from repro.perfmodel.gpu_model import GpuModelParams
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.result import IterationStats, SolveResult, TimingStats
+from repro.simplex.common import prepare
+from repro.simplex.options import SolverOptions
+from repro.status import SolveStatus
+
+
+def _primal_update_kernel(
+    dev: Device,
+    x: DeviceArray,
+    x_ext: DeviceArray,
+    x_sum: DeviceArray,
+    aty: DeviceArray,
+    c: DeviceArray,
+    tau: float,
+) -> None:
+    """Fused: x ← [x − τ(c − Âᵀŷ)]₊;  x_ext ← 2x⁺ − x;  x_sum += x⁺."""
+    n = x.shape[0]
+    w = x.itemsize
+
+    def body() -> None:
+        old = x.data.astype(np.float64)
+        new = np.maximum(
+            0.0, old - tau * (c.data.astype(np.float64) - aty.data.astype(np.float64))
+        )
+        x_ext.data[:] = (2.0 * new - old).astype(x_ext.dtype)
+        x_sum.data[:] = (x_sum.data.astype(np.float64) + new).astype(x_sum.dtype)
+        x.data[:] = new.astype(x.dtype)
+
+    cost = OpCost(
+        flops=8 * n,
+        bytes_read=4 * n * w,
+        bytes_written=3 * n * w,
+        threads=max(1, n),
+        coalesced_fraction=1.0,
+    )
+    dev.launch("pdhg.primal_update", body, cost, dtype=x.dtype)
+
+
+def _dual_update_kernel(
+    dev: Device,
+    y: DeviceArray,
+    y_sum: DeviceArray,
+    ax: DeviceArray,
+    b: DeviceArray,
+    sigma: float,
+) -> None:
+    """Fused: y ← y + σ(b̂ − Âx_ext);  y_sum += y⁺."""
+    m = y.shape[0]
+    w = y.itemsize
+
+    def body() -> None:
+        new = y.data.astype(np.float64) + sigma * (
+            b.data.astype(np.float64) - ax.data.astype(np.float64)
+        )
+        y_sum.data[:] = (y_sum.data.astype(np.float64) + new).astype(y_sum.dtype)
+        y.data[:] = new.astype(y.dtype)
+
+    cost = OpCost(
+        flops=5 * m,
+        bytes_read=4 * m * w,
+        bytes_written=2 * m * w,
+        threads=max(1, m),
+        coalesced_fraction=1.0,
+    )
+    dev.launch("pdhg.dual_update", body, cost, dtype=y.dtype)
+
+
+def _scaled_residual_kernel(
+    dev: Device,
+    out: DeviceArray,
+    av: DeviceArray,
+    rhs: DeviceArray,
+    inv_scale: DeviceArray,
+    *,
+    positive_part: bool,
+    name: str,
+) -> None:
+    """out ← (av − rhs)·inv_scale, optionally clamped to its positive part
+    (the unscaled primal / dual residual vector of a candidate)."""
+    n = out.shape[0]
+    w = out.itemsize
+
+    def body() -> None:
+        r = (av.data.astype(np.float64) - rhs.data.astype(np.float64)) * (
+            inv_scale.data.astype(np.float64)
+        )
+        if positive_part:
+            r = np.maximum(r, 0.0)
+        out.data[:] = r.astype(out.dtype)
+
+    cost = OpCost(
+        flops=3 * n,
+        bytes_read=3 * n * w,
+        bytes_written=n * w,
+        threads=max(1, n),
+        coalesced_fraction=1.0,
+    )
+    dev.launch(name, body, cost, dtype=out.dtype)
+
+
+class GpuPdlpSolver(SolverBackend):
+    """GPU PDLP: device-CSC/CSR restarted PDHG priced by the perf model."""
+
+    name = "gpu-pdlp"
+    accepts_warm_start = False
+
+    def __init__(
+        self,
+        options: SolverOptions | None = None,
+        device: Device | None = None,
+        gpu_params: GpuModelParams = GTX280_PARAMS,
+    ):
+        self.options = options or SolverOptions()
+        self._external_device = device
+        self._gpu_params = gpu_params
+        self._st: "_PdhgState | None" = None
+        #: The device of the last solve (statistics inspection).
+        self.device: Device | None = device
+
+    # -- engine backend interface --------------------------------------
+
+    def begin(self, problem: "LPProblem | StandardFormLP", warm_hint) -> None:
+        opts = self.options
+        self.prep = prep = _as_csc_prep(prepare(problem, opts))
+        dev = self._external_device or Device(self._gpu_params)
+        self.device = self.dev = dev
+        dev.reset_stats()
+
+        m, n = prep.m, prep.n_total
+        self._controls = PdhgControls.from_options(opts, m, n)
+        self._rescaled: RescaledLP = ruiz_rescale(prep.a, prep.b, prep.c)
+        self._st = st = _PdhgState(self._rescaled, dev, np.dtype(opts.dtype))
+        self.stats = IterationStats()
+        self.needs_phase1 = False
+        self._b_norm = float(np.linalg.norm(prep.b))
+        self._c_norm = float(np.linalg.norm(prep.c))
+        self._final_kkt = None
+        self._restarts = 0
+        self._omega = 1.0
+        self._spmv_count = 0
+        self.hooks.arm(
+            clock=lambda: dev.clock,
+            sections=lambda: dev.stats.sections,
+            meta={
+                "m": m,
+                "n": n,
+                "pricing": "pdhg",
+                "dtype": np.dtype(opts.dtype).name,
+                "device": dev.params.name,
+                "nnz": prep.nnz,
+                "tol_kkt": self._controls.tol,
+            },
+        )
+        with dev.timed_section("setup"):
+            self._norm_a = self._device_norm_estimate()
+        return None
+
+    def _device_norm_estimate(self, iters: int = 24) -> float:
+        """Power iteration on ÂᵀÂ with the device SpMV kernels (its SpMV
+        cost is real setup work and lands on the device clock)."""
+        st = self._st
+        n = st.a_csc.shape[1]
+        blas.fill(st.x_ext, 1.0 / np.sqrt(n))
+        sigma = 1.0
+        for _ in range(iters):
+            spmv_csr(st.a_csr, st.x_ext, st.ax)
+            spmv_csc_t(st.a_csc, st.ax, st.aty)
+            self._spmv_count += 2
+            nw = blas.nrm2(st.aty)
+            if nw <= 0.0:
+                break
+            blas.copy(st.aty, st.x_ext)
+            blas.scal(1.0 / nw, st.x_ext)
+            sigma = float(np.sqrt(nw))
+        blas.fill(st.x_ext, 0.0)
+        return max(sigma, 1e-30)
+
+    # -- candidate evaluation -------------------------------------------
+
+    def _evaluate(self, x_c: DeviceArray, y_c: DeviceArray):
+        """Unscaled relative KKT score of a device-resident candidate."""
+        st = self._st
+        spmv_csr(st.a_csr, x_c, st.chk_m)
+        spmv_csc_t(st.a_csc, y_c, st.chk_n)
+        self._spmv_count += 2
+        _scaled_residual_kernel(
+            st.dev, st.tmp_m, st.chk_m, st.b, st.inv_row,
+            positive_part=False, name="pdhg.residual_primal",
+        )
+        rp = blas.nrm2(st.tmp_m)
+        _scaled_residual_kernel(
+            st.dev, st.tmp_n, st.chk_n, st.c, st.inv_col,
+            positive_part=True, name="pdhg.residual_dual",
+        )
+        rd = blas.nrm2(st.tmp_n)
+        pobj = blas.dot(st.c, x_c)
+        dobj = blas.dot(st.b, y_c)
+        return relative_kkt(rp, rd, pobj, dobj, self._b_norm, self._c_norm)
+
+    def _displacement_norms(self, x_c, y_c) -> tuple[float, float]:
+        """Prep-space ‖Δx‖, ‖Δy‖ since the last restart point."""
+        st = self._st
+        blas.copy(x_c, st.tmp_n)
+        blas.axpy(-1.0, st.x_rst, st.tmp_n)
+        dx = st.tmp_n.copy_to_host().astype(np.float64) * self._rescaled.col_scale
+        blas.copy(y_c, st.tmp_m)
+        blas.axpy(-1.0, st.y_rst, st.tmp_m)
+        dy = st.tmp_m.copy_to_host().astype(np.float64) * self._rescaled.row_scale
+        return float(np.linalg.norm(dx)), float(np.linalg.norm(dy))
+
+    # -- the PDHG loop ---------------------------------------------------
+
+    def run_phase(self, phase: int) -> tuple[SolveStatus, int]:
+        st, ctl = self._st, self._controls
+        dev = st.dev
+        eta = ctl.step_safety / self._norm_a
+        omega = 1.0
+        k_since = 0
+        checks = 0
+        restart_ctl = RestartController(ctl)
+        with dev.timed_section("check"):
+            best = self._evaluate(st.x, st.y)
+        self._accept(st.x, st.y, best)
+        status = SolveStatus.ITERATION_LIMIT
+        k = 0
+
+        for k in range(1, ctl.max_iterations + 1):
+            tau = eta / omega
+            sigma = eta * omega
+            with dev.timed_section("spmv"):
+                spmv_csc_t(st.a_csc, st.y, st.aty)
+            with dev.timed_section("update"):
+                _primal_update_kernel(dev, st.x, st.x_ext, st.x_sum, st.aty, st.c, tau)
+            with dev.timed_section("spmv"):
+                spmv_csr(st.a_csr, st.x_ext, st.ax)
+            with dev.timed_section("update"):
+                _dual_update_kernel(dev, st.y, st.y_sum, st.ax, st.b, sigma)
+            self._spmv_count += 2
+            k_since += 1
+
+            if k % ctl.check_every != 0 and k != ctl.max_iterations:
+                continue
+            checks += 1
+            with dev.timed_section("check"):
+                inv_k = 1.0 / k_since
+                blas.copy(st.x_sum, st.x_avg)
+                blas.scal(inv_k, st.x_avg)
+                blas.copy(st.y_sum, st.y_avg)
+                blas.scal(inv_k, st.y_avg)
+                cand_avg = self._evaluate(st.x_avg, st.y_avg)
+                cand_cur = self._evaluate(st.x, st.y)
+            if cand_avg.score <= cand_cur.score:
+                cand, cx, cy = cand_avg, st.x_avg, st.y_avg
+            else:
+                cand, cx, cy = cand_cur, st.x, st.y
+            if cand.score < best.score:
+                best = cand
+                self._accept(cx, cy, cand)
+
+            if cand.converged(ctl.tol):
+                status = SolveStatus.OPTIMAL
+                self._accept(cx, cy, cand)
+                self._record_restart(k, cand)
+                self.hooks.record(
+                    phase=2, iteration=k, event="optimal",
+                    objective=cand.primal_objective, theta=cand.score,
+                    pricing_rule="pdhg",
+                )
+                break
+
+            if checks % ctl.ray_every == 0:
+                # Farkas logic is host work on the downloaded rays (the
+                # two vector downloads are charged as DtoH transfers)
+                with dev.timed_section("transfer"):
+                    dx, dy = self._download_rays(cx, cy)
+                verdict = infeasibility_from_rays(
+                    self.prep.a, self.prep.b, self.prep.c, dx, dy
+                )
+                if verdict is not None:
+                    status = verdict
+                    self._record_restart(k, cand)
+                    self.hooks.record(
+                        phase=2, iteration=k, event=str(verdict),
+                        objective=cand.primal_objective, theta=cand.score,
+                        pricing_rule="pdhg",
+                    )
+                    break
+
+            if restart_ctl.should_restart(cand.score, k_since):
+                with dev.timed_section("restart"):
+                    dx_norm, dy_norm = self._displacement_norms(cx, cy)
+                    omega = update_primal_weight(
+                        omega, dx_norm, dy_norm, ctl.weight_smoothing
+                    )
+                    if cx is not st.x:
+                        blas.copy(cx, st.x)
+                        blas.copy(cy, st.y)
+                    blas.copy(st.x, st.x_rst)
+                    blas.copy(st.y, st.y_rst)
+                    blas.fill(st.x_sum, 0.0)
+                    blas.fill(st.y_sum, 0.0)
+                k_since = 0
+                restart_ctl.on_restart(cand.score)
+                self._record_restart(k, cand)
+
+        self._restarts = restart_ctl.restarts
+        self._omega = omega
+        if status is SolveStatus.ITERATION_LIMIT:
+            self._record_restart(k, best)
+        return status, k
+
+    def _download_rays(self, cx: DeviceArray, cy: DeviceArray):
+        sc = self._rescaled
+        st = self._st
+        blas.copy(cx, st.tmp_n)
+        blas.axpy(-1.0, st.x_rst, st.tmp_n)
+        blas.copy(cy, st.tmp_m)
+        blas.axpy(-1.0, st.y_rst, st.tmp_m)
+        dx = st.tmp_n.copy_to_host().astype(np.float64) * sc.col_scale
+        dy = st.tmp_m.copy_to_host().astype(np.float64) * sc.row_scale
+        return dx, dy
+
+    def _accept(self, x_c: DeviceArray, y_c: DeviceArray, kkt) -> None:
+        st = self._st
+        blas.copy(x_c, st.x_best)
+        blas.copy(y_c, st.y_best)
+        self._final_kkt = kkt
+
+    def _record_restart(self, k: int, kkt) -> None:
+        self.hooks.record(
+            phase=2,
+            iteration=k,
+            event="restart",
+            objective=kkt.primal_objective,
+            theta=kkt.score,
+            pricing_rule="pdhg",
+        )
+
+    # -- finish participation ------------------------------------------
+
+    def timing(self, wall_seconds: float) -> TimingStats:
+        dev = self.dev
+        breakdown = dict(dev.stats.sections)
+        breakdown["transfer"] = dev.stats.transfer_seconds
+        return TimingStats(
+            modeled_seconds=dev.clock,
+            wall_seconds=wall_seconds,
+            transfer_seconds=dev.stats.transfer_seconds,
+            kernel_breakdown=breakdown,
+        )
+
+    def standard_extras(self, result: SolveResult) -> None:
+        dev = self.dev
+        result.extra["device"] = dev.params.name
+        result.extra["kernel_launches"] = dev.stats.kernel_launches
+        result.extra["kernel_bytes"] = sum(
+            rec.bytes for rec in dev.stats.by_kernel.values()
+        )
+        result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        result.extra["restarts"] = self._restarts
+        result.extra["spmv_count"] = self._spmv_count
+        result.extra["primal_weight"] = self._omega
+        result.extra["norm_estimate"] = self._norm_a
+        if self._final_kkt is not None:
+            result.extra["kkt_primal"] = self._final_kkt.primal
+            result.extra["kkt_dual"] = self._final_kkt.dual
+            result.extra["kkt_gap"] = self._final_kkt.gap
+            result.extra["kkt_score"] = self._final_kkt.score
+
+    def extract(self, result: SolveResult) -> None:
+        st = self._st
+        x_hat = st.x_best.copy_to_host().astype(np.float64)
+        y_hat = st.y_best.copy_to_host().astype(np.float64)
+        attach_firstorder_solution(result, self.prep, self._rescaled, x_hat, y_hat)
+
+    def finalize_timing(self, result: SolveResult) -> None:
+        # the solution download in extract() advanced the clock; the
+        # reported machine time must include it
+        dev = self.dev
+        result.timing.modeled_seconds = dev.clock
+        result.timing.transfer_seconds = dev.stats.transfer_seconds
+        result.timing.kernel_breakdown["transfer"] = dev.stats.transfer_seconds
+
+    def cleanup(self) -> None:
+        if self._st is not None:
+            self._st.free()
+            self._st = None
+
+
+class _PdhgState:
+    """Device-resident PDHG state: the matrix twice (CSC + CSR) and the
+    iterate/average/candidate vectors."""
+
+    def __init__(self, rescaled: RescaledLP, dev: Device, dtype: np.dtype):
+        self.dev = dev
+        self.dtype = dtype
+        m, n = rescaled.a.shape
+        try:
+            with dev.timed_section("transfer"):
+                self.a_csc = DeviceCscMatrix(dev, rescaled.a, dtype)
+                self.a_csr = DeviceCsrMatrix(dev, rescaled.a.tocsr(), dtype)
+                self.b = dev.to_device(rescaled.b, dtype)
+                self.c = dev.to_device(rescaled.c, dtype)
+                self.inv_row = dev.to_device(rescaled.inv_row_scale, dtype)
+                self.inv_col = dev.to_device(rescaled.inv_col_scale, dtype)
+            self.x = dev.zeros(n, dtype)
+            self.y = dev.zeros(m, dtype)
+            self.x_ext = dev.zeros(n, dtype)
+            self.x_sum = dev.zeros(n, dtype)
+            self.y_sum = dev.zeros(m, dtype)
+            self.x_avg = dev.zeros(n, dtype)
+            self.y_avg = dev.zeros(m, dtype)
+            self.x_rst = dev.zeros(n, dtype)
+            self.y_rst = dev.zeros(m, dtype)
+            self.x_best = dev.zeros(n, dtype)
+            self.y_best = dev.zeros(m, dtype)
+            self.ax = dev.zeros(m, dtype)
+            self.aty = dev.zeros(n, dtype)
+            self.chk_m = dev.zeros(m, dtype)
+            self.chk_n = dev.zeros(n, dtype)
+            self.tmp_m = dev.zeros(m, dtype)
+            self.tmp_n = dev.zeros(n, dtype)
+        except Exception:
+            # a failed allocation (device OOM) must not leak what was
+            # already placed on the card
+            self.free()
+            raise
+
+    def free(self) -> None:
+        for name in (
+            "b", "c", "inv_row", "inv_col", "x", "y", "x_ext", "x_sum",
+            "y_sum", "x_avg", "y_avg", "x_rst", "y_rst", "x_best", "y_best",
+            "ax", "aty", "chk_m", "chk_n", "tmp_m", "tmp_n",
+        ):
+            arr = getattr(self, name, None)
+            if arr is not None and not arr.is_freed:
+                arr.free()
+        for mat in (getattr(self, "a_csc", None), getattr(self, "a_csr", None)):
+            if mat is not None:
+                mat.free()

@@ -41,11 +41,29 @@ class ScalingResult:
 
 
 def _round_pow2(scale: np.ndarray) -> np.ndarray:
-    """Round positive scale factors to the nearest power of two."""
+    """Round positive finite scale factors to the nearest power of two.
+
+    Non-finite or non-positive entries come out as 1.0 — a degenerate
+    factor must never poison the scaled data.
+    """
     out = np.ones_like(scale)
-    positive = scale > 0
-    out[positive] = np.exp2(np.rint(np.log2(scale[positive])))
+    usable = (scale > 0) & np.isfinite(scale)
+    out[usable] = np.exp2(np.rint(np.log2(scale[usable])))
     return out
+
+
+def _inv_geomean(gmin: float, gmax: float) -> float:
+    """``1 / sqrt(gmin * gmax)`` computed in log space.
+
+    The naive product underflows to 0.0 (or overflows to inf) once the
+    magnitudes pass ~1e-154 (~1e154), turning the factor into inf/0 and the
+    scaled matrix into NaNs.  ``exp2`` of the averaged exponents has no
+    intermediate that can leave the float range for any positive inputs.
+    """
+    factor = float(np.exp2(-0.5 * (np.log2(gmin) + np.log2(gmax))))
+    if not np.isfinite(factor) or factor <= 0.0:
+        return 1.0
+    return factor
 
 
 def geometric_mean_scaling(
@@ -81,8 +99,8 @@ def geometric_mean_scaling(
             vals = mags[i, nz[i]]
             if vals.size:
                 gmin, gmax = vals.min(), vals.max()
-                spread = max(spread, np.sqrt(gmax / gmin))
-                r[i] = 1.0 / np.sqrt(gmin * gmax)
+                spread = max(spread, np.sqrt(gmax) / np.sqrt(gmin))
+                r[i] = _inv_geomean(gmin, gmax)
         if pow2:
             r = _round_pow2(r)
         work *= r[:, None]
@@ -96,8 +114,8 @@ def geometric_mean_scaling(
             vals = mags[nz[:, j], j]
             if vals.size:
                 gmin, gmax = vals.min(), vals.max()
-                spread = max(spread, np.sqrt(gmax / gmin))
-                s[j] = 1.0 / np.sqrt(gmin * gmax)
+                spread = max(spread, np.sqrt(gmax) / np.sqrt(gmin))
+                s[j] = _inv_geomean(gmin, gmax)
         if pow2:
             s = _round_pow2(s)
         work *= s[None, :]

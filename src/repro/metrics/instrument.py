@@ -198,6 +198,29 @@ def record_solve(result: "SolveResult") -> None:
             "repro_solver_ratio_test_ties_total",
             "Ratio-test ties recorded by traced solves.", labels=("solver",),
         ).inc(sum(r.ratio_ties for r in result.trace), solver=solver)
+    # First-order (PDHG) extras: the basis-free solvers report restarts and
+    # SpMV counts where the simplex solvers report pivots and refactors.
+    if "restarts" in result.extra:
+        reg.counter(
+            "repro_solver_restarts_total",
+            "First-order (PDHG) restarts by solver.", labels=("solver",),
+        ).inc(result.extra["restarts"], solver=solver)
+    if "spmv_count" in result.extra:
+        reg.counter(
+            "repro_solver_spmv_total",
+            "Sparse matrix-vector products by solver (first-order methods).",
+            labels=("solver",),
+        ).inc(result.extra["spmv_count"], solver=solver)
+    if "kkt_score" in result.extra:
+        kkt = reg.gauge(
+            "repro_solver_kkt_residual",
+            "Terminal relative KKT residuals of the last first-order solve.",
+            labels=("solver", "component"),
+        )
+        for component in ("primal", "dual", "gap", "score"):
+            key = f"kkt_{component}"
+            if key in result.extra:
+                kkt.set(result.extra[key], solver=solver, component=component)
 
 
 # ---------------------------------------------------------------------------

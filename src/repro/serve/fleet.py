@@ -142,9 +142,14 @@ class MakespanPredictor:
 
     Problems are bucketed by the base-2 magnitude of their row/column
     counts, so a 60x90 LP and a 70x100 LP share a bucket while 64x96 and
-    512x768 do not.  ``predict`` returns 0.0 for an unseen bucket — the
-    honest "no estimate" answer; admission control treats it as
-    "unknown, admit" rather than inventing a number.
+    512x768 do not.  An unseen bucket of an *observed* method is
+    extrapolated from the nearest observed bucket by the work ratio between
+    them (time ~ m·n, so one log2 step in each dimension doubles the
+    estimate); without this, a job one bucket past the largest ever seen
+    predicted 0.0 and sailed through admission control as "free", wrecking
+    the deadline ledger.  Only a method with no observations at all returns
+    0.0 — the honest "no estimate" answer that admission control treats as
+    "unknown, admit".
     """
 
     def __init__(self) -> None:
@@ -164,8 +169,26 @@ class MakespanPredictor:
         )
 
     def predict(self, problem: LPProblem, method: str) -> float:
-        stats = self._stats.get(self._key(problem, method))
-        return stats.mean if stats is not None else 0.0
+        method_key, rb, cb = self._key(problem, method)
+        stats = self._stats.get((method_key, rb, cb))
+        if stats is not None:
+            return stats.mean
+        # Unseen bucket: extrapolate from the nearest observed bucket of the
+        # same method, scaling by 2 per log2 step in each dimension.  Ties
+        # keep the larger projection (conservative for admission control).
+        best: "tuple[int, float] | None" = None
+        for (m_obs, rb_obs, cb_obs), s in self._stats.items():
+            if m_obs != method_key:
+                continue
+            distance = abs(rb - rb_obs) + abs(cb - cb_obs)
+            projected = s.mean * 2.0 ** ((rb - rb_obs) + (cb - cb_obs))
+            if (
+                best is None
+                or distance < best[0]
+                or (distance == best[0] and projected > best[1])
+            ):
+                best = (distance, projected)
+        return best[1] if best is not None else 0.0
 
     def __len__(self) -> int:
         return len(self._stats)

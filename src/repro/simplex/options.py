@@ -47,6 +47,12 @@ class SolverOptions:
         ``50 * (m + n)``.
     tol_reduced_cost / tol_pivot / tol_zero:
         Optimality, pivot-admissibility and round-to-zero tolerances.
+    tol_kkt:
+        First-order (``pdlp`` / ``gpu-pdlp``) termination tolerance: the
+        solve stops when the relative primal residual, relative dual
+        residual and relative duality gap all fall below it.  Simplex
+        methods ignore it.  Floored by the arithmetic precision (a float32
+        run cannot certify 1e-9 residuals).
     stall_window:
         Iterations without objective improvement before ``hybrid`` pricing
         switches to Bland (and after escaping the stall, back).
@@ -67,6 +73,7 @@ class SolverOptions:
     tol_reduced_cost: float = 1e-9
     tol_pivot: float = 1e-9
     tol_zero: float = 1e-11
+    tol_kkt: float = 1e-9
     stall_window: int = 40
     refactor_period: int = 100
     scale: bool = False
@@ -95,7 +102,7 @@ class SolverOptions:
             )
         if self.max_iterations < 0:
             raise SolverError("max_iterations must be >= 0")
-        for name in ("tol_reduced_cost", "tol_pivot", "tol_zero"):
+        for name in ("tol_reduced_cost", "tol_pivot", "tol_zero", "tol_kkt"):
             if getattr(self, name) < 0:
                 raise SolverError(f"{name} must be non-negative")
         if np.dtype(self.dtype) not in (np.dtype(np.float32), np.dtype(np.float64)):

@@ -19,6 +19,17 @@
   upper-bound handling (bound flips on the device).
 - ``"gpu-tableau"``  — full-tableau simplex on the simulated GPU (the A3
   ablation design point).
+- ``"pdlp"``         — CPU first-order solver: restarted, preconditioned
+  PDHG (PDLP-style) over CSC data — no phase 1, no basis; terminates on
+  relative KKT residuals (``tol_kkt``).
+- ``"gpu-pdlp"``     — the same first-order method on the simulated GPU:
+  four kernel launches per iteration (SpMV/SpMVᵀ + fused updates), the
+  regime where first-order methods overtake simplex on large sparse LPs
+  (experiment F10 measures the crossover).
+
+``method="auto"`` is not a table row but a dispatcher: it inspects the
+problem (size, density, warm-start request) and picks one of the concrete
+methods above via :func:`choose_method`.
 
 All methods accept the same :class:`~repro.simplex.options.SolverOptions`.
 ``tests/test_solve_facade.py`` asserts this list covers every registered
@@ -38,6 +49,8 @@ across the solves and price the batch under a sequential or concurrent
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.engine.registry import METHODS, warm_start_methods
 from repro.errors import UnknownMethodError
 from repro.lp.problem import LPProblem
@@ -47,10 +60,40 @@ from repro.simplex.options import SolverOptions
 #: The method table (name → :class:`~repro.engine.registry.MethodSpec`).
 _METHODS = METHODS
 
+#: ``method="auto"`` thresholds, calibrated against experiment F10: on
+#: sparse instances below this density the modeled gpu-pdlp time overtakes
+#: gpu-revised-sparse once the problem passes the size crossover
+#: (F10 interpolates the crossing at m+n ≈ 745 for density 0.02).
+_AUTO_DENSITY = 0.05
+_AUTO_CROSSOVER = 750  # m + n at the measured modeled-time crossover
+
 
 def available_methods() -> list[str]:
     """Names accepted by :func:`solve`'s ``method`` argument."""
     return sorted(_METHODS)
+
+
+def choose_method(problem: LPProblem, initial_basis=None) -> str:
+    """Pick a concrete method for ``method="auto"``.
+
+    The rule mirrors the F10 crossover measurement: big sparse problems go
+    to the first-order GPU solver (iteration cost is two SpMVs instead of
+    a basis solve), everything else to the revised simplex variant that
+    matches the storage format.  A warm-start request forces a basis
+    method — the first-order solvers have no basis to start from.
+    """
+    m, n = problem.num_constraints, problem.num_vars
+    if problem.is_sparse:
+        density = problem.a.nnz / max(1, m * n)
+    else:
+        a = np.asarray(problem.a)
+        density = np.count_nonzero(a) / max(1, a.size)
+    sparse_enough = density <= _AUTO_DENSITY
+    if initial_basis is None and sparse_enough and m + n >= _AUTO_CROSSOVER:
+        return "gpu-pdlp"
+    if problem.is_sparse:
+        return "gpu-revised-sparse"
+    return "gpu-revised"
 
 
 def solve(
@@ -69,9 +112,13 @@ def solve(
     (take it from ``previous_result.extra["basis"]``).  ``device`` lets a
     ``gpu-*`` solve run on an existing simulated device instead of creating
     its own — the batch layer uses this to share one device across many LPs.
+    ``method="auto"`` resolves to a concrete method via
+    :func:`choose_method` before dispatch.
     """
     if not isinstance(problem, LPProblem):
         raise TypeError(f"expected LPProblem, got {type(problem).__name__}")
+    if method == "auto":
+        method = choose_method(problem, initial_basis)
     try:
         spec = _METHODS[method]
     except KeyError:

@@ -19,8 +19,11 @@ import dataclasses
 import math
 from typing import Any, Callable, Iterator
 
-#: Events that correspond to an actual basis change (pivot) or bound flip.
-PIVOT_EVENTS = frozenset({"pivot", "flip"})
+#: Events that correspond to an actual step of progress: a basis change
+#: (pivot), a bound flip, or — for the first-order methods, which have no
+#: basis — a restart to an averaged iterate.  These are the records that
+#: carry an objective value and feed ``objective_series``.
+PIVOT_EVENTS = frozenset({"pivot", "flip", "restart"})
 
 #: Events that terminate a phase (the iteration is still counted by the
 #: solver's iteration statistics, so the trace records it too).

@@ -191,6 +191,32 @@ class TestQuantileEstimation:
         with pytest.raises(MetricsError):
             quantile({"count": 3}, 0.5)
 
+    def test_empty_histogram_quantile_is_nan(self):
+        # Regression guard: a quantile of a histogram with zero
+        # observations must be NaN, not a ZeroDivisionError and not 0.0
+        # (which would read as "instant latency" on a dashboard).
+        from repro.metrics import bucket_quantile
+
+        assert math.isnan(bucket_quantile((1.0, 2.0), (0, 0), 0, 0.5))
+        assert math.isnan(bucket_quantile((), (), 0, 0.99))
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_single_observation_quantile(self):
+        # One observation: every quantile interpolates inside the bucket
+        # that holds it — bounded by the bucket's edges, never NaN.
+        from repro.metrics import bucket_quantile
+
+        h = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            est = h.quantile(q)
+            assert 1.0 <= est <= 2.0, (q, est)
+        # and the raw-bucket computation agrees
+        assert bucket_quantile((1.0, 2.0, 4.0), (0, 1, 1), 1, 1.0) == pytest.approx(
+            2.0
+        )
+
     def test_estimate_brackets_true_quantile(self):
         # against a known distribution: the bucket estimate always lands
         # inside the bucket holding the true quantile

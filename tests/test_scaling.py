@@ -80,6 +80,41 @@ class TestScaling:
         result = geometric_mean_scaling(a, np.ones(2), np.ones(2))
         np.testing.assert_array_equal(np.asarray(result.a)[0], [0.0, 0.0])
 
+    def test_extreme_magnitudes_stay_finite(self):
+        # Regression: gmin * gmax underflowed to 0.0 for rows around
+        # 1e-200 (and overflowed to inf around 1e200), turning the factor
+        # into inf/0 and the scaled matrix into NaNs.  The log-space
+        # geometric mean cannot leave the float range.
+        for scale in (1e-200, 1e-160, 1e160, 1e200):
+            a = np.array([[scale, 2.0 * scale], [1.0, 3.0]])
+            result = geometric_mean_scaling(a, np.ones(2), np.ones(2))
+            assert np.all(np.isfinite(result.row_scale)), scale
+            assert np.all(result.row_scale > 0), scale
+            assert np.all(np.isfinite(result.col_scale)), scale
+            assert np.all(np.isfinite(np.asarray(result.a))), scale
+            # and the scaling still does its job on the extreme row
+            assert scaling_spread(result.a) < scaling_spread(a)
+
+    def test_extreme_magnitudes_property(self):
+        # Property over random exponent patterns (incl. zero rows/cols):
+        # all factors finite and positive, scaled data finite, and the
+        # scaled system stays consistent with the original through C/R.
+        rng = np.random.default_rng(7)
+        for trial in range(25):
+            m, n = rng.integers(1, 6, size=2)
+            exponents = rng.uniform(-220, 220, size=(m, n))
+            a = rng.choice([-1.0, 1.0], size=(m, n)) * 10.0**exponents
+            a[rng.random(size=(m, n)) < 0.3] = 0.0  # sprinkle zeros
+            result = geometric_mean_scaling(a, np.ones(m), np.ones(n))
+            assert np.all(np.isfinite(result.row_scale)), trial
+            assert np.all(result.row_scale > 0), trial
+            assert np.all(np.isfinite(result.col_scale)), trial
+            assert np.all(result.col_scale > 0), trial
+            scaled = np.asarray(result.a)
+            assert np.all(np.isfinite(scaled)), trial
+            # zero entries stay exactly zero
+            np.testing.assert_array_equal(scaled == 0.0, a == 0.0)
+
 
 def test_scaling_improves_solver_accuracy():
     """A badly scaled LP solves to the same optimum with scale=True."""

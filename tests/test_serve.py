@@ -156,6 +156,26 @@ class TestWarmStartCache:
         assert cache.evictions == 0
         assert cache.get("a").tolist() == [9]
 
+    def test_overflow_stays_bounded_through_server(self):
+        # Regression: the cache grew without bound — one entry per distinct
+        # structure ever served.  A replay over more structures than the
+        # configured capacity must end with len(cache) == capacity, the
+        # overflow counted as evictions, and the eviction metric emitted.
+        from repro import metrics
+
+        config = ServeConfig(n_devices=1, cache_capacity=3, method="gpu-revised")
+        with metrics.collecting() as reg:
+            server = LPServer(config)
+            for i in range(6):
+                # distinct shapes -> distinct structural fingerprints
+                server.submit(random_dense_lp(8 + i, 12 + i, seed=i))
+            server.run()
+        assert len(server.cache) == 3
+        assert server.cache.capacity == 3
+        assert server.cache.stores == 6
+        assert server.cache.evictions == 3
+        assert reg.get("repro_serve_cache_evictions_total") is not None
+
     def test_summary_and_len(self):
         cache = WarmStartCache(capacity=4)
         cache.put("a", np.array([1]))
@@ -214,9 +234,31 @@ class TestFleet:
         near = random_dense_lp(17, 25, seed=4)
         far = random_dense_lp(128, 192, seed=4)
         assert pred.predict(near, "gpu-revised") == pytest.approx(2.0)
-        assert pred.predict(far, "gpu-revised") == 0.0
+        # an unseen bucket of an observed method extrapolates by the work
+        # ratio instead of claiming 0.0 ("free") — 16x24 to 128x192 is
+        # three log2 steps in each dimension, so 2.0 * 2**6
+        assert pred.predict(far, "gpu-revised") == pytest.approx(128.0)
         assert pred.predict(lp, "revised") == 0.0  # per-method
         assert len(pred) == 1
+
+    def test_predictor_extrapolates_from_nearest_bucket(self):
+        # Regression: a job bigger than every observed bucket used to
+        # predict 0.0 and bypass deadline admission control entirely.
+        pred = MakespanPredictor()
+        small = random_dense_lp(16, 24, seed=3)
+        mid = random_dense_lp(32, 48, seed=3)
+        huge = random_dense_lp(256, 384, seed=3)
+        pred.observe(small, "gpu-revised", 1.0)
+        pred.observe(mid, "gpu-revised", 4.0)
+        # nearest bucket wins: 32x48 -> 256x384 is 3+3 log2 steps
+        assert pred.predict(huge, "gpu-revised") == pytest.approx(4.0 * 2**6)
+        # estimate grows monotonically with the size gap
+        assert pred.predict(huge, "gpu-revised") > pred.predict(
+            mid, "gpu-revised"
+        )
+        # scaling down works too (smaller than every observed bucket)
+        tiny = random_dense_lp(4, 6, seed=3)
+        assert 0.0 < pred.predict(tiny, "gpu-revised") < 1.0
 
 
 # ---------------------------------------------------------------------------

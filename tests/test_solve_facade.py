@@ -25,7 +25,7 @@ class TestDispatch:
         assert set(available_methods()) == {
             "tableau", "revised", "revised-bounded", "revised-sparse", "dual",
             "gpu-revised", "gpu-revised-sparse", "gpu-revised-bounded",
-            "gpu-tableau",
+            "gpu-tableau", "pdlp", "gpu-pdlp",
         }
 
     def test_docstring_lists_every_method(self):
@@ -95,7 +95,7 @@ class TestMethodRegistry:
 
         assert device_methods() == {
             "gpu-revised", "gpu-revised-sparse", "gpu-revised-bounded",
-            "gpu-tableau",
+            "gpu-tableau", "gpu-pdlp",
         }
         assert warm_start_methods() == {
             "revised", "revised-sparse", "dual",

@@ -94,7 +94,7 @@ def run_one(problem: LPProblem, method: str) -> dict:
             pivots.append(
                 [rec.phase, rec.iteration, rec.event, rec.entering, rec.leaving_row]
             )
-    return {
+    cell = {
         "solver": result.solver,
         "status": result.status.value,
         "objective": hexf(result.objective),
@@ -105,6 +105,12 @@ def run_one(problem: LPProblem, method: str) -> dict:
         "modeled_seconds": hexf(result.timing.modeled_seconds),
         "pivots": pivots,
     }
+    if "kkt_score" in result.extra:
+        # first-order cells: pin the terminal KKT residual and the restart
+        # count alongside the objective (they have no pivot sequence to pin)
+        cell["kkt_residual"] = hexf(result.extra["kkt_score"])
+        cell["restarts"] = result.extra["restarts"]
+    return cell
 
 
 def main() -> None:

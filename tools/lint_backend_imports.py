@@ -10,8 +10,9 @@ for metrics emission) is the *only* place solver events leave a backend;
 a direct import would bypass the observer protocol and reintroduce the
 per-solver instrumentation clones the engine refactor removed.
 
-Checked trees: ``src/repro/simplex/*.py`` (CPU methods) and
-``src/repro/core/*.py`` (GPU methods).
+Checked trees: ``src/repro/simplex/*.py`` (CPU methods),
+``src/repro/core/*.py`` (GPU methods) and ``src/repro/firstorder/*.py``
+(the PDHG backends).
 
 **Serve rule.**  Serving modules (``src/repro/serve/*.py``) may not import
 ``repro.trace``, and may touch the metrics layer only through the
@@ -43,7 +44,7 @@ REPO = Path(__file__).resolve().parent.parent
 FORBIDDEN = ("repro.trace", "repro.metrics")
 
 #: Directories holding solver backend modules.
-BACKEND_DIRS = ("src/repro/simplex", "src/repro/core")
+BACKEND_DIRS = ("src/repro/simplex", "src/repro/core", "src/repro/firstorder")
 
 #: Directories holding serving modules (metrics via the façade only).
 SERVE_DIRS = ("src/repro/serve",)
