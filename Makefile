@@ -14,18 +14,21 @@
 # `make pdlp-smoke` runs the first-order (PDLP) backends on a sparse
 # instance and asserts they agree with the revised simplex, and that
 # method="auto" dispatches to a registered method.
-# `make lint` enforces the layering architecture (no direct trace/metrics
-# imports inside solver backends; serve modules reach metrics only through
-# the instrument façade); `make verify` is the single pre-commit entry
-# point: tier-1 tests + lint + the sparse and serve smokes + the metrics
-# regression gate.
+# `make obs-smoke` replays a trace with the repro.obs span recorder on,
+# validates span-tree containment, checks the attribution buckets sum to
+# each job's latency, and validates the exported Chrome span trace.
+# `make lint` enforces the layering architecture (no direct
+# trace/metrics/obs imports inside solver backends; serve modules reach
+# metrics and spans only through the instrument façade); `make verify` is
+# the single pre-commit entry point: tier-1 tests + lint + the sparse,
+# serve and obs smokes + the metrics regression gate.
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
 .PHONY: test test-batch trace-smoke sparse-smoke serve-smoke pdlp-smoke \
-	metrics-smoke gate gate-baseline bench bench-batch lint verify
+	obs-smoke metrics-smoke gate gate-baseline bench bench-batch lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
@@ -33,7 +36,7 @@ test:  ## tier-1: the full test suite
 lint:  ## architecture lint: backend/serve import layering rules
 	python tools/lint_backend_imports.py
 
-verify: test lint sparse-smoke serve-smoke pdlp-smoke gate  ## pre-commit: tests + lint + smokes + gate
+verify: test lint sparse-smoke serve-smoke pdlp-smoke obs-smoke gate  ## pre-commit: tests + lint + smokes + gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
@@ -89,6 +92,29 @@ pdlp-smoke:  ## end-to-end: first-order backends agree with simplex + auto dispa
 	auto = solve(lp, method='auto'); \
 	assert auto.status.value == 'optimal'; \
 	print('pdlp-smoke ok:', {'revised': ref, **objs}, 'auto->', choose_method(lp))"
+
+obs-smoke:  ## end-to-end: spans on -> attribution exact -> Chrome validates
+	$(PYTHONPATH_SRC) python -c "\
+	from repro.obs import observing, serve_chrome_trace, to_json, from_json; \
+	from repro.serve import ServeConfig, serve_trace, synthetic_trace; \
+	from repro.trace.chrome import validate_chrome_trace; \
+	trace = synthetic_trace(n_jobs=8, seed=7); \
+	ctx = observing(); rec_ = ctx.__enter__(); \
+	report = serve_trace(trace, ServeConfig(n_devices=2)); \
+	ctx.__exit__(None, None, None); \
+	recording = report.obs_recording; \
+	recording.validate(); \
+	attr = report.attribution(); \
+	assert attr.jobs, 'no attributed jobs'; \
+	bad = [j for j in attr.jobs if abs(sum(j.buckets.values()) - j.latency_seconds) > 1e-9]; \
+	assert not bad, bad; \
+	assert from_json(to_json(recording)).kept_traces == recording.kept_traces; \
+	validate_chrome_trace(serve_chrome_trace(recording)); \
+	print('obs-smoke ok:', recording.kept_traces, 'traces,', len(recording.spans), 'spans,', len(attr.jobs), 'jobs attributed')"
+	$(PYTHONPATH_SRC) python -m repro explain --jobs 6 --seed 3 \
+		--tree slowest --chrome-out /tmp/obs-smoke.chrome.json > /tmp/obs-smoke.txt
+	@grep -q "fleet-wide latency attribution" /tmp/obs-smoke.txt
+	@echo "obs-smoke explain ok"
 
 metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
 	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \

@@ -156,7 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser("bench", help="run an evaluation experiment")
     p_bench.add_argument("experiment",
-                         help="t1..t3 f1..f10 a1..a6 b1 m1 s1 | all")
+                         help="t1..t3 f1..f10 a1..a6 b1 m1 s1 o1 | all")
 
     p_serve = sub.add_parser(
         "serve",
@@ -180,6 +180,34 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="also print the per-job table")
     p_serve.add_argument("--metrics", action="store_true",
                          help="print the Prometheus metrics exposition too")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="replay a trace with span tracing on and attribute modeled time",
+    )
+    p_explain.add_argument("--jobs", type=int, default=32,
+                           help="trace length (default 32)")
+    p_explain.add_argument("--seed", type=int, default=0)
+    p_explain.add_argument("--devices", type=int, default=2,
+                           help="fleet size (default 2)")
+    p_explain.add_argument("--streams", type=int, default=4,
+                           help="concurrent streams per device")
+    p_explain.add_argument("--method", default="gpu-revised")
+    p_explain.add_argument("--queue-depth", type=int, default=64,
+                           help="admission queue bound")
+    p_explain.add_argument("--cache", type=int, default=128,
+                           help="warm-start cache capacity")
+    p_explain.add_argument("--mean-gap", type=float, default=0.002,
+                           help="mean interarrival gap in modeled seconds")
+    p_explain.add_argument("--per-job", action="store_true",
+                           help="also print the per-job bucket table")
+    p_explain.add_argument("--tree", metavar="TRACE_ID",
+                           help="print the span tree of one trace "
+                                "(e.g. job-3), or 'slowest'")
+    p_explain.add_argument("--json-out", metavar="PATH",
+                           help="write the span recording as JSON")
+    p_explain.add_argument("--chrome-out", metavar="PATH",
+                           help="write a Chrome trace of the serve spans")
 
     sub.add_parser("devices", help="print the modeled hardware table")
     return parser
@@ -464,6 +492,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import observing, render_tree, serve_chrome_trace, to_json
+    from repro.serve import ServeConfig, serve_trace, synthetic_trace
+
+    trace = synthetic_trace(
+        n_jobs=args.jobs, seed=args.seed, mean_interarrival=args.mean_gap
+    )
+    config = ServeConfig(
+        n_devices=args.devices,
+        n_streams=args.streams,
+        method=args.method,
+        max_queue_depth=args.queue_depth,
+        cache_capacity=args.cache,
+    )
+    with observing():
+        report = serve_trace(trace, config)
+    print(report.render())
+    print()
+    attribution = report.attribution()
+    print(attribution.render(per_job=args.per_job))
+    recording = report.obs_recording
+    if args.tree:
+        trace_id = args.tree
+        if trace_id == "slowest":
+            jobs = [
+                (recording.latencies.get(t) or 0.0, t)
+                for t in recording.trace_ids()
+                if t.startswith("job-")
+            ]
+            if not jobs:
+                print("no kept job traces to show")
+                return 0
+            trace_id = max(jobs)[1]
+        print()
+        print(render_tree(recording, trace_id))
+    if args.json_out:
+        to_json(recording, target=args.json_out)
+        print(f"\nwrote span JSON to {args.json_out}")
+    if args.chrome_out:
+        serve_chrome_trace(recording, target=args.chrome_out)
+        print(f"wrote Chrome trace to {args.chrome_out}")
+    return 0
+
+
 def _cmd_devices(_args: argparse.Namespace) -> int:
     from repro.bench.experiments import t1_device_table
 
@@ -480,6 +552,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "bench": _cmd_bench,
     "serve": _cmd_serve,
+    "explain": _cmd_explain,
     "devices": _cmd_devices,
 }
 

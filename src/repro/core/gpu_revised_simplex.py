@@ -329,7 +329,8 @@ class GpuRevisedSimplex(SolverBackend):
                 opts.refactor_period
                 and iters % opts.refactor_period == 0
             ):
-                st.refactor_host()
+                with self.hooks.span("engine.refactor"):
+                    st.refactor_host()
                 stats.refactorizations += 1
                 self._eta_updates = 0
 

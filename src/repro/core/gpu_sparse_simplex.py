@@ -288,7 +288,8 @@ class GpuSparseRevisedSimplex(SolverBackend):
 
     def _refactor(self, st: "_SparseState", stats: IterationStats) -> bool:
         try:
-            st.refactor()
+            with self.hooks.span("engine.refactor"):
+                st.refactor()
         except SingularBasisError:
             return False
         stats.refactorizations += 1

@@ -45,10 +45,12 @@ def run_solve(
     try:
         early = backend.begin(problem, warm_hint)
         if early is not None:
+            backend.hooks.finish_obs(early.status.value)
             return early
 
         if backend.needs_phase1:
-            status, iters = backend.run_phase(1)
+            with backend.hooks.span("engine.phase", phase=1):
+                status, iters = backend.run_phase(1)
             backend.stats.phase1_iterations = iters
             if status is not SolveStatus.OPTIMAL:
                 if status is SolveStatus.UNBOUNDED:
@@ -63,12 +65,17 @@ def run_solve(
                     backend, SolveStatus.INFEASIBLE, t_wall,
                     extra={"phase1_objective": z1},
                 )
-            backend.drive_out_artificials()
+            with backend.hooks.span("engine.driveout"):
+                backend.drive_out_artificials()
 
-        status, iters = backend.run_phase(2)
+        with backend.hooks.span("engine.phase", phase=2):
+            status, iters = backend.run_phase(2)
         backend.stats.phase2_iterations = iters
         return _finish(backend, status, t_wall)
     finally:
+        # Error exits (SolverError, device OOM, ...) must still close the
+        # solve's span trace; after a normal finish this is a no-op.
+        backend.hooks.finish_obs("error")
         backend.cleanup()
 
 
@@ -96,5 +103,6 @@ def _finish(
     if status is SolveStatus.OPTIMAL:
         backend.extract(result)
     backend.finalize_timing(result)
+    backend.hooks.finish_obs(status.value)
     record_solve(result)
     return result

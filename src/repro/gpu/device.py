@@ -41,6 +41,14 @@ class TimelineEvent:
     events (0 for transfers) — the batch scheduler uses it to estimate how
     much of the device a kernel actually occupies when launches from
     several LP streams are interleaved.
+
+    ``start`` is the event's begin time on the device's modeled clock.
+    The device itself serialises work, so for device-recorded events the
+    starts are head-to-tail; schedule replays (stream-interleaved
+    :class:`~repro.batch.scheduler.ConcurrentSchedule` windows) construct
+    events with *overlapping* starts, which the Chrome exporter honors.
+    ``None`` (legacy events) means "unknown": consumers fall back to a
+    cumulative sum.
     """
 
     kind: str
@@ -48,6 +56,7 @@ class TimelineEvent:
     seconds: float
     threads: int = 0
     nbytes: int = 0
+    start: "float | None" = None
 
 
 @dataclasses.dataclass
@@ -184,6 +193,7 @@ class Device:
                 TimelineEvent(
                     "kernel", "memset", seconds,
                     threads=max(1, arr.size), nbytes=arr.nbytes,
+                    start=self.clock - seconds,
                 )
             )
 
@@ -242,6 +252,7 @@ class Device:
                 TimelineEvent(
                     "kernel", name, seconds,
                     threads=cost.threads, nbytes=int(cost.bytes_total),
+                    start=self.clock - seconds,
                 )
             )
 
@@ -264,7 +275,10 @@ class Device:
         _metrics.record_transfer(direction, nbytes, seconds)
         if self.timeline is not None:
             self.timeline.append(
-                TimelineEvent(direction, "transfer", seconds, nbytes=nbytes)
+                TimelineEvent(
+                    direction, "transfer", seconds, nbytes=nbytes,
+                    start=self.clock - seconds,
+                )
             )
         return seconds
 

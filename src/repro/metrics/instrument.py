@@ -25,12 +25,15 @@ non-perturbing.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.metrics.registry import active, bucket_quantile
+from repro.obs.context import active as _obs_active
 
 if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
     from repro.batch.scheduler import LPTimeline, ScheduleOutcome
+    from repro.obs.attribution import AttributionReport
+    from repro.obs.span import ObsRecording
     from repro.perfmodel.ops import OpCost
     from repro.result import SolveResult
 
@@ -458,3 +461,152 @@ def update_serve_latency_quantiles() -> None:
                 ),
                 q=f"{q:g}",
             )
+
+
+# ---------------------------------------------------------------------------
+# span recording (repro.obs) — the serve/batch emission façade
+# ---------------------------------------------------------------------------
+#
+# Serve and batch code may not import ``repro.obs`` (the architecture lint
+# extends the metrics rule to it), so the span layer is reached through the
+# thin forwards below.  Each one is a single ``is None`` check while no
+# recorder is installed — the same zero-overhead contract as every metrics
+# hook in this module — and the span-shaped work lives in
+# :mod:`repro.obs.emit`, imported only once a recorder exists.
+
+
+def obs_enabled() -> bool:
+    """True when a span recorder is installed (``repro.obs.enable``)."""
+    return _obs_active() is not None
+
+
+def obs_job_rejected(job: Any) -> None:
+    """Span tree of one admission rejection (terminal, emitted once)."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    emit.emit_job_rejected(rec, job)
+
+
+def obs_job_expired(job: Any) -> None:
+    """Span tree of one queued job whose deadline lapsed (idempotent)."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    emit.emit_job_expired(rec, job)
+
+
+def obs_job_executed(
+    job: Any,
+    solve_ids: Sequence[str],
+    events: Sequence[Any],
+    launch_overhead: float,
+    own_seconds: float,
+    stretch: float,
+) -> None:
+    """Span tree of one completed job, including the execute-slice
+    breakdown attribution reads (transfer / launch / refactor seconds)."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    emit.emit_job_executed(
+        rec, job, solve_ids, events, launch_overhead, own_seconds, stretch
+    )
+
+
+def obs_dispatch_window(
+    device: str, t_start: float, outcome: "ScheduleOutcome", n_jobs: int
+) -> None:
+    """One dispatch window priced onto a fleet device."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    emit.emit_dispatch_window(rec, device, t_start, outcome, n_jobs)
+
+
+def obs_batch_schedule(
+    schedule: str,
+    outcome: "ScheduleOutcome",
+    timelines: Sequence["LPTimeline"],
+) -> None:
+    """One priced batch: schedule root + per-lane LP segments."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    emit.emit_batch_schedule(rec, schedule, outcome, timelines)
+
+
+def obs_push_request(job: Any) -> None:
+    """Open a request context: engine solves begun before the matching
+    :func:`obs_pop_request` are linked to this job's trace."""
+    rec = _obs_active()
+    if rec is None:
+        return
+    from repro.obs import emit
+
+    rec.push_request(emit.job_trace_id(job.job_id))
+
+
+def obs_pop_request() -> list[str]:
+    """Close the request context; returns the linked solve trace ids."""
+    rec = _obs_active()
+    if rec is None:
+        return []
+    return rec.pop_request()
+
+
+def obs_collect() -> "ObsRecording | None":
+    """Sample and return the active recorder's finished traces (``None``
+    when recording is off)."""
+    rec = _obs_active()
+    if rec is None:
+        return None
+    return rec.collect()
+
+
+def obs_attribution(recording: "ObsRecording") -> "AttributionReport":
+    """Latency attribution over a recording (lazy ``repro.obs`` import so
+    :meth:`repro.serve.service.ServeReport.attribution` stays lint-clean)."""
+    from repro.obs.attribution import attribute
+
+    return attribute(recording)
+
+
+def record_obs_sampling(
+    *,
+    kept_traces: int,
+    dropped_traces: int,
+    kept_spans: int,
+    dropped_spans: int,
+) -> None:
+    """Sampling decisions of one collection pass.  Pinned by the metrics
+    regression gate so span-volume or sampling changes can't rot silently."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_obs_traces_kept_total",
+        "Request traces kept by the obs sampling policy.",
+    ).inc(kept_traces)
+    reg.counter(
+        "repro_obs_traces_dropped_total",
+        "Request traces dropped by the obs sampling policy.",
+    ).inc(dropped_traces)
+    reg.counter(
+        "repro_obs_spans_kept_total",
+        "Spans kept by the obs sampling policy.",
+    ).inc(kept_spans)
+    reg.counter(
+        "repro_obs_spans_dropped_total",
+        "Spans dropped by the obs sampling policy.",
+    ).inc(dropped_spans)

@@ -33,12 +33,17 @@ def smoke_workload() -> None:
     - one traced ``gpu-tableau`` solve — exercises the ratio-test-tie
       counter and a second GPU solver;
     - one ``revised-bounded`` solve of a box-bounded LP — exercises the
-      bounded solver family.
+      bounded solver family;
+    - a 6-job served trace with the ``repro.obs`` span recorder on at a
+      0.5 head-sampling rate — exercises the span sampling counters with
+      both kept *and* dropped traces, pinning them in the gate baseline.
     """
     import numpy as np
 
     from repro.lp.generators import random_dense_lp
     from repro.lp.problem import Bounds, LPProblem
+    from repro.obs import SamplingPolicy, observing
+    from repro.serve import ServeConfig, serve_trace, synthetic_trace
     from repro.solve import solve, solve_batch, solve_batch_chain
 
     batch_lps = [random_dense_lp(24, 32, seed=s) for s in range(4)]
@@ -61,6 +66,13 @@ def smoke_workload() -> None:
         ),
     )
     solve(bounded, method="revised-bounded")
+
+    policy = SamplingPolicy(head_rate=0.5, tail_slowest_quantile=1.0)
+    with observing(policy=policy):
+        serve_trace(
+            synthetic_trace(n_jobs=6, seed=3),
+            ServeConfig(n_devices=1, n_streams=2),
+        )
 
 
 #: Gate tolerance policy committed with smoke baselines.  The workload is

@@ -1,0 +1,283 @@
+"""Exporters for span recordings: ASCII tree, stable JSON, Chrome events.
+
+Three renderings of the same :class:`~repro.obs.span.ObsRecording`:
+
+- :func:`render_tree` — an indented per-trace span tree for terminals
+  (what ``python -m repro explain`` prints);
+- :func:`to_json` / :func:`from_json` — a stable, versioned JSON schema
+  (sorted keys, spans ordered by id) for artifacts and diffing;
+- :func:`chrome_span_events` — Chrome trace-event **async** spans
+  (``"b"``/``"e"`` pairs) plus **flow** arrows (``"s"``/``"f"``) along
+  parent→child links, designed to merge with the four synchronous tracks
+  :func:`repro.trace.merged_chrome_trace` already emits.  Engine-solve
+  spans share the per-solve device clock, so merged with that solve's
+  kernel timeline they line up with the kernels they launched.
+
+:func:`serve_chrome_trace` exports a whole serving replay: job lifecycle
+spans on the serve clock, with each job's engine-solve spans rebased into
+its ``device.execute`` slice (offset to the slice start, scaled by the
+window's contention stretch) so queue/placement/solve phases read off one
+timeline in ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.span import ObsRecording, Span, SpanNode
+
+#: Schema tag of the JSON export.
+OBS_JSON_SCHEMA = "repro-obs/v1"
+
+#: Track id for span events merged into the solver/kernel Chrome trace
+#: (the synchronous tracks use tids 0-3; see :mod:`repro.trace.chrome`).
+TID_SPANS = 4
+
+
+# ---------------------------------------------------------------------------
+# ASCII tree
+# ---------------------------------------------------------------------------
+
+
+def _format_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    parts = []
+    for key in sorted(attrs):
+        val = attrs[key]
+        if isinstance(val, float):
+            parts.append(f"{key}={val:.3g}")
+        else:
+            parts.append(f"{key}={val}")
+    return "  {" + ", ".join(parts) + "}"
+
+
+def _render_node(node: SpanNode, prefix: str, last: bool, out: list[str]) -> None:
+    sp = node.span
+    connector = "`-- " if last else "|-- "
+    out.append(
+        f"{prefix}{connector}{sp.name}  "
+        f"[{sp.t_start * 1e3:.4f}ms +{sp.duration * 1e3:.4f}ms]"
+        f"{_format_attrs(sp.attrs)}"
+    )
+    child_prefix = prefix + ("    " if last else "|   ")
+    for i, child in enumerate(node.children):
+        _render_node(child, child_prefix, i == len(node.children) - 1, out)
+
+
+def render_tree(
+    recording: ObsRecording, trace_id: "str | None" = None
+) -> str:
+    """Indented span tree of one trace (or all kept traces)."""
+    trace_ids = [trace_id] if trace_id is not None else recording.trace_ids()
+    out: list[str] = []
+    for tid in trace_ids:
+        root = recording.tree(tid)
+        sp = root.span
+        outcome = recording.outcomes.get(tid, "?")
+        out.append(
+            f"{tid} ({outcome}): {sp.name}  "
+            f"[{sp.t_start * 1e3:.4f}ms +{sp.duration * 1e3:.4f}ms]"
+            f"{_format_attrs(sp.attrs)}"
+        )
+        for i, child in enumerate(root.children):
+            _render_node(child, "", i == len(root.children) - 1, out)
+    return "\n".join(out)
+
+
+# ---------------------------------------------------------------------------
+# stable JSON
+# ---------------------------------------------------------------------------
+
+
+def to_json(recording: ObsRecording, target: "str | Path | None" = None) -> str:
+    """Serialise the recording (stable ordering; schema-tagged)."""
+    doc = {
+        "schema": OBS_JSON_SCHEMA,
+        "spans": [
+            sp.to_dict()
+            for sp in sorted(recording.spans, key=lambda s: s.span_id)
+        ],
+        "outcomes": recording.outcomes,
+        "decisions": recording.decisions,
+        "links": recording.links,
+        "latencies": recording.latencies,
+    }
+    text = json.dumps(doc, sort_keys=True)
+    if target is not None:
+        Path(target).write_text(text)
+    return text
+
+
+def from_json(data: "str | dict") -> ObsRecording:
+    """Parse a :func:`to_json` document back into a recording."""
+    doc = json.loads(data) if isinstance(data, str) else data
+    if doc.get("schema") != OBS_JSON_SCHEMA:
+        raise ValueError(
+            f"unsupported obs JSON schema {doc.get('schema')!r} "
+            f"(want {OBS_JSON_SCHEMA!r})"
+        )
+    spans = [
+        Span(
+            span_id=rec["span_id"],
+            trace_id=rec["trace_id"],
+            parent_id=rec["parent_id"],
+            name=rec["name"],
+            t_start=rec["t_start"],
+            t_end=rec["t_end"],
+            attrs=dict(rec.get("attrs", {})),
+        )
+        for rec in doc["spans"]
+    ]
+    return ObsRecording(
+        spans=spans,
+        outcomes=dict(doc.get("outcomes", {})),
+        decisions=dict(doc.get("decisions", {})),
+        links=dict(doc.get("links", {})),
+        latencies=dict(doc.get("latencies", {})),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace events
+# ---------------------------------------------------------------------------
+
+
+def _async_pair(
+    sp: Span, *, pid: int, tid: int, scale: float = 1.0, offset: float = 0.0
+) -> list[dict[str, Any]]:
+    ts0 = (offset + sp.t_start * scale) * 1e6
+    ts1 = (offset + sp.t_end * scale) * 1e6
+    ident = f"{sp.trace_id}/{sp.span_id}"
+    args = {"trace_id": sp.trace_id, **sp.attrs}
+    return [
+        {
+            "name": sp.name, "cat": "span", "ph": "b", "id": ident,
+            "ts": ts0, "pid": pid, "tid": tid, "args": args,
+        },
+        {
+            "name": sp.name, "cat": "span", "ph": "e", "id": ident,
+            "ts": ts1, "pid": pid, "tid": tid,
+        },
+    ]
+
+
+def _flow_pair(
+    parent: Span, child: Span, *, pid: int, tid: int,
+    scale: float = 1.0, offset: float = 0.0,
+) -> list[dict[str, Any]]:
+    ident = f"{parent.trace_id}/{parent.span_id}->{child.span_id}"
+    return [
+        {
+            "name": "link", "cat": "span-flow", "ph": "s", "id": ident,
+            "ts": (offset + parent.t_start * scale) * 1e6,
+            "pid": pid, "tid": tid,
+        },
+        {
+            "name": "link", "cat": "span-flow", "ph": "f", "bp": "e",
+            "id": ident, "ts": (offset + child.t_start * scale) * 1e6,
+            "pid": pid, "tid": tid,
+        },
+    ]
+
+
+def chrome_span_events(
+    recording: ObsRecording,
+    trace_ids: "Iterable[str] | None" = None,
+    *,
+    pid: int = 0,
+    tid: int = TID_SPANS,
+    scale: float = 1.0,
+    offset: float = 0.0,
+) -> list[dict[str, Any]]:
+    """Async ``b``/``e`` events for every span of the selected traces, plus
+    ``s``/``f`` flow arrows along parent→child links.  ``scale``/``offset``
+    rebase span times (seconds) before the microsecond conversion."""
+    selected = set(
+        recording.trace_ids() if trace_ids is None else trace_ids
+    )
+    by_id = {sp.span_id: sp for sp in recording.spans}
+    events: list[dict[str, Any]] = []
+    for sp in recording.spans:
+        if sp.trace_id not in selected:
+            continue
+        events.extend(
+            _async_pair(sp, pid=pid, tid=tid, scale=scale, offset=offset)
+        )
+        parent = by_id.get(sp.parent_id) if sp.parent_id is not None else None
+        if parent is not None:
+            events.extend(
+                _flow_pair(
+                    parent, sp, pid=pid, tid=tid, scale=scale, offset=offset
+                )
+            )
+    return events
+
+
+def serve_chrome_trace(
+    recording: ObsRecording,
+    target: "str | Path | None" = None,
+    *,
+    pid: int = 0,
+) -> str:
+    """One Chrome trace for a whole serving replay.
+
+    Job traces (roots named ``serve.job``) are emitted on the serve clock.
+    Each job's linked engine-solve traces are rebased into its
+    ``device.execute`` slice — offset to the slice start and scaled by the
+    recorded contention ``stretch`` — and connected with a flow arrow, so
+    a job's queue wait, placement and solve phases line up on one axis.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": TID_SPANS,
+            "args": {"name": "request spans"},
+        }
+    ]
+    roots = recording.roots()
+    # Trace id -> (execute span, owning job trace) for solve rebasing.
+    rebase: dict[str, Span] = {}
+    for sp in recording.spans:
+        if sp.name == "device.execute":
+            for solve_id in sp.attrs.get("solves", ()):
+                rebase[solve_id] = sp
+    for trace_id in recording.trace_ids():
+        parent = recording.links.get(trace_id)
+        if parent is None:
+            events.extend(chrome_span_events(recording, [trace_id], pid=pid))
+            continue
+        execute = rebase.get(trace_id)
+        if execute is None:  # linked but unplaced: emit unrebased
+            events.extend(chrome_span_events(recording, [trace_id], pid=pid))
+            continue
+        scale = float(execute.attrs.get("stretch", 1.0))
+        events.extend(
+            chrome_span_events(
+                recording, [trace_id], pid=pid,
+                scale=scale, offset=execute.t_start,
+            )
+        )
+        root = roots.get(trace_id)
+        if root is not None:
+            ident = f"{parent}->{trace_id}"
+            events.append(
+                {
+                    "name": "dispatch", "cat": "span-flow", "ph": "s",
+                    "id": ident, "ts": execute.t_start * 1e6,
+                    "pid": pid, "tid": TID_SPANS,
+                }
+            )
+            events.append(
+                {
+                    "name": "dispatch", "cat": "span-flow", "ph": "f",
+                    "bp": "e", "id": ident,
+                    "ts": (execute.t_start + root.t_start * scale) * 1e6,
+                    "pid": pid, "tid": TID_SPANS,
+                }
+            )
+    text = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
+    if target is not None:
+        Path(target).write_text(text)
+    return text

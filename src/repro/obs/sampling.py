@@ -1,0 +1,112 @@
+"""Sampling policy: which request traces an :class:`ObsRecorder` keeps.
+
+Two mechanisms, composed:
+
+- **Head sampling** — a deterministic per-trace coin flip taken from a hash
+  of the trace id (no RNG object, so recording can never perturb solver
+  random state).  ``head_rate=1.0`` (the default) keeps everything.
+- **Tail exemplars** — traces whose *outcome* makes them diagnostic gold
+  are always kept regardless of the coin flip: rejected / expired /
+  deadline-missed jobs, errored solves, and the slowest tail (latency at or
+  above the ``tail_slowest_quantile`` of completed traces in the run).
+
+Decisions are pure functions of (trace id, outcome, latency distribution),
+so a replayed run keeps exactly the same spans — the property tests rely
+on that determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Mapping, Sequence
+
+#: Outcomes always kept as tail exemplars, independent of head sampling.
+TAIL_OUTCOMES = frozenset({"rejected", "expired", "deadline-missed", "error"})
+
+#: Decision labels (the ``reason`` facet of the kept/dropped counters).
+KEEP_HEAD = "head"
+KEEP_TAIL_OUTCOME = "tail-outcome"
+KEEP_TAIL_SLOW = "tail-slow"
+KEEP_LINKED = "linked"
+DROPPED = "dropped"
+
+
+def head_keep(trace_id: str, rate: float) -> bool:
+    """Deterministic head-sampling flip: hash the trace id into [0, 1)."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return (zlib.crc32(trace_id.encode("utf-8")) & 0xFFFFFFFF) / 2**32 < rate
+
+
+@dataclasses.dataclass(frozen=True)
+class SamplingPolicy:
+    """Head rate + tail-exemplar rules (see module docstring)."""
+
+    head_rate: float = 1.0
+    tail_slowest_quantile: float = 0.99
+    tail_outcomes: frozenset = TAIL_OUTCOMES
+
+    def decide(
+        self,
+        outcomes: Mapping[str, str],
+        latencies: Mapping[str, float],
+        links: Mapping[str, str],
+    ) -> dict[str, str]:
+        """Per-trace keep/drop decisions for one finished run.
+
+        ``outcomes`` maps trace id -> outcome label; ``latencies`` holds
+        end-to-end seconds where known; ``links`` maps a child trace (e.g.
+        an engine solve) to the request trace that spawned it — linked
+        traces inherit the parent's decision so a kept job never loses its
+        solve spans.  Returns trace id -> decision label.
+        """
+        threshold = _slow_threshold(
+            [
+                latencies[tid]
+                for tid, outcome in outcomes.items()
+                if outcome not in self.tail_outcomes and tid in latencies
+            ],
+            self.tail_slowest_quantile,
+        )
+        decisions: dict[str, str] = {}
+        for tid, outcome in outcomes.items():
+            if tid in links:
+                continue  # second pass: inherit
+            if outcome in self.tail_outcomes:
+                decisions[tid] = KEEP_TAIL_OUTCOME
+            elif (
+                threshold is not None
+                and latencies.get(tid, float("-inf")) >= threshold
+            ):
+                decisions[tid] = KEEP_TAIL_SLOW
+            elif head_keep(tid, self.head_rate):
+                decisions[tid] = KEEP_HEAD
+            else:
+                decisions[tid] = DROPPED
+        for tid, parent in links.items():
+            if tid not in outcomes:
+                continue
+            parent_decision = decisions.get(parent)
+            if parent_decision is not None and parent_decision != DROPPED:
+                decisions[tid] = KEEP_LINKED
+            elif parent_decision == DROPPED:
+                decisions[tid] = DROPPED
+            else:  # parent unknown (already collected or foreign): sample
+                decisions[tid] = (
+                    KEEP_HEAD if head_keep(tid, self.head_rate) else DROPPED
+                )
+        return decisions
+
+
+def _slow_threshold(
+    latencies: Sequence[float], quantile: float
+) -> "float | None":
+    """Latency at the given quantile (inclusive; None when no data)."""
+    if not latencies:
+        return None
+    ordered = sorted(latencies)
+    idx = max(0, min(len(ordered) - 1, int(quantile * len(ordered))))
+    return ordered[idx]

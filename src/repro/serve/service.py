@@ -56,6 +56,14 @@ from repro.engine.registry import device_methods, warm_start_methods
 from repro.errors import SolverError
 from repro.lp.problem import LPProblem
 from repro.metrics.instrument import (
+    obs_attribution,
+    obs_collect,
+    obs_dispatch_window,
+    obs_job_executed,
+    obs_job_expired,
+    obs_job_rejected,
+    obs_pop_request,
+    obs_push_request,
     record_chain_break,
     record_device_utilization,
     record_job_completed,
@@ -103,6 +111,9 @@ class ServeReport:
     cache: WarmStartCache
     #: End-to-end modeled span: first arrival to last device going idle.
     span_seconds: float
+    #: Span recording of the replay (``repro.obs``), when a recorder was
+    #: installed around :meth:`LPServer.run`; ``None`` otherwise.
+    obs_recording: "object | None" = None
 
     @property
     def completed(self) -> list[Job]:
@@ -163,6 +174,33 @@ class ServeReport:
             for dev in self.devices
         }
 
+    def attribution(self):
+        """Latency attribution over this replay's span recording: per-job /
+        per-method / fleet-wide queue-wait, placement, transfer,
+        launch-overhead, refactorization and compute buckets (an
+        :class:`~repro.obs.attribution.AttributionReport`).  Requires a
+        span recorder installed around :meth:`LPServer.run` —
+        ``repro.obs.enable()`` or ``python -m repro explain``."""
+        if self.obs_recording is None:
+            raise SolverError(
+                "no span recording attached to this report: enable span "
+                "recording (repro.obs.enable() / obs.observing()) around "
+                "the replay, or use `python -m repro explain`"
+            )
+        return obs_attribution(self.obs_recording)
+
+    def _quantiles_ms(self) -> str:
+        """The p50/p95/p99 tail rendered in ms — ``n/a`` when no job
+        completed (an all-rejected or all-expired trace has no latencies
+        to take a quantile of; ``np.quantile`` of nothing is no number)."""
+        if not self.latencies():
+            return "n/a"
+        return (
+            f"{self.latency_quantile(0.5) * 1e3:.2f}/"
+            f"{self.latency_quantile(0.95) * 1e3:.2f}/"
+            f"{self.latency_quantile(0.99) * 1e3:.2f}ms"
+        )
+
     def summary(self) -> str:
         done, rej, exp = self.completed, self.rejected, self.expired
         return (
@@ -172,10 +210,7 @@ class ServeReport:
             f"{len(rej)} rejected, {len(exp)} expired, "
             f"span={self.span_seconds * 1e3:.3f}ms "
             f"({self.speedup_vs_sequential:.2f}x vs sequential), "
-            f"p50/p95/p99="
-            f"{self.latency_quantile(0.5) * 1e3:.2f}/"
-            f"{self.latency_quantile(0.95) * 1e3:.2f}/"
-            f"{self.latency_quantile(0.99) * 1e3:.2f}ms, "
+            f"p50/p95/p99={self._quantiles_ms()}, "
             f"{self.cache.hits} cache hits"
         )
 
@@ -306,12 +341,16 @@ class LPServer:
         )
         for dev in self.fleet:
             record_device_utilization(dev.name, dev.utilization(span))
+        for job in self.jobs:
+            if job.state is JobState.EXPIRED:
+                obs_job_expired(job)  # no-op when off / already emitted
         return ServeReport(
             config=self.config,
             jobs=list(self.jobs),
             devices=list(self.fleet),
             cache=self.cache,
             span_seconds=span,
+            obs_recording=obs_collect(),
         )
 
     def _push_event(self, time: float, kind: int, payload) -> None:
@@ -345,6 +384,7 @@ class LPServer:
         job.reject_reason = reason
         job.finish_time = self.clock
         record_job_rejected(reason)
+        obs_job_rejected(job)
 
     # -- placement and execution -------------------------------------------
 
@@ -394,6 +434,8 @@ class LPServer:
 
         now = self.clock
         timelines: list[LPTimeline] = []
+        raw_events: list[list] = []
+        solve_links: list[list[str]] = []
         for pos, job in enumerate(window):
             job.state = JobState.RUNNING
             job.device = dev.name
@@ -405,6 +447,7 @@ class LPServer:
             kwargs = {}
             if dev.device is not None:
                 kwargs["device"] = dev.device
+            obs_push_request(job)
             result = solve(
                 job.problem,
                 method=job.method,
@@ -412,15 +455,17 @@ class LPServer:
                 initial_basis=basis,
                 **kwargs,
             )
+            solve_links.append(obs_pop_request())
             job.result = result
             if dev.device is not None:
-                timeline = LPTimeline.from_events(
-                    pos, list(dev.device.timeline or ()), dev.params
-                )
+                events = list(dev.device.timeline or ())
+                timeline = LPTimeline.from_events(pos, events, dev.params)
             else:
+                events = []
                 timeline = LPTimeline.from_modeled_seconds(
                     pos, result.timing.modeled_seconds
                 )
+            raw_events.append(events)
             timelines.append(timeline)
             self.predictor.observe(job.problem, job.method, timeline.total_seconds)
             if self.warm_startable:
@@ -451,7 +496,8 @@ class LPServer:
             offsets.append(lane_cum[lane])
         max_path = max(lane_cum)
         stretch = makespan / max_path if max_path > 0.0 else 1.0
-        for job, offset in zip(window, offsets):
+        launch_overhead = dev.params.launch_overhead if self.on_gpu else 0.0
+        for pos, (job, offset) in enumerate(zip(window, offsets)):
             job.finish_time = now + offset * stretch
             job.state = JobState.COMPLETED
             assert job.result is not None
@@ -459,6 +505,14 @@ class LPServer:
                 job.result.status.value,
                 job.latency_seconds or 0.0,
                 job.warm_started,
+            )
+            obs_job_executed(
+                job,
+                solve_links[pos],
+                raw_events[pos],
+                launch_overhead,
+                timelines[pos].total_seconds,
+                stretch,
             )
 
         dev.busy_until = now + makespan
@@ -472,6 +526,7 @@ class LPServer:
         record_serve_dispatch(
             dev.name, len(window), makespan, min(1.0, utilization)
         )
+        obs_dispatch_window(dev.name, now, outcome, len(window))
         if makespan > 0.0:
             self._push_event(dev.busy_until, 1, dev)
 

@@ -317,7 +317,8 @@ class BoundedRevisedSimplexSolver(SolverBackend):
     def _recover(self, st: "_BoundedState") -> bool:
         """Refactorise and recompute x_B from scratch."""
         try:
-            st.basisrep.refactorize(st.prep.basis_matrix(st.basis))
+            with self.hooks.span("engine.refactor"):
+                st.basisrep.refactorize(st.prep.basis_matrix(st.basis))
         except SingularBasisError:
             return False
         st.stats.refactorizations += 1

@@ -271,7 +271,8 @@ class DualSimplexSolver(SolverBackend):
                 and basisrep.updates_since_refactor >= opts.refactor_period
             ):
                 try:
-                    basisrep.refactorize(prep.basis_matrix(basis))
+                    with self.hooks.span("engine.refactor"):
+                        basisrep.refactorize(prep.basis_matrix(basis))
                 except SingularBasisError:
                     return SolveStatus.NUMERICAL, iters
                 stats.refactorizations += 1

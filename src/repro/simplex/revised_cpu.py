@@ -297,7 +297,8 @@ class RevisedSimplexSolver(SolverBackend):
         """Refactorise from the basis columns and recompute β; False when the
         basis is genuinely singular (unrecoverable)."""
         try:
-            basisrep.refactorize(prep.basis_matrix(basis))
+            with self.hooks.span("engine.refactor"):
+                basisrep.refactorize(prep.basis_matrix(basis))
         except SingularBasisError:
             return False
         stats.refactorizations += 1

@@ -278,7 +278,10 @@ class SparseRevisedSimplexSolver(SolverBackend):
     def _recover(self) -> bool:
         """Refactorise from the basis' CSC columns and recompute β."""
         try:
-            self.basisrep.refactorize(basis_columns_csc(self.prep, self.basis))
+            with self.hooks.span("engine.refactor"):
+                self.basisrep.refactorize(
+                    basis_columns_csc(self.prep, self.basis)
+                )
         except SingularBasisError:
             return False
         self.stats.refactorizations += 1

@@ -52,27 +52,33 @@ def _thread_metadata(pid: int) -> list[dict[str, Any]]:
 def _device_timeline_events(events: Iterable[Any], pid: int) -> list[dict[str, Any]]:
     """Chrome slices from :class:`repro.gpu.device.TimelineEvent` entries.
 
-    Device timeline events carry durations only; the simulated device
-    serialises all work, so start times are reconstructed by cumulative sum.
+    Events carrying a recorded ``start`` offset keep it — stream-interleaved
+    :class:`~repro.batch.scheduler.ConcurrentSchedule` windows replay
+    overlapping lanes, so reconstructing starts by cumulative sum would
+    falsely serialise them.  Only legacy events without a start (``None``)
+    fall back to the cumulative-sum reconstruction.
     """
     out: list[dict[str, Any]] = []
     cursor = 0.0
     for ev in events:
         is_kernel = ev.kind == "kernel"
         name = ev.name if is_kernel else f"memcpy.{ev.kind}"
+        start = getattr(ev, "start", None)
+        if start is None:
+            start = cursor
+        cursor = start + ev.seconds
         out.append(
             {
                 "name": name,
                 "cat": "kernel" if is_kernel else "transfer",
                 "ph": "X",
-                "ts": cursor * 1e6,
+                "ts": start * 1e6,
                 "dur": ev.seconds * 1e6,
                 "pid": pid,
                 "tid": TID_KERNELS if is_kernel else TID_TRANSFERS,
                 "args": {"threads": ev.threads, "nbytes": ev.nbytes},
             }
         )
-        cursor += ev.seconds
     return out
 
 
@@ -99,6 +105,7 @@ def merged_chrome_trace(
     timeline: Iterable[Any] | None = None,
     profile: Any | None = None,
     device: Any | None = None,
+    span_events: Iterable[dict] | None = None,
     target: "str | Path | None" = None,
     pid: int = 0,
 ) -> str:
@@ -109,8 +116,11 @@ def merged_chrome_trace(
     ``timeline`` (a list of :class:`~repro.gpu.device.TimelineEvent`), or
     ``device`` (its ``.timeline`` is used when recording was enabled).  With
     none of them, only the solver tracks are emitted — the CPU solvers have
-    no kernel timeline.  Returns the JSON text; also writes it to ``target``
-    when given.
+    no kernel timeline.  ``span_events`` merges pre-built request-span
+    events (:func:`repro.obs.chrome_span_events` async ``b``/``e`` pairs and
+    flow arrows, on the same per-solve clock) as a fifth track alongside
+    the four synchronous ones.  Returns the JSON text; also writes it to
+    ``target`` when given.
     """
     events: list[dict[str, Any]] = list(_thread_metadata(pid))
     events.extend(trace.to_chrome_events(pid=pid, tid=TID_ITERATIONS))
@@ -120,6 +130,17 @@ def merged_chrome_trace(
         events.extend(_device_timeline_events(timeline, pid))
     elif device is not None and getattr(device, "timeline", None):
         events.extend(_device_timeline_events(device.timeline, pid))
+    if span_events is not None:
+        span_events = list(span_events)
+        tids = {ev["tid"] for ev in span_events if "tid" in ev}
+        for tid in sorted(tids - set(_TRACK_NAMES)):
+            events.append(
+                {
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid, "args": {"name": "request spans"},
+                }
+            )
+        events.extend(span_events)
     text = json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
     if target is not None:
         Path(target).write_text(text)

@@ -187,6 +187,15 @@ class TestExperimentsSmoke:
         assert "2 dev x4 streams" in out
         assert "cache hits" in out
 
+    def test_o1_small(self):
+        from repro.bench.experiments import o1_attribution
+
+        out = o1_attribution(
+            n_jobs=6, fleet_sizes=(1,), sweep_sizes=(24,)
+        ).render()
+        assert "1 dev x4 streams" in out
+        assert "launch %" in out and "queue %" in out
+
     def test_dispatcher_unknown(self, capsys):
         from repro.bench.experiments import main
 

@@ -102,6 +102,19 @@ def test_serve_forbidden_predicate():
     assert not lint._is_forbidden_for_serve("repro.batch.scheduler")
 
 
+def test_obs_is_forbidden_everywhere(tmp_path):
+    # the span recorder is façade-only: neither backends nor serve modules
+    # may import repro.obs directly
+    assert lint._is_forbidden("repro.obs")
+    assert lint._is_forbidden("repro.obs.span")
+    assert lint._is_forbidden_for_serve("repro.obs")
+    assert lint._is_forbidden_for_serve("repro.obs.emit")
+    bad = tmp_path / "bad_obs.py"
+    bad.write_text("from repro.obs import observing\n")
+    assert len(lint.check_file(bad)) == 1
+    assert len(lint.check_file(bad, serve=True)) == 1
+
+
 def test_serve_modules_are_scanned_and_clean():
     scanned = {
         os.path.basename(p)

@@ -288,3 +288,54 @@ class TestTraceCollector:
         assert rule_label(make_pricing_rule("bland", 4)) == "bland"
         hybrid = make_pricing_rule("hybrid", 4)
         assert rule_label(hybrid) in ("hybrid:dantzig", "hybrid:bland")
+
+
+# ---------------------------------------------------------------------------
+# device-timeline starts in the merged Chrome trace
+# ---------------------------------------------------------------------------
+
+
+class TestTimelineStarts:
+    def test_recorded_starts_are_honored(self):
+        """Events with explicit (overlapping) starts keep them — schedule
+        replays interleave stream lanes, and a cumulative-sum rebuild would
+        falsely serialise them."""
+        from repro.gpu.device import TimelineEvent
+        from repro.trace.chrome import _device_timeline_events
+
+        events = [
+            TimelineEvent("kernel", "lane0", 0.004, threads=64, start=0.0),
+            TimelineEvent("kernel", "lane1", 0.004, threads=64, start=0.001),
+            TimelineEvent("htod", "transfer", 0.002, nbytes=8, start=0.002),
+        ]
+        out = _device_timeline_events(events, pid=0)
+        assert [e["ts"] for e in out] == [0.0, 1000.0, 2000.0]
+        # lanes 0 and 1 overlap on the trace: [0, 4ms) vs [1ms, 5ms)
+        assert out[0]["ts"] + out[0]["dur"] > out[1]["ts"]
+
+    def test_legacy_events_fall_back_to_cumulative_sum(self):
+        from repro.gpu.device import TimelineEvent
+        from repro.trace.chrome import _device_timeline_events
+
+        events = [
+            TimelineEvent("kernel", "a", 0.003),
+            TimelineEvent("dtoh", "transfer", 0.001),
+            TimelineEvent("kernel", "b", 0.002),
+        ]
+        out = _device_timeline_events(events, pid=0)
+        assert [e["ts"] for e in out] == [0.0, 3000.0, 4000.0]
+
+    def test_device_records_serialized_starts(self):
+        """The device itself serialises work, so its recorded starts equal
+        the cumulative reconstruction — the merged trace is unchanged for
+        straight-line solves."""
+        dev = Device()
+        dev.record_timeline()
+        arr = dev.to_device(np.arange(16, dtype=np.float32))
+        dev.memset(arr, 0)
+        arr.copy_to_host()
+        cursor = 0.0
+        for ev in dev.timeline:
+            assert ev.start == pytest.approx(cursor)
+            cursor += ev.seconds
+        assert cursor == pytest.approx(dev.clock)

@@ -3,21 +3,22 @@
 
 Two rules, one mechanism (an AST walk over the module trees):
 
-**Backend rule.**  Solver backend modules must not import ``repro.trace``
-or ``repro.metrics`` at all.  The engine's observer layer
-(:mod:`repro.engine.hooks` for trace records, :mod:`repro.engine.lifecycle`
-for metrics emission) is the *only* place solver events leave a backend;
-a direct import would bypass the observer protocol and reintroduce the
-per-solver instrumentation clones the engine refactor removed.
+**Backend rule.**  Solver backend modules must not import ``repro.trace``,
+``repro.metrics`` or ``repro.obs`` at all.  The engine's observer layer
+(:mod:`repro.engine.hooks` for trace records and obs spans,
+:mod:`repro.engine.lifecycle` for metrics emission) is the *only* place
+solver events leave a backend; a direct import would bypass the observer
+protocol and reintroduce the per-solver instrumentation clones the engine
+refactor removed.
 
 Checked trees: ``src/repro/simplex/*.py`` (CPU methods),
 ``src/repro/core/*.py`` (GPU methods) and ``src/repro/firstorder/*.py``
 (the PDHG backends).
 
 **Serve rule.**  Serving modules (``src/repro/serve/*.py``) may not import
-``repro.trace``, and may touch the metrics layer only through the
-instrumentation façade ``repro.metrics.instrument`` — never the registry
-internals.  The façade's hooks are no-ops when collection is off, which is
+``repro.trace`` or ``repro.obs``, and may touch the metrics (and span)
+layer only through the instrumentation façade ``repro.metrics.instrument``
+— never the registry internals or the span recorder directly.  The façade's hooks are no-ops when collection is off, which is
 what keeps the serving loop zero-cost by default; importing
 ``repro.metrics`` itself (or the registry/exporters) from serve code would
 couple the service to registry internals and dodge that gate.  Note that
@@ -41,7 +42,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 #: Module prefixes backends may not import (the observer owns them).
-FORBIDDEN = ("repro.trace", "repro.metrics")
+FORBIDDEN = ("repro.trace", "repro.metrics", "repro.obs")
 
 #: Directories holding solver backend modules.
 BACKEND_DIRS = ("src/repro/simplex", "src/repro/core", "src/repro/firstorder")
