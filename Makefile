@@ -17,6 +17,10 @@
 # `make obs-smoke` replays a trace with the repro.obs span recorder on,
 # validates span-tree containment, checks the attribution buckets sum to
 # each job's latency, and validates the exported Chrome span trace.
+# `make fuse-smoke` solves the same LP with launch-plan fusion off and on,
+# asserts the fp64 results are bit-identical while the fused run issues
+# strictly fewer kernel launches, and checks mixed precision recovers the
+# fp64 objective.
 # `make lint` enforces the layering architecture (no direct
 # trace/metrics/obs imports inside solver backends; serve modules reach
 # metrics and spans only through the instrument façade); `make verify` is
@@ -28,7 +32,8 @@ PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 METRICS_BASELINE := benchmarks/baselines/metrics-smoke.json
 
 .PHONY: test test-batch trace-smoke sparse-smoke serve-smoke pdlp-smoke \
-	obs-smoke metrics-smoke gate gate-baseline bench bench-batch lint verify
+	obs-smoke fuse-smoke metrics-smoke gate gate-baseline bench bench-batch \
+	lint verify
 
 test:  ## tier-1: the full test suite
 	$(PYTHONPATH_SRC) python -m pytest -x -q
@@ -36,7 +41,7 @@ test:  ## tier-1: the full test suite
 lint:  ## architecture lint: backend/serve import layering rules
 	python tools/lint_backend_imports.py
 
-verify: test lint sparse-smoke serve-smoke pdlp-smoke obs-smoke gate  ## pre-commit: tests + lint + smokes + gate
+verify: test lint sparse-smoke serve-smoke pdlp-smoke obs-smoke fuse-smoke gate  ## pre-commit: tests + lint + smokes + gate
 
 test-batch:  ## fast smoke: batch subsystem tests only
 	$(PYTHONPATH_SRC) python -m pytest -x -q -k "batch"
@@ -115,6 +120,9 @@ obs-smoke:  ## end-to-end: spans on -> attribution exact -> Chrome validates
 		--tree slowest --chrome-out /tmp/obs-smoke.chrome.json > /tmp/obs-smoke.txt
 	@grep -q "fleet-wide latency attribution" /tmp/obs-smoke.txt
 	@echo "obs-smoke explain ok"
+
+fuse-smoke:  ## end-to-end: fused == unfused bit-identical, fewer launches
+	$(PYTHONPATH_SRC) python tools/fuse_smoke.py
 
 metrics-smoke:  ## end-to-end: smoke workload -> Prometheus text -> validate
 	$(PYTHONPATH_SRC) python -m repro metrics --format prometheus \

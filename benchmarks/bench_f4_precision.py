@@ -1,4 +1,4 @@
-"""F4 — single vs double precision on the GPU: time and accuracy."""
+"""F4 — single, double and mixed precision on the GPU: time and accuracy."""
 
 from repro.bench.experiments import f4_precision
 
@@ -18,3 +18,9 @@ def test_f4_precision(benchmark, sweep_sizes):
     assert all(1.0 < r < 6.0 for r in ratio)
     # fp32 still reaches the optimum to engineering accuracy
     assert all(e < 1e-2 for e in err)
+    # mixed precision: fp32 pivot speed, fp64-grade answers after at most
+    # three refinement steps
+    mixed = report.tables[1]
+    assert all(r < 1.0 for r in mixed.column("mixed/fp64"))
+    assert all(e < 1e-8 for e in mixed.column("mixed relerr vs fp64"))
+    assert all(s <= 3 for s in mixed.column("refine steps"))

@@ -38,3 +38,14 @@ def test_o1_attribution(benchmark):
     sweep = report.tables[1]
     launch = sweep.column("launch %")
     assert launch[-1] < launch[0]
+    # the fusion sweep: plan lowering cuts the launch count and its share
+    # at every size, and at the smallest size (where launch overhead bites
+    # hardest) the share drops from ~41% to a quarter or less
+    fused = report.tables[2]
+    for unf, fus in zip(fused.column("launch % unfused"),
+                        fused.column("launch % fused")):
+        assert fus < unf
+    for k_unf, k_fus in zip(fused.column("kernels"),
+                            fused.column("kernels fused")):
+        assert k_fus < k_unf
+    assert fused.column("launch % fused")[0] <= 25.0

@@ -119,6 +119,7 @@ def solve_batch(
     schedule: str = "sequential",
     options: SolverOptions | None = None,
     n_streams: int | None = None,
+    batch_gemv: bool = False,
     device: Device | None = None,
     gpu_params: GpuModelParams = GTX280_PARAMS,
     context_seconds: float | None = None,
@@ -139,6 +140,11 @@ def solve_batch(
         interleaving; see :class:`~repro.batch.scheduler.ConcurrentSchedule`).
     n_streams:
         Streams (GPU) / workers (CPU) for the concurrent schedule.
+    batch_gemv:
+        Concurrent GPU batches only: merge the streams' GEMV/SpMV launches
+        into one batched launch per dispatch round
+        (:data:`~repro.batch.scheduler.BATCHABLE_KERNELS`), shrinking the
+        launch-serialization bound; per-LP results are unchanged.
     device:
         Share an existing simulated device (it is reset per solve).  A new
         one with ``gpu_params`` is created otherwise.
@@ -155,7 +161,7 @@ def solve_batch(
 
     problems = _check_problems(problems)
     _check_method(method)
-    sched = make_schedule(schedule, n_streams=n_streams)
+    sched = make_schedule(schedule, n_streams=n_streams, batch_gemv=batch_gemv)
     on_gpu = method in GPU_METHODS
 
     dev: Device | None = None

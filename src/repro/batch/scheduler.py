@@ -45,6 +45,13 @@ Concurrent *kernel* execution across streams is a Fermi-and-later ability
 (on GT200 the same overlap is achieved by fusing the per-LP kernels into one
 batched launch, as the cited papers do); the schedule is therefore labeled
 *reconstructed* in EXPERIMENTS.md, like the other beyond-paper experiments.
+
+``ConcurrentSchedule(batch_gemv=True)`` additionally models that fused
+batched launch for the GEMV/SpMV kernels every iteration issues
+(:data:`BATCHABLE_KERNELS`): each dispatch round merges one pending
+matrix-vector launch from every stream into a single launch, which removes
+host launch overhead (the launch-serialization bound) without changing any
+LP's compute or memory traffic.
 """
 
 from __future__ import annotations
@@ -59,6 +66,18 @@ from repro.perfmodel.gpu_model import GpuModelParams
 #: Event kinds that occupy the PCIe copy engine; everything else runs on
 #: the device itself (kernels and device-to-device copies).
 _COPY_KINDS = frozenset({"htod", "dtoh"})
+
+#: Kernel names eligible for cross-LP batching: the dense/sparse
+#: matrix-vector products every simplex pricing step and every PDHG
+#: iteration issues.  When several streams each have one of these queued in
+#: a dispatch window, the host can issue them as a *single* batched-GEMV
+#: launch (one grid, one launch overhead) — the trick the batched-LP papers
+#: use on pre-Fermi hardware where streams cannot co-run kernels.  The
+#: per-LP compute and memory traffic is unchanged; only the launch
+#: serialization on the host shrinks.
+BATCHABLE_KERNELS = frozenset(
+    {"blas.gemv", "blas.gemv_t", "sparse.spmv_csr", "sparse.spmv_csc_t"}
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,6 +95,10 @@ class LPTimeline:
     device_seconds: float
     busy_seconds: float
     total_seconds: float
+    #: How many of ``kernel_launches`` are standalone GEMV/SpMV launches
+    #: (:data:`BATCHABLE_KERNELS`) that a concurrent schedule may merge
+    #: across LPs into one batched launch per dispatch round.
+    batchable_launches: int = 0
 
     @staticmethod
     def from_events(
@@ -85,6 +108,7 @@ class LPTimeline:
     ) -> "LPTimeline":
         """Collapse one solve's device timeline into scheduling totals."""
         launches = 0
+        batchable = 0
         transfer = 0.0
         device = 0.0
         busy = 0.0
@@ -96,6 +120,8 @@ class LPTimeline:
                 device += ev.seconds
                 if ev.kind == "kernel":
                     launches += 1
+                    if ev.name in BATCHABLE_KERNELS:
+                        batchable += 1
                     util = max(
                         params.min_fill,
                         min(1.0, max(ev.threads, 1) / capacity),
@@ -110,6 +136,7 @@ class LPTimeline:
             device_seconds=device,
             busy_seconds=busy,
             total_seconds=transfer + device,
+            batchable_launches=batchable,
         )
 
     @staticmethod
@@ -139,6 +166,12 @@ class ScheduleOutcome:
     binding_resource: str
     #: Every modeled bound, for reporting (name -> seconds).
     bounds: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Launches eliminated by cross-LP GEMV batching (0 unless the
+    #: schedule ran with ``batch_gemv=True`` on a GPU batch).
+    batched_launches_saved: int = 0
+    #: Host launch-overhead seconds those merges removed from the
+    #: launch-serialization bound.
+    batching_saved_seconds: float = 0.0
 
     @property
     def speedup_vs_sequential(self) -> float:
@@ -181,6 +214,14 @@ class ConcurrentSchedule:
     copy_compute_overlap:
         Whether PCIe transfers hide under kernel execution (async copy
         engine).  On for the modeled GT200-class devices.
+    batch_gemv:
+        Merge the streams' standalone GEMV/SpMV launches
+        (:data:`BATCHABLE_KERNELS`) into one batched launch per dispatch
+        round.  Each round retires at most one batchable launch from every
+        stream, so the rounds needed equal the *largest* per-stream
+        batchable count; the difference to the total batchable count is
+        launches the host never issues, shrinking the launch-serialization
+        bound.  Compute and memory traffic are per-LP and unchanged.
     """
 
     name = "concurrent"
@@ -191,11 +232,13 @@ class ConcurrentSchedule:
         self,
         n_streams: int | None = None,
         copy_compute_overlap: bool = True,
+        batch_gemv: bool = False,
     ):
         if n_streams is not None and n_streams < 1:
             raise SolverError("n_streams must be >= 1")
         self.n_streams = n_streams
         self.copy_compute_overlap = copy_compute_overlap
+        self.batch_gemv = batch_gemv
 
     def plan(
         self,
@@ -215,9 +258,11 @@ class ConcurrentSchedule:
 
         stream_path = [0.0] * streams
         stream_device = [0.0] * streams
+        stream_batchable = [0] * streams
         for tl in timelines:  # round-robin assignment, launch order = index
             stream_path[tl.index % streams] += tl.total_seconds
             stream_device[tl.index % streams] += tl.device_seconds
+            stream_batchable[tl.index % streams] += tl.batchable_launches
 
         transfer = sum(tl.transfer_seconds for tl in timelines)
         sequential = sum(tl.total_seconds for tl in timelines)
@@ -225,6 +270,18 @@ class ConcurrentSchedule:
         busy = sum(tl.busy_seconds for tl in timelines) / capacity
         launch_overhead = params.launch_overhead if params is not None else 0.0
         launches = sum(tl.kernel_launches for tl in timelines)
+
+        # Cross-LP GEMV batching: per dispatch round the host merges one
+        # batchable launch from each stream into a single batched launch,
+        # so the rounds needed equal the busiest stream's batchable count
+        # and every launch beyond that is one the host never issues.
+        batching_saved = 0
+        if self.batch_gemv and params is not None and streams > 1:
+            total_batchable = sum(stream_batchable)
+            rounds = max(stream_batchable)
+            batching_saved = total_batchable - rounds
+        launches -= batching_saved
+        batching_saved_seconds = batching_saved * launch_overhead
 
         if self.copy_compute_overlap:
             bounds = {
@@ -265,6 +322,8 @@ class ConcurrentSchedule:
             n_streams=streams,
             binding_resource=binding,
             bounds=bounds,
+            batched_launches_saved=batching_saved,
+            batching_saved_seconds=batching_saved_seconds,
         )
 
 
@@ -272,13 +331,16 @@ def make_schedule(
     name: str,
     n_streams: int | None = None,
     copy_compute_overlap: bool = True,
+    batch_gemv: bool = False,
 ) -> "SequentialSchedule | ConcurrentSchedule":
     """Instantiate a schedule by option name (``solve_batch``'s ``schedule``)."""
     if name == "sequential":
         return SequentialSchedule()
     if name == "concurrent":
         return ConcurrentSchedule(
-            n_streams=n_streams, copy_compute_overlap=copy_compute_overlap
+            n_streams=n_streams,
+            copy_compute_overlap=copy_compute_overlap,
+            batch_gemv=batch_gemv,
         )
     raise SolverError(
         f"unknown schedule {name!r}; available: ['concurrent', 'sequential']"

@@ -277,9 +277,13 @@ def f4_precision(sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 42) -> 
     fp32; this experiment quantifies both the cost of fp64 and the accuracy
     price of fp32.
     """
-    report = Report("F4", "GPU revised simplex: fp32 vs fp64")
+    report = Report("F4", "GPU revised simplex: fp32 vs fp64 vs mixed")
     t = report.add_table(
         Table(["size", "fp32 ms", "fp64 ms", "fp64/fp32", "iters32", "iters64", "fp32 relerr vs oracle"])
+    )
+    tm = report.add_table(
+        Table(["size", "mixed ms", "fp64 ms", "mixed/fp64", "refine steps",
+               "mixed relerr vs fp64", "residual"])
     )
     for size in sizes:
         lp = random_dense_lp(size, size, seed=seed)
@@ -292,7 +296,20 @@ def f4_precision(sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 42) -> 
             r64.modeled_seconds / r32.modeled_seconds,
             r32.iterations, r64.iterations, err,
         )
+        rmx = run_method(lp, "gpu-revised", precision="mixed")
+        tm.add_row(
+            size, rmx.modeled_seconds * 1e3, r64.modeled_seconds * 1e3,
+            rmx.modeled_seconds / r64.modeled_seconds,
+            rmx.result.extra.get("refinement_steps", 0),
+            relative_error(rmx.objective, r64.objective),
+            rmx.result.extra.get("residual_after_refinement", float("nan")),
+        )
     report.add_note("fp64/fp32 < 12 because BLAS-2 kernels are bandwidth-bound (2x bytes), not FLOP-bound.")
+    report.add_note(
+        "Mixed = fp32 device compute + fp64 iterative refinement of the "
+        "final basic solution (precision=\"mixed\"): fp32 pivot speed, "
+        "fp64-grade answers after one or two residual corrections."
+    )
     return report
 
 
@@ -1066,6 +1083,37 @@ def o1_attribution(
             100.0 * job.buckets["refactorization"] / lat,
             100.0 * job.buckets["compute"] / lat,
         )
+
+    # Fusion sweep: the same solo serves with launch-plan fusion on.  This
+    # is the payoff measurement for ROADMAP item 4 — how much of the
+    # launch-overhead share the plan lowering actually recovers per size.
+    tf = report.add_table(
+        Table(["size", "kernels", "kernels fused", "launch % unfused",
+               "launch % fused", "latency ms", "latency ms fused"])
+    )
+    for size in sweep_sizes:
+        lp = random_dense_lp(size, size * 2, seed=seed + size)
+        solo = [TraceEntry(problem=lp, at=0.0)]
+        rows = []
+        for fusion in (False, True):
+            with observing():
+                rep = serve_trace(
+                    solo,
+                    ServeConfig(n_devices=1, n_streams=1, fusion=fusion),
+                )
+            attr = rep.attribution()
+            job = attr.jobs[0]
+            execute = rep.obs_recording.tree(job.trace_id)
+            kernels = 0
+            for node in execute.children:
+                if node.span.name == "device.execute":
+                    kernels = int(node.span.attrs.get("n_kernels", 0))
+            lat = job.latency_seconds
+            rows.append(
+                (kernels, 100.0 * job.buckets["launch_overhead"] / lat, lat)
+            )
+        (k0, l0, t0), (k1, l1, t1) = rows
+        tf.add_row(size, k0, k1, l0, l1, t0 * 1e3, t1 * 1e3)
 
     report.add_note(
         "Buckets sum exactly to completed-job latency (telescoping span "

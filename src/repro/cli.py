@@ -61,6 +61,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=["float32", "float64"])
     p_solve.add_argument("--scale", action="store_true",
                          help="apply geometric-mean scaling")
+    p_solve.add_argument("--fusion", action="store_true",
+                         help="lower gpu-* launch plans with kernel fusion")
+    p_solve.add_argument("--precision", default=None,
+                         choices=["fp32", "fp64", "mixed"],
+                         help="device precision policy (mixed = fp32 compute "
+                              "+ fp64 iterative refinement)")
     p_solve.add_argument("--presolve", action="store_true",
                          help="run presolve reductions first")
     p_solve.add_argument("--max-iterations", type=int, default=0)
@@ -224,6 +230,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         pricing=args.pricing,
         dtype=np.float32 if args.dtype == "float32" else np.float64,
         scale=args.scale,
+        fusion=args.fusion,
+        precision=args.precision,
         max_iterations=args.max_iterations,
     )
     if args.presolve:
@@ -240,6 +248,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                          key=lambda kv: -kv[1])[:5]
             print("time breakdown:",
                   ", ".join(f"{k} {v * 1e3:.2f}ms" for k, v in top))
+        if "fused_launches" in result.extra:
+            print(
+                f"fusion: {result.extra['fused_ops']} ops -> "
+                f"{result.extra['fused_launches']} launches "
+                f"({result.extra['fusion_saved_seconds'] * 1e3:.3f} ms saved)"
+            )
+        if "refinement_steps" in result.extra:
+            print(
+                f"refinement: {result.extra['refinement_steps']} step(s), "
+                f"residual {result.extra['residual_after_refinement']:.3g}"
+            )
         if args.print_solution and result.x is not None:
             for j, value in enumerate(result.x):
                 if abs(value) > 1e-9:

@@ -21,7 +21,7 @@ from repro.core import gpu_kernels as K
 from repro.engine import SolverBackend
 from repro.errors import SolverError
 from repro.gpu import blas
-from repro.gpu import reduce as gpured
+from repro.gpu import plan as gpu_plan
 from repro.gpu.device import Device
 from repro.gpu.reduce import NO_INDEX
 from repro.gpu.sparse_kernels import DeviceCscMatrix, spmv_csc_t
@@ -77,7 +77,13 @@ class GpuBoundedRevisedSimplex(SolverBackend):
         self.device = self.dev = dev
         dev.reset_stats()
 
-        dtype = np.dtype(opts.dtype)
+        self._policy = policy = gpu_plan.PrecisionPolicy.from_options(opts)
+        if policy.refine:
+            raise SolverError(
+                "gpu-revised-bounded does not support mixed precision"
+            )
+        dtype = policy.compute_dtype
+        self.plan = gpu_plan.LaunchPlan(dev, fusion=opts.fusion, hooks=self.hooks)
         eps = float(np.finfo(dtype).eps)
         self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
         self._tol_piv = max(opts.tol_pivot, 50 * eps)
@@ -141,7 +147,7 @@ class GpuBoundedRevisedSimplex(SolverBackend):
         while iters < cap:
             iters += 1
 
-            with dev.timed_section("pricing"):
+            with dev.timed_section("pricing"), self.plan.section("pricing") as sec:
                 blas.gemv(st.binv, st.c_b, st.pi, trans=True)
                 blas.copy(st.c_real, st.d)
                 if st.a_sparse is not None:
@@ -152,11 +158,11 @@ class GpuBoundedRevisedSimplex(SolverBackend):
                               trans=True)
                 K.masked_signed_for_min(dev, st.d, st.mask, st.sigma, st.tmp_n)
                 if use_bland:
-                    q = gpured.first_index_below(st.tmp_n, -tol_rc)
+                    q = sec.first_index_below(st.tmp_n, -tol_rc)
                     optimal = q == NO_INDEX
                     signed_dq = st.tmp_n.scalar_to_host(q) if not optimal else 0.0
                 else:
-                    q, signed_dq = gpured.argmin(st.tmp_n)
+                    q, signed_dq = sec.argmin(st.tmp_n)
                     optimal = signed_dq >= -tol_rc
             if optimal:
                 if tr is not None:
@@ -166,16 +172,17 @@ class GpuBoundedRevisedSimplex(SolverBackend):
             sigma = -1.0 if st.at_upper[q] else 1.0
             d_q = sigma * signed_dq  # un-sign: actual reduced cost
 
-            with dev.timed_section("ftran"):
+            with dev.timed_section("ftran"), self.plan.section("ftran"):
                 st.load_column(q)
                 blas.gemv(st.binv, st.a_q, st.alpha)
 
             with dev.timed_section("ratio"):
-                K.bounded_ratio_kernel(
-                    dev, st.x_b, st.alpha, st.u_basis, sigma, tol_piv,
-                    st.ratios, st.to_upper,
-                )
-                p, theta_basic = gpured.argmin(st.ratios)
+                with self.plan.section("ratio.map") as sec:
+                    K.bounded_ratio_kernel(
+                        dev, st.x_b, st.alpha, st.u_basis, sigma, tol_piv,
+                        st.ratios, st.to_upper,
+                    )
+                    p, theta_basic = sec.argmin(st.ratios)
                 theta = theta_basic
                 pivot_kind = "basic"
                 u_q = float(st.u_host[q])
@@ -186,9 +193,10 @@ class GpuBoundedRevisedSimplex(SolverBackend):
                 if not unbounded and pivot_kind == "basic":
                     # Bland-compatible tie-break among blocking rows
                     cut = theta * (1.0 + 1e-6) + 1e-30
-                    K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys,
-                                           st.tmp_m)
-                    p2, key = gpured.argmin(st.tmp_m)
+                    with self.plan.section("ratio.tie") as sec:
+                        K.tie_break_key_kernel(dev, st.ratios, cut,
+                                               st.basis_keys, st.tmp_m)
+                        p2, key = sec.argmin(st.tmp_m)
                     if np.isfinite(key):
                         p = p2
                     pivot = st.alpha.scalar_to_host(p)
@@ -209,18 +217,20 @@ class GpuBoundedRevisedSimplex(SolverBackend):
 
             with dev.timed_section("update"):
                 if pivot_kind == "flip":
-                    K.bounded_update_beta_kernel(
-                        dev, st.x_b, st.alpha, -sigma * theta, -1, 0.0
-                    )
+                    with self.plan.section("update"):
+                        K.bounded_update_beta_kernel(
+                            dev, st.x_b, st.alpha, -sigma * theta, -1, 0.0
+                        )
                     st.flip(q)
                 else:
                     x_q_new = u_q - theta if sigma < 0 else theta
-                    K.bounded_update_beta_kernel(
-                        dev, st.x_b, st.alpha, -sigma * theta, p, x_q_new
-                    )
-                    K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
-                    K.extract_row(dev, st.binv, p, st.row_p)
-                    blas.ger(st.eta, st.row_p, st.binv)
+                    with self.plan.section("update"):
+                        K.bounded_update_beta_kernel(
+                            dev, st.x_b, st.alpha, -sigma * theta, p, x_q_new
+                        )
+                        K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+                        K.extract_row(dev, st.binv, p, st.row_p)
+                        blas.ger(st.eta, st.row_p, st.binv)
                     st.pivot_metadata(p, q, float(c_full[q]), leaves_at_upper)
             z += d_q * sigma * theta
             if tr is not None:
@@ -306,6 +316,10 @@ class GpuBoundedRevisedSimplex(SolverBackend):
         result.extra["bound_flips"] = self._st.flips
         result.extra["kernel_launches"] = dev.stats.kernel_launches
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
+        if self.options.fusion:
+            result.extra["fused_launches"] = self.plan.fused_launches
+            result.extra["fused_ops"] = self.plan.fused_ops
+            result.extra["fusion_saved_seconds"] = self.plan.saved_seconds
 
     def extract(self, result: SolveResult) -> None:
         st = self._st

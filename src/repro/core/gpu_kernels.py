@@ -23,6 +23,10 @@ from repro.gpu.memory import DeviceArray
 from repro.perfmodel.ops import OpCost
 
 #: Value standing in for +inf in the ratio vector (a float32-safe infinity).
+#: Kernels must materialise it **in the vector's own dtype**
+#: (``arr.dtype.type(RATIO_INF)``): a bare ``np.inf`` is a Python float, and
+#: ``np.where(cond, fp32_arr, np.inf)`` silently promotes the whole result to
+#: fp64 mid-kernel under pre-NEP50 promotion rules.
 RATIO_INF = np.inf
 
 
@@ -54,6 +58,10 @@ def extract_column(
             coalesced_fraction=1.0 if column_major else 1.0 / max(1, 64 // w),
         ),
         dtype=a.dtype,
+        fusable=True,
+        # the matrix is *partially* read (one column), so it must not be
+        # declared a fusion-resident operand — only the output vector is
+        writes=(out,),
     )
 
 
@@ -85,6 +93,9 @@ def extract_row(
             coalesced_fraction=1.0 if row_major else 1.0 / max(1, 64 // w),
         ),
         dtype=a.dtype,
+        fusable=True,
+        # partial read of the matrix (one row): not a resident operand
+        writes=(out,),
     )
 
 
@@ -103,6 +114,8 @@ def unit_vector(dev: Device, out: DeviceArray, i: int) -> None:
         body,
         OpCost(bytes_written=out.nbytes + w, threads=max(1, out.size)),
         dtype=out.dtype,
+        fusable=True,
+        writes=(out,),
     )
 
 
@@ -123,12 +136,13 @@ def ratio_kernel(
         raise DeviceArrayError("ratio kernel operand size mismatch")
     w = beta.itemsize
     tol = beta.dtype.type(tol_pivot)
+    inf = ratios.dtype.type(RATIO_INF)
 
     def body() -> None:
         a = alpha.data
         positive = a > tol
         with np.errstate(divide="ignore", invalid="ignore"):
-            r = np.where(positive, beta.data / np.where(positive, a, 1), RATIO_INF)
+            r = np.where(positive, beta.data / np.where(positive, a, 1), inf)
         # feasible β cannot produce negative ratios except via round-off
         ratios.data[:] = np.where(r < 0, 0, r).astype(ratios.dtype)
 
@@ -143,6 +157,9 @@ def ratio_kernel(
             divergent_fraction=0.15,
         ),
         dtype=beta.dtype,
+        fusable=True,
+        reads=(beta, alpha),
+        writes=(ratios,),
     )
 
 
@@ -165,9 +182,10 @@ def tie_break_key_kernel(
         raise DeviceArrayError("tie-break kernel operand size mismatch")
     w = ratios.itemsize
     cut = ratios.dtype.type(theta_cut)
+    inf = out.dtype.type(RATIO_INF)
 
     def body() -> None:
-        out.data[:] = np.where(ratios.data <= cut, basis_keys.data, np.inf).astype(
+        out.data[:] = np.where(ratios.data <= cut, basis_keys.data, inf).astype(
             out.dtype
         )
 
@@ -182,6 +200,9 @@ def tie_break_key_kernel(
             divergent_fraction=0.05,
         ),
         dtype=ratios.dtype,
+        fusable=True,
+        reads=(ratios, basis_keys),
+        writes=(out,),
     )
 
 
@@ -215,6 +236,9 @@ def eta_kernel(
         body,
         OpCost(flops=2 * m, bytes_read=m * w, bytes_written=m * w, threads=max(1, m)),
         dtype=alpha.dtype,
+        fusable=True,
+        reads=(alpha,),
+        writes=(out,),
     )
 
 
@@ -243,6 +267,9 @@ def update_beta_kernel(
         body,
         OpCost(flops=3 * m, bytes_read=2 * m * w, bytes_written=m * w, threads=max(1, m)),
         dtype=beta.dtype,
+        fusable=True,
+        reads=(beta, alpha),
+        writes=(beta,),
     )
 
 
@@ -259,6 +286,9 @@ def clamp_nonneg_kernel(dev: Device, x: DeviceArray) -> None:
         body,
         OpCost(flops=n, bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
         dtype=x.dtype,
+        fusable=True,
+        reads=(x,),
+        writes=(x,),
     )
 
 
@@ -277,9 +307,10 @@ def masked_for_min(
     if mask.size != n or out.size != n:
         raise DeviceArrayError("mask kernel operand size mismatch")
     w = values.itemsize
+    inf = out.dtype.type(RATIO_INF)
 
     def body() -> None:
-        out.data[:] = np.where(mask.data != 0, values.data, np.inf).astype(out.dtype)
+        out.data[:] = np.where(mask.data != 0, values.data, inf).astype(out.dtype)
 
     dev.launch(
         "kernel.mask_min",
@@ -292,6 +323,9 @@ def masked_for_min(
             divergent_fraction=0.05,
         ),
         dtype=values.dtype,
+        fusable=True,
+        reads=(values, mask),
+        writes=(out,),
     )
 
 
@@ -312,10 +346,11 @@ def masked_signed_for_min(
     if mask.size != n or out.size != n or sigma.size != n:
         raise DeviceArrayError("signed mask kernel operand size mismatch")
     w = values.itemsize
+    inf = out.dtype.type(RATIO_INF)
 
     def body() -> None:
         out.data[:] = np.where(
-            mask.data != 0, sigma.data * values.data, np.inf
+            mask.data != 0, sigma.data * values.data, inf
         ).astype(out.dtype)
 
     dev.launch(
@@ -329,6 +364,9 @@ def masked_signed_for_min(
             divergent_fraction=0.05,
         ),
         dtype=values.dtype,
+        fusable=True,
+        reads=(values, mask, sigma),
+        writes=(out,),
     )
 
 
@@ -386,6 +424,9 @@ def bounded_ratio_kernel(
             divergent_fraction=0.2,
         ),
         dtype=x_b.dtype,
+        fusable=True,
+        reads=(x_b, alpha, u_basis),
+        writes=(ratios, to_upper),
     )
 
 
@@ -420,6 +461,9 @@ def bounded_update_beta_kernel(
         body,
         OpCost(flops=3 * m, bytes_read=2 * m * w, bytes_written=m * w, threads=max(1, m)),
         dtype=beta.dtype,
+        fusable=True,
+        reads=(beta, alpha),
+        writes=(beta,),
     )
 
 
@@ -442,6 +486,9 @@ def scale_row_kernel(
         body,
         OpCost(flops=n, bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
         dtype=src_row.dtype,
+        fusable=True,
+        reads=(src_row,),
+        writes=(out,),
     )
 
 
@@ -460,6 +507,9 @@ def write_row_kernel(dev: Device, mat: DeviceArray, i: int, row: DeviceArray) ->
         body,
         OpCost(bytes_read=n * w, bytes_written=n * w, threads=max(1, n)),
         dtype=mat.dtype,
+        fusable=True,
+        reads=(row,),
+        writes=(mat,),
     )
 
 
@@ -494,4 +544,7 @@ def ger_column_major(
             threads=m * n,
         ),
         dtype=a.dtype,
+        fusable=True,
+        reads=(x, y, a),
+        writes=(a,),
     )

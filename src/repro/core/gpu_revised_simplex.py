@@ -38,7 +38,7 @@ from repro.core import gpu_kernels as K
 from repro.engine import SolverBackend, attach_standard_solution, rule_label
 from repro.errors import SolverError
 from repro.gpu import blas
-from repro.gpu import reduce as gpured
+from repro.gpu import plan as gpu_plan
 from repro.gpu.device import Device
 from repro.gpu.memory import DeviceArray
 from repro.gpu.reduce import NO_INDEX
@@ -77,15 +77,20 @@ class _GpuPricing:
         self.activations = 0
 
     def select(
-        self, d: DeviceArray, mask: DeviceArray, work: DeviceArray, tol: float
+        self,
+        sec: "gpu_plan._PlanSection",
+        d: DeviceArray,
+        mask: DeviceArray,
+        work: DeviceArray,
+        tol: float,
     ) -> tuple[int, float] | None:
         K.masked_for_min(d.device, d, mask, work)
         if self.using_bland:
-            q = gpured.first_index_below(work, -tol)
+            q = sec.first_index_below(work, -tol)
             if q == NO_INDEX:
                 return None
             return q, work.scalar_to_host(q)
-        q, dq = gpured.argmin(work)
+        q, dq = sec.argmin(work)
         if dq >= -tol:
             return None
         return q, dq
@@ -155,7 +160,9 @@ class GpuRevisedSimplex(SolverBackend):
         self.device = self.dev = dev
         dev.reset_stats()
 
-        dtype = np.dtype(opts.dtype)
+        self._policy = policy = gpu_plan.PrecisionPolicy.from_options(opts)
+        dtype = policy.compute_dtype
+        self.plan = gpu_plan.LaunchPlan(dev, fusion=opts.fusion, hooks=self.hooks)
         eps = float(np.finfo(dtype).eps)
         self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
         self._tol_piv = max(opts.tol_pivot, 50 * eps)
@@ -245,7 +252,7 @@ class GpuRevisedSimplex(SolverBackend):
             iters += 1
 
             # -- pricing: π = B⁻ᵀ c_B;  d = c − Aᵀπ;  masked arg-min
-            with dev.timed_section("pricing"):
+            with dev.timed_section("pricing"), self.plan.section("pricing") as sec:
                 blas.gemv(st.binv, st.c_b, st.pi, trans=True)
                 blas.copy(st.c_real, st.d)
                 if st.a_sparse is not None:
@@ -253,7 +260,7 @@ class GpuRevisedSimplex(SolverBackend):
                     blas.axpy(-1.0, st.tmp_n, st.d)
                 else:
                     blas.gemv(st.a_dense, st.pi, st.d, alpha=-1.0, beta=1.0, trans=True)
-                choice = pricing.select(st.d, st.mask, st.tmp_n, tol_rc)
+                choice = pricing.select(sec, st.d, st.mask, st.tmp_n, tol_rc)
             if choice is None:
                 stats.bland_activations += pricing.activations
                 if tr is not None:
@@ -266,15 +273,18 @@ class GpuRevisedSimplex(SolverBackend):
             q, d_q = choice
 
             # -- ftran: α = B⁻¹ a_q
-            with dev.timed_section("ftran"):
+            with dev.timed_section("ftran"), self.plan.section("ftran"):
                 st.load_column(q)
                 blas.gemv(st.binv, st.a_q, st.alpha)
 
             # -- ratio test (Bland-compatible: ties break to the lowest
-            #    basic-variable index via a second keyed reduction)
+            #    basic-variable index via a second keyed reduction).  Two
+            #    plan sections: the θ comparison between the arg-mins is
+            #    host control flow, which a capture cannot span.
             with dev.timed_section("ratio"):
-                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
-                p, theta = gpured.argmin(st.ratios)
+                with self.plan.section("ratio.map") as sec:
+                    K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
+                    p, theta = sec.argmin(st.ratios)
                 if not np.isfinite(theta):
                     stats.bland_activations += pricing.activations
                     if tr is not None:
@@ -285,8 +295,9 @@ class GpuRevisedSimplex(SolverBackend):
                         )
                     return SolveStatus.UNBOUNDED, iters
                 cut = theta * (1.0 + 1e-6) + 1e-30
-                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
-                p2, key = gpured.argmin(st.tmp_m)
+                with self.plan.section("ratio.tie") as sec:
+                    K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
+                    p2, key = sec.argmin(st.tmp_m)
                 if np.isfinite(key):
                     p = p2
                 pivot = st.alpha.scalar_to_host(p)
@@ -299,12 +310,15 @@ class GpuRevisedSimplex(SolverBackend):
                 trace_leaving = int(st.basis[p])
                 trace_ties = int(np.count_nonzero(st.ratios.data <= cut))
 
-            # -- update: β, B⁻¹, basis metadata, objective
+            # -- update: β, B⁻¹, basis metadata, objective.  The metadata
+            #    writes are host scalar transfers, so they sit outside the
+            #    plan section.
             with dev.timed_section("update"):
-                K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
-                K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
-                K.extract_row(dev, st.binv, p, st.row_p)
-                blas.ger(st.eta, st.row_p, st.binv)
+                with self.plan.section("update"):
+                    K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+                    K.eta_kernel(dev, st.alpha, p, pivot, st.eta)
+                    K.extract_row(dev, st.binv, p, st.row_p)
+                    blas.ger(st.eta, st.row_p, st.binv)
                 st.pivot_metadata(p, q, float(c_full[q]))
             z += theta * d_q
             self._eta_updates += 1
@@ -398,11 +412,56 @@ class GpuRevisedSimplex(SolverBackend):
         )
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
         result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        if self.options.fusion:
+            result.extra["fused_launches"] = self.plan.fused_launches
+            result.extra["fused_ops"] = self.plan.fused_ops
+            result.extra["fusion_saved_seconds"] = self.plan.saved_seconds
 
     def extract(self, result: SolveResult) -> None:
         st = self._st
-        beta_host = st.beta.copy_to_host().astype(np.float64)
+        if self._policy.refine:
+            beta_host = self._refined_beta(result)
+        else:
+            beta_host = st.beta.copy_to_host().astype(np.float64)
         attach_standard_solution(result, self.prep, st.basis, beta_host)
+
+    def _refined_beta(self, result: SolveResult) -> np.ndarray:
+        """Mixed-precision extraction: fp64 residuals on the host drive
+        fp32 correction solves on the device (dx = B⁻¹r via the resident
+        inverse), with the solution accumulated in fp64 — the classic
+        iterative-refinement scheme.  Every round trip is transfer-costed
+        and the fp32↔fp64 conversions run as :func:`repro.gpu.blas.cast`
+        kernels."""
+        st = self._st
+        dev = self.dev
+        m = self.prep.m
+        basis_matrix = np.asarray(
+            self.prep.basis_matrix(st.basis), dtype=np.float64
+        )
+        b64 = np.asarray(self.prep.b, dtype=np.float64)
+        scale = 1.0 + float(np.max(np.abs(b64))) if m else 1.0
+        x64 = st.beta.copy_to_host().astype(np.float64)
+        steps = 0
+        residual = float(np.max(np.abs(b64 - basis_matrix @ x64))) if m else 0.0
+        r64 = dev.alloc(m, np.float64)
+        r32 = dev.alloc(m, np.float32)
+        dx32 = dev.alloc(m, np.float32)
+        try:
+            while steps < 3 and residual > 1e-12 * scale:
+                with dev.timed_section("transfer"):
+                    r64.copy_from_host(b64 - basis_matrix @ x64)
+                with dev.timed_section("refine"):
+                    blas.cast(r64, r32)
+                    blas.gemv(st.binv, r32, dx32)
+                x64 += dx32.copy_to_host().astype(np.float64)
+                steps += 1
+                residual = float(np.max(np.abs(b64 - basis_matrix @ x64)))
+        finally:
+            for buf in (r64, r32, dx32):
+                buf.free()
+        result.extra["refinement_steps"] = steps
+        result.extra["residual_after_refinement"] = residual
+        return x64
 
     def finalize_timing(self, result: SolveResult) -> None:
         # the solution download in extract() advanced the clock; the

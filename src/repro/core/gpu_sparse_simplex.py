@@ -44,7 +44,7 @@ from repro.core.gpu_revised_simplex import _GpuPricing
 from repro.engine import SolverBackend, attach_standard_solution, rule_label
 from repro.errors import SingularBasisError, SolverError
 from repro.gpu import blas
-from repro.gpu import reduce as gpured
+from repro.gpu import plan as gpu_plan
 from repro.gpu.device import Device
 from repro.gpu.memory import DeviceArray
 from repro.gpu.sparse_kernels import INDEX_BYTES, DeviceCscMatrix, spmv_csc_t
@@ -108,7 +108,13 @@ class GpuSparseRevisedSimplex(SolverBackend):
         self.device = self.dev = dev
         dev.reset_stats()
 
-        dtype = np.dtype(opts.dtype)
+        self._policy = policy = gpu_plan.PrecisionPolicy.from_options(opts)
+        if policy.refine:
+            raise SolverError(
+                "gpu-revised-sparse does not support mixed precision"
+            )
+        dtype = policy.compute_dtype
+        self.plan = gpu_plan.LaunchPlan(dev, fusion=opts.fusion, hooks=self.hooks)
         eps = float(np.finfo(dtype).eps)
         self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
         self._tol_piv = max(opts.tol_pivot, 50 * eps)
@@ -196,12 +202,12 @@ class GpuSparseRevisedSimplex(SolverBackend):
             iters += 1
 
             # -- pricing: π = B⁻ᵀ c_B (sparse BTRAN);  d = c − Aᵀπ;  arg-min
-            with dev.timed_section("pricing"):
+            with dev.timed_section("pricing"), self.plan.section("pricing") as sec:
                 st.btran_lu(st.c_b, st.pi)
                 blas.copy(st.c_real, st.d)
                 spmv_csc_t(st.a_sparse, st.pi, st.tmp_n)
                 blas.axpy(-1.0, st.tmp_n, st.d)
-                choice = pricing.select(st.d, st.mask, st.tmp_n, self._tol_rc)
+                choice = pricing.select(sec, st.d, st.mask, st.tmp_n, self._tol_rc)
             if choice is None:
                 stats.bland_activations += pricing.activations
                 if tr is not None:
@@ -215,13 +221,17 @@ class GpuSparseRevisedSimplex(SolverBackend):
 
             # -- ftran: α = B⁻¹ a_q through the sparse factors
             with dev.timed_section("ftran"):
-                st.load_column(q)
-                alpha64 = st.ftran_lu(st.a_q, st.alpha)
+                with self.plan.section("ftran"):
+                    st.load_column(q)
+                    alpha_h = st.ftran_lu(st.a_q, st.alpha)
+                alpha64 = alpha_h["x"]
 
             # -- ratio test (device map + reductions, Bland tie-break)
             with dev.timed_section("ratio"):
-                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, self._tol_piv)
-                p, theta = gpured.argmin(st.ratios)
+                with self.plan.section("ratio.map") as sec:
+                    K.ratio_kernel(dev, st.beta, st.alpha, st.ratios,
+                                   self._tol_piv)
+                    p, theta = sec.argmin(st.ratios)
                 if not np.isfinite(theta):
                     stats.bland_activations += pricing.activations
                     if tr is not None:
@@ -232,8 +242,10 @@ class GpuSparseRevisedSimplex(SolverBackend):
                         )
                     return SolveStatus.UNBOUNDED, iters
                 cut = theta * (1.0 + 1e-6) + 1e-30
-                K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys, st.tmp_m)
-                p2, key = gpured.argmin(st.tmp_m)
+                with self.plan.section("ratio.tie") as sec:
+                    K.tie_break_key_kernel(dev, st.ratios, cut, st.basis_keys,
+                                           st.tmp_m)
+                    p2, key = sec.argmin(st.tmp_m)
                 if np.isfinite(key):
                     p = p2
                 pivot = st.alpha.scalar_to_host(p)
@@ -246,8 +258,9 @@ class GpuSparseRevisedSimplex(SolverBackend):
 
             # -- update: β, eta file, basis metadata, objective
             with dev.timed_section("update"):
-                K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
-                appended = st.append_eta(alpha64, p, self._tol_piv)
+                with self.plan.section("update"):
+                    K.update_beta_kernel(dev, st.beta, st.alpha, theta, p)
+                    appended = st.append_eta(alpha64, p, self._tol_piv)
                 if appended:
                     st.pivot_metadata(p, q, float(c_full[q]))
             if not appended:
@@ -320,7 +333,7 @@ class GpuSparseRevisedSimplex(SolverBackend):
                 continue  # redundant row; artificial stays basic at zero
             j = int(candidates[np.argmax(np.abs(alpha_row[candidates]))])
             st.load_column(j)
-            alpha64 = st.ftran_lu(st.a_q, st.alpha)
+            alpha64 = st.ftran_lu(st.a_q, st.alpha)["x"]
             pivot = float(alpha64[p])
             if abs(pivot) <= tol_piv:
                 continue
@@ -359,6 +372,10 @@ class GpuSparseRevisedSimplex(SolverBackend):
             result.extra["lu_nnz"] = st.lu.lu_nnz
             result.extra["eta_nnz"] = st.lu.eta_nnz
             result.extra["fill_ratio"] = st.lu.fill_ratio
+        if self.options.fusion:
+            result.extra["fused_launches"] = self.plan.fused_launches
+            result.extra["fused_ops"] = self.plan.fused_ops
+            result.extra["fusion_saved_seconds"] = self.plan.saved_seconds
 
     def extract(self, result: SolveResult) -> None:
         st = self._st
@@ -457,9 +474,17 @@ class _SparseState:
             coalesced_fraction=0.6,
         )
 
-    def ftran_lu(self, src: DeviceArray, dst: DeviceArray) -> np.ndarray:
-        """α := B⁻¹ src through the device factors; returns the exact
-        float64 result (the factor mirror's arithmetic) for the eta update."""
+    def ftran_lu(
+        self, src: DeviceArray, dst: DeviceArray
+    ) -> dict[str, np.ndarray]:
+        """α := B⁻¹ src through the device factors.
+
+        Returns a holder dict whose ``"x"`` entry is the exact float64
+        result (the factor mirror's arithmetic) for the eta update.  The
+        entry appears when the kernel body *executes* — inside a capturing
+        plan section that is at section exit, so read it after the section
+        closes.
+        """
         holder: dict[str, np.ndarray] = {}
 
         def body() -> None:
@@ -467,8 +492,11 @@ class _SparseState:
             holder["x"] = x
             dst.data[:] = x.astype(self.dtype)
 
-        self.dev.launch("sparse.ftran_lu", body, self._lu_solve_cost(), dtype=self.dtype)
-        return holder["x"]
+        gpu_plan.emit(
+            self.dev, "sparse.ftran_lu", body, self._lu_solve_cost(),
+            dtype=self.dtype, reads=(src,), writes=(dst,),
+        )
+        return holder
 
     def btran_lu(self, src: DeviceArray, dst: DeviceArray) -> None:
         """dst := B⁻ᵀ src through the device factors."""
@@ -477,7 +505,10 @@ class _SparseState:
             pi = self.lu.btran(src.data.astype(np.float64))
             dst.data[:] = pi.astype(self.dtype)
 
-        self.dev.launch("sparse.btran_lu", body, self._lu_solve_cost(), dtype=self.dtype)
+        gpu_plan.emit(
+            self.dev, "sparse.btran_lu", body, self._lu_solve_cost(),
+            dtype=self.dtype, reads=(src,), writes=(dst,),
+        )
 
     def append_eta(self, alpha64: np.ndarray, p: int, tol_pivot: float) -> bool:
         """Mirror the pivot into the factor file and charge the device eta
@@ -491,7 +522,8 @@ class _SparseState:
         m = self.prep.m
         w = self._w
         # the kernel scans α once and writes the compacted eta column
-        self.dev.launch(
+        gpu_plan.emit(
+            self.dev,
             "sparse.eta_append",
             lambda: None,  # numerics live in the host factor mirror
             OpCost(
@@ -502,6 +534,7 @@ class _SparseState:
                 coalesced_fraction=0.6,
             ),
             dtype=self.dtype,
+            reads=(self.alpha,),
         )
         self.eta_bufs.append(
             self.dev.alloc(max(1, added * (w + INDEX_BYTES)), np.uint8)

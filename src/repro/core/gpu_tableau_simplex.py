@@ -22,7 +22,7 @@ from repro.core import gpu_kernels as K
 from repro.engine import SolverBackend, attach_standard_solution
 from repro.errors import SolverError
 from repro.gpu import blas
-from repro.gpu import reduce as gpured
+from repro.gpu import plan as gpu_plan
 from repro.gpu.device import Device
 from repro.gpu.reduce import NO_INDEX
 from repro.lp.problem import LPProblem
@@ -71,7 +71,9 @@ class GpuTableauSimplex(SolverBackend):
         self.device = self.dev = dev
         dev.reset_stats()
 
-        dtype = np.dtype(opts.dtype)
+        self._policy = policy = gpu_plan.PrecisionPolicy.from_options(opts)
+        dtype = policy.compute_dtype
+        self.plan = gpu_plan.LaunchPlan(dev, fusion=opts.fusion, hooks=self.hooks)
         eps = float(np.finfo(dtype).eps)
         self._tol_rc = max(opts.tol_reduced_cost, 50 * eps)
         self._tol_piv = max(opts.tol_pivot, 50 * eps)
@@ -86,7 +88,9 @@ class GpuTableauSimplex(SolverBackend):
         if needs_phase1:
             t_host[:, n:] = np.eye(m)
 
-        self._st = st = _TableauState(dev, dtype, t_host, prep, n_cols)
+        self._st = st = _TableauState(
+            dev, dtype, t_host, prep, n_cols, plan=self.plan
+        )
         st.init_basis(basis, enterable_limit=n)
         self.stats = IterationStats()
         self.hooks.arm(
@@ -154,14 +158,14 @@ class GpuTableauSimplex(SolverBackend):
         while iters < cap:
             iters += 1
 
-            with dev.timed_section("pricing"):
+            with dev.timed_section("pricing"), self.plan.section("pricing") as sec:
                 K.masked_for_min(dev, st.d, st.mask, st.work)
                 if use_bland:
-                    q = gpured.first_index_below(st.work, -tol_rc)
+                    q = sec.first_index_below(st.work, -tol_rc)
                     optimal = q == NO_INDEX
                     d_q = st.work.scalar_to_host(q) if not optimal else 0.0
                 else:
-                    q, d_q = gpured.argmin(st.work)
+                    q, d_q = sec.argmin(st.work)
                     optimal = d_q >= -tol_rc
             if optimal:
                 if tr is not None:
@@ -169,19 +173,21 @@ class GpuTableauSimplex(SolverBackend):
                               pricing_rule=rule_name(), objective=float(z))
                 return SolveStatus.OPTIMAL, iters
 
-            with dev.timed_section("column"):
+            with dev.timed_section("column"), self.plan.section("column"):
                 K.extract_column(dev, st.tableau, q, st.alpha, column_major=True)
 
             with dev.timed_section("ratio"):
-                K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
-                p, theta = gpured.argmin(st.ratios)
+                with self.plan.section("ratio.map") as sec:
+                    K.ratio_kernel(dev, st.beta, st.alpha, st.ratios, tol_piv)
+                    p, theta = sec.argmin(st.ratios)
                 unbounded = not np.isfinite(theta)
                 if not unbounded:
                     cut = theta * (1.0 + 1e-6) + 1e-30
-                    K.tie_break_key_kernel(
-                        dev, st.ratios, cut, st.basis_keys, st.tie_keys
-                    )
-                    p2, key = gpured.argmin(st.tie_keys)
+                    with self.plan.section("ratio.tie") as sec:
+                        K.tie_break_key_kernel(
+                            dev, st.ratios, cut, st.basis_keys, st.tie_keys
+                        )
+                        p2, key = sec.argmin(st.tie_keys)
                     if np.isfinite(key):
                         p = p2
                     pivot = st.alpha.scalar_to_host(p)
@@ -269,11 +275,47 @@ class GpuTableauSimplex(SolverBackend):
         )
         result.extra["by_kernel"] = dev.stats.kernel_breakdown()
         result.extra["peak_device_bytes"] = dev.stats.peak_bytes_in_use
+        if self.options.fusion:
+            result.extra["fused_launches"] = self.plan.fused_launches
+            result.extra["fused_ops"] = self.plan.fused_ops
+            result.extra["fusion_saved_seconds"] = self.plan.saved_seconds
 
     def extract(self, result: SolveResult) -> None:
         st = self._st
-        beta_host = st.beta.copy_to_host().astype(np.float64)
+        if self._policy.refine:
+            beta_host = self._refined_beta(result)
+        else:
+            beta_host = st.beta.copy_to_host().astype(np.float64)
         attach_standard_solution(result, self.prep, st.basis, beta_host)
+
+    def _refined_beta(self, result: SolveResult) -> np.ndarray:
+        """fp64 iterative refinement of the fp32 basic solution.
+
+        The tableau method keeps no factorisation of B on the device, so
+        the correction solves run on the host against the fp64 basis
+        matrix (host linear algebra is uncharged, matching the revised
+        method's refactorisation convention); the fp32 solution download
+        is the only device traffic.
+        """
+        st = self._st
+        m = self.prep.m
+        basis_matrix = np.asarray(
+            self.prep.basis_matrix(st.basis), dtype=np.float64
+        )
+        b64 = np.asarray(self.prep.b, dtype=np.float64)
+        scale = 1.0 + (float(np.max(np.abs(b64))) if m else 0.0)
+        x64 = st.beta.copy_to_host().astype(np.float64)
+        steps = 0
+        residual = (
+            float(np.max(np.abs(b64 - basis_matrix @ x64))) if m else 0.0
+        )
+        while steps < 3 and residual > 1e-12 * scale:
+            x64 += np.linalg.solve(basis_matrix, b64 - basis_matrix @ x64)
+            steps += 1
+            residual = float(np.max(np.abs(b64 - basis_matrix @ x64)))
+        result.extra["refinement_steps"] = steps
+        result.extra["residual_after_refinement"] = residual
+        return x64
 
     def finalize_timing(self, result: SolveResult) -> None:
         # the solution download in extract() advanced the clock; the
@@ -288,10 +330,12 @@ class _TableauState:
     """Device tableau + vectors, and the host basis bookkeeping."""
 
     def __init__(self, dev: Device, dtype: np.dtype, t_host: np.ndarray,
-                 prep: PreparedLP, n_cols: int):
+                 prep: PreparedLP, n_cols: int, *,
+                 plan: gpu_plan.LaunchPlan):
         self.dev = dev
         self.dtype = dtype
         self.prep = prep
+        self.plan = plan
         m = prep.m
         try:
             with dev.timed_section("transfer"):
@@ -332,7 +376,7 @@ class _TableauState:
         with self.dev.timed_section("transfer"):
             self.c.copy_from_host(c_full.astype(self.dtype))
             self.c_b.copy_from_host(c_full[basis].astype(self.dtype))
-        with self.dev.timed_section("pricing"):
+        with self.dev.timed_section("pricing"), self.plan.section("pricing.load"):
             blas.copy(self.c, self.d)
             blas.gemv(self.tableau, self.c_b, self.d, alpha=-1.0, beta=1.0, trans=True)
 
@@ -341,15 +385,17 @@ class _TableauState:
         """Gauss–Jordan elimination around (p, q), all on-device."""
         dev = self.dev
         with dev.timed_section("pivot"):
-            # normalised pivot row
-            K.extract_row(dev, self.tableau, p, self.row_buf, row_major=False)
-            K.scale_row_kernel(dev, self.row_buf, 1.0 / pivot, self.row_norm)
-            # tableau rank-1 elimination, then rewrite row p
-            K.ger_column_major(dev, self.alpha, self.row_norm, self.tableau, alpha=-1.0)
-            K.write_row_kernel(dev, self.tableau, p, self.row_norm)
-            # rhs and reduced costs
-            K.update_beta_kernel(dev, self.beta, self.alpha, theta, p)
-            blas.axpy(-d_q, self.row_norm, self.d)
+            with self.plan.section("pivot"):
+                # normalised pivot row
+                K.extract_row(dev, self.tableau, p, self.row_buf, row_major=False)
+                K.scale_row_kernel(dev, self.row_buf, 1.0 / pivot, self.row_norm)
+                # tableau rank-1 elimination, then rewrite row p
+                K.ger_column_major(dev, self.alpha, self.row_norm, self.tableau, alpha=-1.0)
+                K.write_row_kernel(dev, self.tableau, p, self.row_norm)
+                # rhs and reduced costs
+                K.update_beta_kernel(dev, self.beta, self.alpha, theta, p)
+                blas.axpy(-d_q, self.row_norm, self.d)
+            # host scalar write — transfers sit outside the capture
             self.d.set_scalar(q, 0.0)
         # host metadata
         leaving = int(self.basis[p])

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import SolverBackend
+from repro.errors import SolverError
 from repro.firstorder.cpu import _as_csc_prep
 from repro.firstorder.pdhg import (
     PdhgControls,
@@ -35,6 +36,7 @@ from repro.firstorder.pdhg import (
 )
 from repro.firstorder.rescale import RescaledLP, ruiz_rescale
 from repro.gpu import blas
+from repro.gpu import plan as gpu_plan
 from repro.gpu.device import Device
 from repro.gpu.memory import DeviceArray
 from repro.gpu.sparse_kernels import (
@@ -83,7 +85,10 @@ def _primal_update_kernel(
         threads=max(1, n),
         coalesced_fraction=1.0,
     )
-    dev.launch("pdhg.primal_update", body, cost, dtype=x.dtype)
+    gpu_plan.emit(
+        dev, "pdhg.primal_update", body, cost, dtype=x.dtype,
+        fusable=True, reads=(x, c, aty, x_sum), writes=(x, x_ext, x_sum),
+    )
 
 
 def _dual_update_kernel(
@@ -112,7 +117,10 @@ def _dual_update_kernel(
         threads=max(1, m),
         coalesced_fraction=1.0,
     )
-    dev.launch("pdhg.dual_update", body, cost, dtype=y.dtype)
+    gpu_plan.emit(
+        dev, "pdhg.dual_update", body, cost, dtype=y.dtype,
+        fusable=True, reads=(y, ax, b, y_sum), writes=(y, y_sum),
+    )
 
 
 def _scaled_residual_kernel(
@@ -145,7 +153,10 @@ def _scaled_residual_kernel(
         threads=max(1, n),
         coalesced_fraction=1.0,
     )
-    dev.launch(name, body, cost, dtype=out.dtype)
+    gpu_plan.emit(
+        dev, name, body, cost, dtype=out.dtype,
+        fusable=True, reads=(av, rhs, inv_scale), writes=(out,),
+    )
 
 
 class GpuPdlpSolver(SolverBackend):
@@ -176,10 +187,16 @@ class GpuPdlpSolver(SolverBackend):
         self.device = self.dev = dev
         dev.reset_stats()
 
+        self._policy = policy = gpu_plan.PrecisionPolicy.from_options(opts)
+        if policy.refine:
+            raise SolverError("gpu-pdlp does not support mixed precision")
+        dtype = policy.compute_dtype
+        self.plan = gpu_plan.LaunchPlan(dev, fusion=opts.fusion, hooks=self.hooks)
+
         m, n = prep.m, prep.n_total
         self._controls = PdhgControls.from_options(opts, m, n)
         self._rescaled: RescaledLP = ruiz_rescale(prep.a, prep.b, prep.c)
-        self._st = st = _PdhgState(self._rescaled, dev, np.dtype(opts.dtype))
+        self._st = st = _PdhgState(self._rescaled, dev, dtype)
         self.stats = IterationStats()
         self.needs_phase1 = False
         self._b_norm = float(np.linalg.norm(prep.b))
@@ -195,7 +212,7 @@ class GpuPdlpSolver(SolverBackend):
                 "m": m,
                 "n": n,
                 "pricing": "pdhg",
-                "dtype": np.dtype(opts.dtype).name,
+                "dtype": dtype.name,
                 "device": dev.params.name,
                 "nnz": prep.nnz,
                 "tol_kkt": self._controls.tol,
@@ -230,19 +247,21 @@ class GpuPdlpSolver(SolverBackend):
     def _evaluate(self, x_c: DeviceArray, y_c: DeviceArray):
         """Unscaled relative KKT score of a device-resident candidate."""
         st = self._st
-        spmv_csr(st.a_csr, x_c, st.chk_m)
-        spmv_csc_t(st.a_csc, y_c, st.chk_n)
-        self._spmv_count += 2
-        _scaled_residual_kernel(
-            st.dev, st.tmp_m, st.chk_m, st.b, st.inv_row,
-            positive_part=False, name="pdhg.residual_primal",
-        )
+        with self.plan.section("check.primal"):
+            spmv_csr(st.a_csr, x_c, st.chk_m)
+            _scaled_residual_kernel(
+                st.dev, st.tmp_m, st.chk_m, st.b, st.inv_row,
+                positive_part=False, name="pdhg.residual_primal",
+            )
         rp = blas.nrm2(st.tmp_m)
-        _scaled_residual_kernel(
-            st.dev, st.tmp_n, st.chk_n, st.c, st.inv_col,
-            positive_part=True, name="pdhg.residual_dual",
-        )
+        with self.plan.section("check.dual"):
+            spmv_csc_t(st.a_csc, y_c, st.chk_n)
+            _scaled_residual_kernel(
+                st.dev, st.tmp_n, st.chk_n, st.c, st.inv_col,
+                positive_part=True, name="pdhg.residual_dual",
+            )
         rd = blas.nrm2(st.tmp_n)
+        self._spmv_count += 2
         pobj = blas.dot(st.c, x_c)
         dobj = blas.dot(st.b, y_c)
         return relative_kkt(rp, rd, pobj, dobj, self._b_norm, self._c_norm)
@@ -277,14 +296,18 @@ class GpuPdlpSolver(SolverBackend):
         for k in range(1, ctl.max_iterations + 1):
             tau = eta / omega
             sigma = eta * omega
-            with dev.timed_section("spmv"):
-                spmv_csc_t(st.a_csc, st.y, st.aty)
-            with dev.timed_section("update"):
-                _primal_update_kernel(dev, st.x, st.x_ext, st.x_sum, st.aty, st.c, tau)
-            with dev.timed_section("spmv"):
-                spmv_csr(st.a_csr, st.x_ext, st.ax)
-            with dev.timed_section("update"):
-                _dual_update_kernel(dev, st.y, st.y_sum, st.ax, st.b, sigma)
+            with self.plan.section("primal", timed="spmv"):
+                with dev.timed_section("spmv"):
+                    spmv_csc_t(st.a_csc, st.y, st.aty)
+                with dev.timed_section("update"):
+                    _primal_update_kernel(
+                        dev, st.x, st.x_ext, st.x_sum, st.aty, st.c, tau
+                    )
+            with self.plan.section("dual", timed="spmv"):
+                with dev.timed_section("spmv"):
+                    spmv_csr(st.a_csr, st.x_ext, st.ax)
+                with dev.timed_section("update"):
+                    _dual_update_kernel(dev, st.y, st.y_sum, st.ax, st.b, sigma)
             self._spmv_count += 2
             k_since += 1
 
@@ -417,6 +440,10 @@ class GpuPdlpSolver(SolverBackend):
             result.extra["kkt_dual"] = self._final_kkt.dual
             result.extra["kkt_gap"] = self._final_kkt.gap
             result.extra["kkt_score"] = self._final_kkt.score
+        if self.options.fusion:
+            result.extra["fused_launches"] = self.plan.fused_launches
+            result.extra["fused_ops"] = self.plan.fused_ops
+            result.extra["fusion_saved_seconds"] = self.plan.saved_seconds
 
     def extract(self, result: SolveResult) -> None:
         st = self._st

@@ -15,6 +15,7 @@ copy       0           r n·w, w n·w                             n
 swap       0           r 2n·w, w 2n·w                           n
 scal       n           r n·w, w n·w                             n
 axpy       2n          r 2n·w, w n·w                            n
+cast       n           r n·w_src, w n·w_dst                     n
 dot        2n          r 2n·w (+ partials)                      n
 nrm2       2n+√        r n·w (+ partials)                       n
 asum       n           r n·w (+ partials)                       n
@@ -71,6 +72,9 @@ def copy(x: DeviceArray, y: DeviceArray) -> None:
         lambda: y.data.__setitem__(slice(None), x.data),
         OpCost(bytes_read=n * w, bytes_written=n * w, threads=n),
         dtype=dtype,
+        fusable=True,
+        reads=(x,),
+        writes=(y,),
     )
 
 
@@ -91,6 +95,9 @@ def swap(x: DeviceArray, y: DeviceArray) -> None:
         body,
         OpCost(bytes_read=2 * n * w, bytes_written=2 * n * w, threads=n),
         dtype=dtype,
+        fusable=True,
+        reads=(x, y),
+        writes=(x, y),
     )
 
 
@@ -104,6 +111,9 @@ def scal(alpha: float, x: DeviceArray) -> None:
         lambda: x.data.__imul__(dtype.type(alpha)),
         OpCost(flops=n, bytes_read=n * w, bytes_written=n * w, threads=n),
         dtype=dtype,
+        fusable=True,
+        reads=(x,),
+        writes=(x,),
     )
 
 
@@ -122,6 +132,9 @@ def axpy(alpha: float, x: DeviceArray, y: DeviceArray) -> None:
         body,
         OpCost(flops=2 * n, bytes_read=2 * n * w, bytes_written=n * w, threads=n),
         dtype=dtype,
+        fusable=True,
+        reads=(x, y),
+        writes=(y,),
     )
 
 
@@ -217,6 +230,48 @@ def asum(x: DeviceArray) -> float:
     return float(out)
 
 
+def cast(x: DeviceArray, out: DeviceArray) -> None:
+    """out := x converted to ``out``'s dtype — the explicit fp32↔fp64 kernel.
+
+    Mixed-precision schemes round-trip vectors between precisions.  The
+    conversion is a real kernel with real traffic (read at the source width,
+    write at the destination width), never a silent free view — which is why
+    ``_prep`` keeps its strict same-dtype rule for every other routine.
+    """
+    for name, a in (("x", x), ("out", out)):
+        require_device_array(name, a)
+        require_float_dtype(name, a)
+    require_same_device(x, out)
+    require_vector("x", x)
+    require_vector("out", out, x.size)
+    if x.dtype == out.dtype:
+        raise DeviceArrayError(
+            "blas.cast source and destination share a dtype; use blas.copy"
+        )
+    n = x.size
+    w_src = x.dtype.itemsize
+    w_dst = out.dtype.itemsize
+    dst_t = out.dtype
+
+    def body() -> None:
+        out.data[:] = x.data.astype(dst_t)
+
+    x.device.launch(
+        "blas.cast",
+        body,
+        OpCost(
+            flops=n,
+            bytes_read=n * w_src,
+            bytes_written=n * w_dst,
+            threads=max(1, n),
+        ),
+        dtype=out.dtype,
+        fusable=True,
+        reads=(x,),
+        writes=(out,),
+    )
+
+
 def iamax(x: DeviceArray) -> int:
     """Index of max |xᵢ| (``cublasIsamax``; 0-based here, unlike Fortran)."""
     from repro.gpu.reduce import argmax_abs
@@ -276,7 +331,14 @@ def gemv(
         # avoids for the hot path (we keep a mild penalty here).
         coalesced_fraction=1.0 if not trans else 0.85,
     )
-    dev.launch("blas.gemv_t" if trans else "blas.gemv", body, cost, dtype=dtype)
+    dev.launch(
+        "blas.gemv_t" if trans else "blas.gemv",
+        body,
+        cost,
+        dtype=dtype,
+        reads=(a, x, y) if beta != 0.0 else (a, x),
+        writes=(y,),
+    )
 
 
 def ger(
@@ -302,7 +364,9 @@ def ger(
         bytes_written=m * n * w,
         threads=m * n,
     )
-    dev.launch("blas.ger", body, cost, dtype=dtype)
+    dev.launch(
+        "blas.ger", body, cost, dtype=dtype, reads=(x, y, a), writes=(a,)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -368,6 +432,8 @@ def fill(x: DeviceArray, value: float) -> None:
         lambda: x.data.fill(dtype.type(value)),
         OpCost(bytes_written=n * w, threads=max(1, n)),
         dtype=dtype,
+        fusable=True,
+        writes=(x,),
     )
 
 
@@ -390,4 +456,7 @@ def gather(src: DeviceArray, indices: np.ndarray, out: DeviceArray) -> None:
         threads=max(1, n),
         coalesced_fraction=0.25,
     )
-    dev.launch("blas.gather", body, cost, dtype=dtype)
+    dev.launch(
+        "blas.gather", body, cost, dtype=dtype, fusable=True,
+        reads=(src,), writes=(out,),
+    )

@@ -59,6 +59,30 @@ class TimelineEvent:
     start: "float | None" = None
 
 
+@dataclasses.dataclass(frozen=True)
+class CapturedLaunch:
+    """One kernel launch recorded (not executed) during plan capture.
+
+    :mod:`repro.gpu.plan` begins a capture, lets the backend issue its
+    ordinary :mod:`repro.gpu.blas` / kernel calls, then lowers the captured
+    sequence — fusing adjacent ``fusable`` launches into one launch whose
+    cost is :meth:`OpCost.fuse` of the parts.  ``reads``/``writes`` hold
+    ``id()`` tokens of the operand buffers so the planner can deduplicate
+    the global-memory reads a fused group keeps in registers, and
+    ``operand_bytes`` maps each token to that operand's size.
+    """
+
+    name: str
+    body: Callable[[], None]
+    cost: OpCost
+    dtype: np.dtype
+    block: int
+    fusable: bool
+    reads: tuple[int, ...]
+    writes: tuple[int, ...]
+    operand_bytes: "dict[int, int]"
+
+
 @dataclasses.dataclass
 class KernelRecord:
     """Aggregate statistics of one kernel (by name)."""
@@ -139,6 +163,10 @@ class Device:
         #: :meth:`reset_stats`, so between two resets it holds exactly the
         #: events of the work executed in between (one solve, typically).
         self.timeline: list[TimelineEvent] | None = None
+        #: Active plan-capture buffer (``None`` = normal execution).  While
+        #: set, :meth:`launch` records instead of executing; see
+        #: :mod:`repro.gpu.plan`.
+        self._capture: list[CapturedLaunch] | None = None
 
     def record_timeline(self, enable: bool = True) -> None:
         """Start (or stop) recording every kernel launch and transfer as a
@@ -178,6 +206,11 @@ class Device:
 
     def memset(self, arr: DeviceArray, value: int) -> None:
         """``cudaMemset``: fill with a byte value (0 fills with zeros)."""
+        if self._capture is not None:
+            raise InvalidLaunchError(
+                "memset inside a plan capture is not supported; use "
+                "blas.fill (a capturable kernel) in plan sections"
+            )
         arr._check_live()
         arr.data.fill(value)
         seconds = self.model.dtod_time(arr.nbytes) / 2.0  # write-only traffic
@@ -231,15 +264,38 @@ class Device:
         *,
         dtype=np.float32,
         block: int = DEFAULT_BLOCK,
+        fusable: bool = False,
+        reads: tuple = (),
+        writes: tuple = (),
     ) -> None:
         """Launch a kernel: run ``body`` functionally, advance the clock.
 
         ``cost.threads`` is the logical work size; the launch configuration
         (grid size) is derived from it and validated against device limits.
+
+        ``fusable`` marks elementwise/map kernels the plan lowerer may fold
+        into a neighbouring launch; ``reads``/``writes`` name the operand
+        :class:`~repro.gpu.memory.DeviceArray` buffers so fusion can count
+        shared operands' global-memory traffic once.  All three are ignored
+        outside a plan capture.
         """
         cfg = launch_config(cost.threads, block, self.params)
         if cfg.grid > 65535 * 65535:  # 2D grid limit of the modeled hardware
             raise InvalidLaunchError(f"grid of {cfg.grid} blocks exceeds device limits")
+        if self._capture is not None:
+            operand_bytes = {
+                id(a): int(a.nbytes) for a in (*reads, *writes)
+            }
+            self._capture.append(
+                CapturedLaunch(
+                    name=name, body=body, cost=cost, dtype=np.dtype(dtype),
+                    block=block, fusable=fusable,
+                    reads=tuple(id(a) for a in reads),
+                    writes=tuple(id(a) for a in writes),
+                    operand_bytes=operand_bytes,
+                )
+            )
+            return
         body()
         seconds = self.model.kernel_time(cost, np.dtype(dtype), cfg.block)
         self._advance(seconds)
@@ -257,10 +313,36 @@ class Device:
             )
 
     # ------------------------------------------------------------------
+    # plan capture (driven by repro.gpu.plan)
+    # ------------------------------------------------------------------
+
+    def _begin_capture(self) -> list[CapturedLaunch]:
+        """Start recording launches instead of executing them.  Returns the
+        capture buffer the plan lowerer consumes.  Nested captures are a
+        programming error."""
+        if self._capture is not None:
+            raise InvalidLaunchError("nested plan capture")
+        self._capture = []
+        return self._capture
+
+    def _end_capture(self) -> list[CapturedLaunch]:
+        """Stop capturing; returns the recorded launch sequence."""
+        if self._capture is None:
+            raise InvalidLaunchError("no plan capture active")
+        buf, self._capture = self._capture, None
+        return buf
+
+    # ------------------------------------------------------------------
     # transfers (called by DeviceArray; accounted here)
     # ------------------------------------------------------------------
 
     def _record_transfer(self, direction: str, nbytes: int) -> float:
+        if self._capture is not None:
+            raise InvalidLaunchError(
+                "host transfer inside a plan capture: captured kernel bodies "
+                "have not executed yet, so a transfer here would read or "
+                "write stale device data — end the plan section first"
+            )
         if direction == "dtod":
             seconds = self.model.dtod_time(nbytes)
             self.stats.dtod_bytes += nbytes

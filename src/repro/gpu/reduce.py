@@ -30,6 +30,29 @@ from repro.perfmodel.ops import OpCost
 NO_INDEX = -1
 
 
+def first_pass_cost(
+    n: int,
+    itemsize: int,
+    *,
+    flops_per_elem: float = 1.0,
+    pair: bool = False,
+) -> OpCost:
+    """Cost of the *first* tree pass over ``n`` elements.
+
+    The plan layer fuses this pass into the preceding map kernel (the classic
+    map+reduce fusion); the remaining passes are charged separately via
+    :func:`_charge_tree` with ``skip_first=True``.
+    """
+    width = itemsize * (2 if pair else 1)
+    out = -(-n // (2 * DEFAULT_BLOCK))
+    return OpCost(
+        flops=flops_per_elem * n,
+        bytes_read=n * width,
+        bytes_written=out * width,
+        threads=max(1, n // 2),
+    )
+
+
 def _charge_tree(
     dev: Device,
     name: str,
@@ -39,27 +62,33 @@ def _charge_tree(
     *,
     flops_per_elem: float = 1.0,
     pair: bool = False,
+    skip_first: bool = False,
 ) -> None:
     """Charge the launch sequence of a tree reduction over ``n`` elements.
 
     ``pair=True`` models arg-reductions, which carry (value, index) pairs —
-    double the traffic of a plain value reduction.
+    double the traffic of a plain value reduction.  ``skip_first=True`` omits
+    the first pass (already charged inside a fused launch by the plan layer)
+    and charges only the follow-up passes over the per-block partials.
     """
     width = itemsize * (2 if pair else 1)
     remaining = n
+    first = True
     while True:
         out = -(-remaining // (2 * DEFAULT_BLOCK))
-        dev.launch(
-            name,
-            lambda: None,
-            OpCost(
-                flops=flops_per_elem * remaining,
-                bytes_read=remaining * width,
-                bytes_written=out * width,
-                threads=max(1, remaining // 2),
-            ),
-            dtype=dtype,
-        )
+        if not (first and skip_first):
+            dev.launch(
+                name,
+                lambda: None,
+                OpCost(
+                    flops=flops_per_elem * remaining,
+                    bytes_read=remaining * width,
+                    bytes_written=out * width,
+                    threads=max(1, remaining // 2),
+                ),
+                dtype=dtype,
+            )
+        first = False
         if out <= 1:
             break
         remaining = out
@@ -118,12 +147,25 @@ def reduce_max_abs(x: DeviceArray) -> float:
 # ---------------------------------------------------------------------------
 
 
+def argmin_host(x: DeviceArray) -> tuple[int, float]:
+    """Host-side value of an arg-min — shared by :func:`argmin` and the plan
+    layer's fused terminal reductions (identical tie-break to lowest index)."""
+    idx = int(np.argmin(x.data))
+    return idx, float(x.data[idx])
+
+
+def first_below_host(x: DeviceArray, threshold: float) -> int:
+    """Host-side value of Bland's min-index reduction (see
+    :func:`first_index_below`)."""
+    hits = np.where(x.data < x.dtype.type(threshold))[0]
+    return int(hits[0]) if hits.size else NO_INDEX
+
+
 def argmin(x: DeviceArray) -> tuple[int, float]:
     """(index, value) of the minimum element; ties break to the lowest index
     (the deterministic tie-break GPU tree reductions are built to preserve)."""
     dev, dtype, w = _prep(x)
-    idx = int(np.argmin(x.data))
-    val = float(x.data[idx])
+    idx, val = argmin_host(x)
     _charge_tree(dev, "reduce.argmin", x.size, w, dtype, pair=True)
     dev._record_transfer("dtoh", 2 * w)
     return idx, val
@@ -172,8 +214,7 @@ def first_index_below(x: DeviceArray, threshold: float) -> int:
     each qualifying element to its index (others to +inf) and take the min.
     """
     dev, dtype, w = _prep(x)
-    hits = np.where(x.data < dtype.type(threshold))[0]
-    idx = int(hits[0]) if hits.size else NO_INDEX
+    idx = first_below_host(x, threshold)
     _charge_tree(dev, "reduce.first_below", x.size, w, dtype, flops_per_elem=1.0)
     dev._record_transfer("dtoh", 4)
     return idx

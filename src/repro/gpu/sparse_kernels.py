@@ -117,6 +117,8 @@ class DeviceCscMatrix:
             lambda: out.data.fill(0),
             OpCost(bytes_written=out.nbytes, threads=max(1, out.size)),
             dtype=self.dtype,
+            fusable=True,
+            writes=(out,),
         )
 
         def scatter() -> None:
@@ -133,6 +135,8 @@ class DeviceCscMatrix:
                 coalesced_fraction=0.25,  # scattered row-index writes
             ),
             dtype=self.dtype,
+            fusable=True,
+            writes=(out,),
         )
         return col_nnz
 
@@ -161,7 +165,9 @@ def spmv_csr(a: DeviceCsrMatrix, x: DeviceArray, y: DeviceArray) -> None:
         threads=max(1, m),
         coalesced_fraction=0.6,
     )
-    dev.launch("sparse.spmv_csr", body, cost, dtype=a.dtype)
+    dev.launch(
+        "sparse.spmv_csr", body, cost, dtype=a.dtype, reads=(x,), writes=(y,)
+    )
 
 
 def spmv_csc_t(a: DeviceCscMatrix, x: DeviceArray, y: DeviceArray) -> None:
@@ -192,4 +198,6 @@ def spmv_csc_t(a: DeviceCscMatrix, x: DeviceArray, y: DeviceArray) -> None:
         threads=max(1, n),
         coalesced_fraction=0.6,
     )
-    dev.launch("sparse.spmv_csc_t", body, cost, dtype=a.dtype)
+    dev.launch(
+        "sparse.spmv_csc_t", body, cost, dtype=a.dtype, reads=(x,), writes=(y,)
+    )

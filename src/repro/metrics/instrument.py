@@ -91,6 +91,27 @@ def record_kernel_launch(
     ).observe(cost.coalesced_fraction)
 
 
+def record_fused_launch(n_ops: int, saved_seconds: float) -> None:
+    """One fused launch emitted by the plan lowerer: how many captured ops
+    it folded into a single kernel and the launch-overhead seconds the
+    fusion eliminated (modeled, relative to op-by-op execution)."""
+    reg = active()
+    if reg is None:
+        return
+    reg.counter(
+        "repro_gpu_fused_launches_total",
+        "Fused kernel launches emitted by the plan lowerer.",
+    ).inc()
+    reg.counter(
+        "repro_gpu_fused_ops_total",
+        "Captured ops folded into fused launches.",
+    ).inc(n_ops)
+    reg.counter(
+        "repro_gpu_fusion_saved_seconds_total",
+        "Modeled launch-overhead seconds eliminated by kernel fusion.",
+    ).inc(saved_seconds)
+
+
 def record_transfer(direction: str, nbytes: int, seconds: float) -> None:
     """One HtoD/DtoH/DtoD transfer."""
     reg = active()

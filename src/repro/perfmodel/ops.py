@@ -74,30 +74,54 @@ class OpCost:
         quality = traffic-weighted average)."""
         if not isinstance(other, OpCost):
             return NotImplemented
-        total_bytes = self.bytes_total + other.bytes_total
+        return OpCost.fuse(self, other)
+
+    @classmethod
+    def fuse(cls, *costs: "OpCost", shared_read_bytes: float = 0.0) -> "OpCost":
+        """Compose the costs of ops fused into **one** kernel launch.
+
+        flops and bytes sum; ``threads`` takes the max (the fused kernel's
+        grid covers the widest op, narrower stages idle their extra lanes);
+        ``coalesced_fraction`` is traffic-weighted and ``divergent_fraction``
+        compute-weighted across the parts.  ``shared_read_bytes`` is the
+        global-memory read traffic the fusion eliminates: operands a later
+        stage reads that an earlier stage already holds in registers/shared
+        memory are counted once, not re-fetched (clamped so a fused op can
+        never go traffic-negative).  Zero-byte / zero-flop parts are safe:
+        the weighted averages guard their denominators instead of dividing
+        by zero.
+        """
+        if not costs:
+            raise ValueError("OpCost.fuse needs at least one cost")
+        if shared_read_bytes < 0:
+            raise ValueError("shared_read_bytes must be non-negative")
+        for c in costs:
+            if not isinstance(c, OpCost):
+                raise TypeError(f"OpCost.fuse got {type(c).__name__}")
+        total_bytes = sum(c.bytes_total for c in costs)
         if total_bytes > 0:
             coalesced = (
-                self.coalesced_fraction * self.bytes_total
-                + other.coalesced_fraction * other.bytes_total
-            ) / total_bytes
+                sum(c.coalesced_fraction * c.bytes_total for c in costs)
+                / total_bytes
+            )
         else:
             coalesced = 1.0
-        total_threads = max(self.threads, other.threads)
-        total_flops = self.flops + other.flops
+        total_flops = sum(c.flops for c in costs)
         if total_flops > 0:
             divergent = (
-                self.divergent_fraction * self.flops
-                + other.divergent_fraction * other.flops
-            ) / total_flops
+                sum(c.divergent_fraction * c.flops for c in costs)
+                / total_flops
+            )
         else:
             divergent = 0.0
-        return OpCost(
+        bytes_read = sum(c.bytes_read for c in costs)
+        return cls(
             flops=total_flops,
-            bytes_read=self.bytes_read + other.bytes_read,
-            bytes_written=self.bytes_written + other.bytes_written,
-            threads=total_threads,
-            coalesced_fraction=coalesced,
-            divergent_fraction=divergent,
+            bytes_read=max(0.0, bytes_read - min(shared_read_bytes, bytes_read)),
+            bytes_written=sum(c.bytes_written for c in costs),
+            threads=max(c.threads for c in costs),
+            coalesced_fraction=min(1.0, max(0.0, coalesced)),
+            divergent_fraction=min(1.0, max(0.0, divergent)),
         )
 
 

@@ -96,6 +96,13 @@ class ServeConfig:
     cache_capacity: int = 128
     gpu_params: GpuModelParams = GTX280_PARAMS
     dtype: type = np.float64
+    #: Solve every job with kernel-fusion lowering
+    #: (``SolverOptions.fusion``); requires a fusion-capable ``method``.
+    fusion: bool = False
+    #: Merge the dispatch window's GEMV/SpMV launches across streams into
+    #: batched launches (:class:`~repro.batch.scheduler.ConcurrentSchedule`
+    #: ``batch_gemv``).
+    batch_gemv: bool = False
     #: Optional cap on a window's *predicted* makespan: stop filling once
     #: the predictor expects this many busy seconds (None = fill streams).
     target_batch_seconds: float | None = None
@@ -452,6 +459,7 @@ class LPServer:
                 job.problem,
                 method=job.method,
                 dtype=self.config.dtype,
+                fusion=self.config.fusion,
                 initial_basis=basis,
                 **kwargs,
             )
@@ -479,9 +487,9 @@ class LPServer:
                     record_chain_break(job.method)
 
         streams = min(len(window), dev.n_streams)
-        outcome = ConcurrentSchedule(n_streams=streams).plan(
-            timelines, params=dev.params if self.on_gpu else None
-        )
+        outcome = ConcurrentSchedule(
+            n_streams=streams, batch_gemv=self.config.batch_gemv
+        ).plan(timelines, params=dev.params if self.on_gpu else None)
         makespan = outcome.makespan_seconds
 
         # Per-job finish times: each stream lane is dependency-ordered, so

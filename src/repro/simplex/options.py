@@ -17,6 +17,9 @@ RATIO_TESTS = ("standard", "harris")
 #: Basis-update strategies of the revised solvers.
 BASIS_UPDATES = ("explicit", "pfi", "lu", "sparse-lu")
 
+#: Precision policies accepted by ``SolverOptions.precision``.
+PRECISION_MODES = ("fp32", "fp64", "mixed")
+
 
 @dataclasses.dataclass(frozen=True)
 class SolverOptions:
@@ -64,6 +67,19 @@ class SolverOptions:
     dtype:
         Arithmetic precision: float64 (CPU default) or float32 (the GPU's
         fast path; the F4 experiment flips this).
+    fusion:
+        GPU methods only: lower each iteration's device work through the
+        :mod:`repro.gpu.plan` launch planner, fusing adjacent map/reduction
+        kernels into single launches.  Modeled time drops (fewer launch
+        overheads, shared operands fetched once); results are bit-identical
+        to the unfused execution because the fused launch runs the same
+        kernel bodies in the same order.
+    precision:
+        GPU precision policy overriding ``dtype``: ``"fp32"``/``"fp64"``
+        force the device dtype, ``"mixed"`` runs the device compute in fp32
+        and recovers fp64-grade solutions with iterative-refinement residual
+        correction at extraction (supported by the dense GPU revised and
+        tableau methods).  ``None`` (default) keeps ``dtype`` as-is.
     """
 
     pricing: str = "dantzig"
@@ -78,6 +94,8 @@ class SolverOptions:
     refactor_period: int = 100
     scale: bool = False
     dtype: type = np.float64
+    fusion: bool = False
+    precision: "str | None" = None
     #: Record a full per-iteration :class:`~repro.trace.SolveTrace` into
     #: ``result.trace`` (entering/leaving indices, pivot magnitude, step
     #: length, ratio-test ties, pricing rule, eta count, objective and
@@ -107,6 +125,11 @@ class SolverOptions:
                 raise SolverError(f"{name} must be non-negative")
         if np.dtype(self.dtype) not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise SolverError("dtype must be float32 or float64")
+        if self.precision is not None and self.precision not in PRECISION_MODES:
+            raise SolverError(
+                f"unknown precision {self.precision!r}; choose from "
+                f"{PRECISION_MODES} (or None to keep dtype)"
+            )
 
     def replace(self, **overrides) -> "SolverOptions":
         """A copy with the given fields replaced (validates again)."""

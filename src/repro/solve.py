@@ -51,7 +51,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.registry import METHODS, warm_start_methods
+from repro.engine.registry import (
+    METHODS,
+    fusion_methods,
+    mixed_precision_methods,
+    warm_start_methods,
+)
 from repro.errors import UnknownMethodError
 from repro.lp.problem import LPProblem
 from repro.result import SolveResult
@@ -140,6 +145,27 @@ def solve(
             f"warm-start methods: {sorted(warm_start_methods())}"
         )
     opts = (options or SolverOptions()).replace(**option_overrides)
+    if opts.fusion and not spec.supports_fusion:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} does not lower through launch plans; "
+            f"fusion methods: {sorted(fusion_methods())}"
+        )
+    if opts.precision is not None and not spec.supports_device:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} runs on the host; precision policies apply "
+            "to the gpu-* methods only"
+        )
+    if opts.precision == "mixed" and not spec.supports_mixed_precision:
+        from repro.errors import SolverError
+
+        raise SolverError(
+            f"method {method!r} does not support mixed precision; "
+            f"mixed-precision methods: {sorted(mixed_precision_methods())}"
+        )
     solver = spec.factory(opts, device)
     return solver.solve(problem, initial_basis_hint=initial_basis)
 

@@ -143,3 +143,43 @@ def test_every_backend_module_is_scanned():
         "gpu_bounded_simplex.py", "gpu_sparse_simplex.py",
     ):
         assert module in scanned, module
+
+
+def test_launch_rule_catches_direct_launch(tmp_path):
+    bad = tmp_path / "bad_gpu_backend.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            def hot_loop(dev, body, cost):
+                dev.launch("my_kernel", body, cost)
+            """
+        )
+    )
+    violations = lint.check_launches(bad)
+    assert len(violations) == 1
+    assert "Device.launch" in violations[0]
+
+
+def test_launch_rule_allows_plan_emit(tmp_path):
+    ok = tmp_path / "ok_gpu_backend.py"
+    ok.write_text(
+        textwrap.dedent(
+            """
+            from repro.gpu import plan as gpu_plan
+
+            def hot_loop(dev, body, cost):
+                gpu_plan.emit(dev, "my_kernel", body, cost)
+            """
+        )
+    )
+    assert lint.check_launches(ok) == []
+
+
+def test_launch_rule_covers_every_gpu_backend():
+    names = {os.path.basename(p) for p in lint.GPU_BACKENDS}
+    assert names == {
+        "gpu_revised_simplex.py", "gpu_tableau_simplex.py",
+        "gpu_bounded_simplex.py", "gpu_sparse_simplex.py", "gpu.py",
+    }
+    for p in lint.GPU_BACKENDS:
+        assert (lint.REPO / p).exists(), p

@@ -1,0 +1,718 @@
+"""Launch-plan layer tests: OpCost.fuse, grouping, capture rules, precision.
+
+The plan layer's two load-bearing promises are checked here at every level:
+
+- **unit**: :meth:`OpCost.fuse` composition algebra, the
+  :func:`repro.gpu.plan._group_captured` grouping rules (prologue/epilogue
+  fusion, the one-heavy-per-group invariant, dtype splits), the capture
+  guard rails (no transfers, one terminal reduction per section);
+- **property**: a fused fp64 solve is bit-identical to the unfused solve —
+  status, objective and solution vector — across all five GPU backends on
+  the generator families, while launching strictly fewer kernels;
+- **integration**: precision policies (fp32 / fp64 / mixed refinement),
+  the engine registry capability flags, the solve() façade validation, and
+  the batch scheduler's cross-LP GEMV batching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceArrayError, InvalidLaunchError, SolverError
+from repro.gpu import blas
+from repro.gpu import plan as gpu_plan
+from repro.gpu.device import CapturedLaunch, Device
+from repro.gpu.kernel import DEFAULT_BLOCK
+from repro.lp.generators import (
+    random_dense_lp,
+    random_sparse_lp,
+)
+from repro.lp.problem import LPProblem
+from repro.perfmodel.ops import OpCost
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.solve import solve
+
+
+def make_device() -> Device:
+    return Device(GTX280_PARAMS)
+
+
+# ---------------------------------------------------------------------------
+# OpCost.fuse
+# ---------------------------------------------------------------------------
+
+
+class TestOpCostFuse:
+    def test_sums_work_and_traffic(self):
+        a = OpCost(flops=10, bytes_read=100, bytes_written=40, threads=64)
+        b = OpCost(flops=6, bytes_read=50, bytes_written=10, threads=256)
+        f = OpCost.fuse(a, b)
+        assert f.flops == 16
+        assert f.bytes_read == 150
+        assert f.bytes_written == 50
+        assert f.threads == 256  # grid covers the widest op
+
+    def test_shared_reads_counted_once(self):
+        a = OpCost(bytes_read=100)
+        b = OpCost(bytes_read=80)
+        f = OpCost.fuse(a, b, shared_read_bytes=80)
+        assert f.bytes_read == 100
+        # dedup can never push traffic negative
+        g = OpCost.fuse(a, b, shared_read_bytes=1e9)
+        assert g.bytes_read == 0.0
+
+    def test_fraction_weighting(self):
+        a = OpCost(bytes_read=100, coalesced_fraction=1.0)
+        b = OpCost(bytes_read=300, coalesced_fraction=0.5)
+        f = OpCost.fuse(a, b)
+        assert f.coalesced_fraction == pytest.approx(
+            (100 * 1.0 + 300 * 0.5) / 400
+        )
+        c = OpCost(flops=10, divergent_fraction=0.2)
+        d = OpCost(flops=30, divergent_fraction=0.6)
+        g = OpCost.fuse(c, d)
+        assert g.divergent_fraction == pytest.approx(
+            (10 * 0.2 + 30 * 0.6) / 40
+        )
+
+    def test_zero_traffic_and_zero_flops_guards(self):
+        # no traffic -> coalesced defaults to 1; no flops -> divergence 0
+        f = OpCost.fuse(OpCost(), OpCost())
+        assert f.coalesced_fraction == 1.0
+        assert f.divergent_fraction == 0.0
+
+    def test_single_and_empty(self):
+        a = OpCost(flops=5, bytes_read=7, threads=32)
+        assert OpCost.fuse(a) == a
+        with pytest.raises(ValueError):
+            OpCost.fuse()
+        with pytest.raises(ValueError):
+            OpCost.fuse(a, shared_read_bytes=-1.0)
+        with pytest.raises(TypeError):
+            OpCost.fuse(a, "not-a-cost")
+
+    def test_add_operator_is_fuse(self):
+        a = OpCost(flops=1, bytes_read=2, threads=8)
+        b = OpCost(flops=3, bytes_written=4, threads=16)
+        assert a + b == OpCost.fuse(a, b)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_fuse_is_order_invariant_without_sharing(self, seed):
+        rng = np.random.default_rng(seed)
+        costs = [
+            OpCost(
+                flops=float(rng.integers(0, 1000)),
+                bytes_read=float(rng.integers(0, 1000)),
+                bytes_written=float(rng.integers(0, 1000)),
+                threads=int(rng.integers(1, 4096)),
+                coalesced_fraction=float(rng.uniform(0, 1)),
+                divergent_fraction=float(rng.uniform(0, 1)),
+            )
+            for _ in range(int(rng.integers(1, 6)))
+        ]
+        f = OpCost.fuse(*costs)
+        perm = [costs[i] for i in rng.permutation(len(costs))]
+        g = OpCost.fuse(*perm)
+        assert f.flops == pytest.approx(g.flops)
+        assert f.bytes_total == pytest.approx(g.bytes_total)
+        assert f.threads == g.threads
+        assert f.coalesced_fraction == pytest.approx(g.coalesced_fraction)
+        assert f.divergent_fraction == pytest.approx(g.divergent_fraction)
+        # fused work never exceeds the sum of the parts
+        assert f.bytes_read <= sum(c.bytes_read for c in costs)
+
+
+# ---------------------------------------------------------------------------
+# grouping rules
+# ---------------------------------------------------------------------------
+
+
+def _op(
+    name,
+    *,
+    fusable,
+    reads=(),
+    writes=(),
+    dtype=np.float32,
+    block=DEFAULT_BLOCK,
+    operand_bytes=None,
+):
+    return CapturedLaunch(
+        name=name,
+        body=lambda: None,
+        cost=OpCost(flops=1),
+        dtype=np.dtype(dtype),
+        block=block,
+        fusable=fusable,
+        reads=tuple(reads),
+        writes=tuple(writes),
+        operand_bytes=dict(operand_bytes or {}),
+    )
+
+
+def _names(groups):
+    return [[op.name for op in g] for g in groups]
+
+
+class TestGrouping:
+    def test_fusable_run_chains(self):
+        ops = [
+            _op("a", fusable=True, writes=(1,)),
+            _op("b", fusable=True, reads=(1,), writes=(2,)),
+            _op("c", fusable=True, reads=(2,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["a", "b", "c"]]
+
+    def test_prologue_fusion(self):
+        # copy -> gemv(beta=1): the heavy op reads the run's output
+        ops = [
+            _op("copy", fusable=True, writes=(1,)),
+            _op("gemv", fusable=False, reads=(1, 2), writes=(3,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["copy", "gemv"]]
+
+    def test_heavy_without_data_flow_stays_alone(self):
+        ops = [
+            _op("copy", fusable=True, writes=(1,)),
+            _op("gemv", fusable=False, reads=(5,), writes=(6,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["copy"], ["gemv"]]
+
+    def test_epilogue_fusion(self):
+        # SpMV -> elementwise update consuming its output
+        ops = [
+            _op("spmv", fusable=False, reads=(1,), writes=(2,)),
+            _op("update", fusable=True, reads=(2,), writes=(3,)),
+            _op("reduce", fusable=True, reads=(3,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [
+            ["spmv", "update", "reduce"]
+        ]
+
+    def test_epilogue_requires_consumption(self):
+        ops = [
+            _op("spmv", fusable=False, reads=(1,), writes=(2,)),
+            _op("axpy", fusable=True, reads=(8,), writes=(9,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["spmv"], ["axpy"]]
+
+    def test_middle_heavy_fused_pricing_kernel(self):
+        # copy -> gemvT -> mask -> reduce: one heavy mid-group, producers
+        # before it and consumers after it
+        ops = [
+            _op("copy", fusable=True, writes=(1,)),
+            _op("gemv_t", fusable=False, reads=(1, 2), writes=(1,)),
+            _op("mask", fusable=True, reads=(1, 4), writes=(5,)),
+            _op("argmin", fusable=True, reads=(5,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [
+            ["copy", "gemv_t", "mask", "argmin"]
+        ]
+
+    def test_one_heavy_per_group(self):
+        # a second heavy cannot join a group that already has one, even
+        # when it consumes the group's output
+        ops = [
+            _op("copy", fusable=True, writes=(1,)),
+            _op("gemv1", fusable=False, reads=(1,), writes=(2,)),
+            _op("scale", fusable=True, reads=(2,), writes=(2,)),
+            _op("gemv2", fusable=False, reads=(2,), writes=(3,)),
+        ]
+        groups = _names(gpu_plan._group_captured(ops))
+        assert groups == [["copy", "gemv1", "scale"], ["gemv2"]]
+        for g in gpu_plan._group_captured(ops):
+            assert sum(1 for op in g if not op.fusable) <= 1
+
+    def test_back_to_back_heavies_stay_single(self):
+        ops = [
+            _op("gemv1", fusable=False, reads=(1,), writes=(2,)),
+            _op("gemv2", fusable=False, reads=(2,), writes=(3,)),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["gemv1"], ["gemv2"]]
+
+    def test_dtype_mismatch_splits(self):
+        ops = [
+            _op("a", fusable=True, writes=(1,), dtype=np.float32),
+            _op("b", fusable=True, reads=(1,), dtype=np.float64),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["a"], ["b"]]
+
+    def test_block_mismatch_splits(self):
+        ops = [
+            _op("a", fusable=True, writes=(1,), block=128),
+            _op("b", fusable=True, reads=(1,), block=256),
+        ]
+        assert _names(gpu_plan._group_captured(ops)) == [["a"], ["b"]]
+
+    def test_order_is_preserved(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            ops = [
+                _op(
+                    f"k{i}",
+                    fusable=bool(rng.integers(0, 2)),
+                    reads=tuple(
+                        int(t) for t in rng.integers(0, 6, size=2)
+                    ),
+                    writes=(int(rng.integers(0, 6)),),
+                )
+                for i in range(int(rng.integers(1, 10)))
+            ]
+            flat = [
+                op.name
+                for g in gpu_plan._group_captured(ops)
+                for op in g
+            ]
+            assert flat == [op.name for op in ops]
+
+    def test_shared_read_bytes(self):
+        ops = [
+            _op("a", fusable=True, reads=(1,), writes=(2,),
+                operand_bytes={1: 40, 2: 8}),
+            _op("b", fusable=True, reads=(1, 2), writes=(3,),
+                operand_bytes={1: 40, 2: 8, 3: 8}),
+        ]
+        # b re-reads operand 1 (read by a) and operand 2 (written by a)
+        assert gpu_plan._shared_read_bytes(ops) == 48.0
+
+
+# ---------------------------------------------------------------------------
+# capture guard rails
+# ---------------------------------------------------------------------------
+
+
+class TestCaptureRules:
+    def test_transfer_inside_capture_raises(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        x = dev.to_device(np.ones(8), np.float32)
+        with pytest.raises(InvalidLaunchError):
+            with plan.section("bad"):
+                blas.scal(2.0, x)
+                x.copy_to_host()
+
+    def test_memset_inside_capture_raises(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        with pytest.raises(InvalidLaunchError):
+            with plan.section("bad"):
+                dev.zeros(8, np.float32)
+
+    def test_second_reduction_in_section_raises(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        x = dev.to_device(np.arange(8, dtype=np.float32))
+        with pytest.raises(InvalidLaunchError):
+            with plan.section("bad") as sec:
+                sec.argmin(x)
+                sec.argmin(x)
+
+    def test_nested_capture_raises(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        with pytest.raises(InvalidLaunchError):
+            with plan.section("outer"):
+                with plan.section("inner"):
+                    pass
+
+    def test_fusion_off_is_passthrough(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=False)
+        x = dev.to_device(np.arange(8, dtype=np.float32))
+        with plan.section("s") as sec:
+            blas.scal(2.0, x)
+            idx, val = sec.argmin(x)
+        assert (idx, val) == (0, 0.0)
+        assert plan.fused_launches == 0
+        assert dev._capture is None
+
+    def test_fused_section_results_and_stats(self):
+        def run(fusion):
+            dev = make_device()
+            plan = gpu_plan.LaunchPlan(dev, fusion=fusion)
+            x = dev.to_device(np.arange(1, 9, dtype=np.float32))
+            y = dev.to_device(np.ones(8, dtype=np.float32))
+            with plan.section("s") as sec:
+                blas.axpy(-0.5, x, y)
+                idx, val = sec.argmin(y)
+            return dev, plan, x.copy_to_host(), y.copy_to_host(), idx, val
+
+        d0, p0, x0, y0, i0, v0 = run(False)
+        d1, p1, x1, y1, i1, v1 = run(True)
+        assert np.array_equal(x0, x1) and np.array_equal(y0, y1)
+        assert (i0, v0) == (i1, v1)
+        assert p1.fused_launches >= 1 and p1.fused_ops > p1.fused_launches
+        assert p1.saved_seconds > 0.0
+        assert d1.stats.kernel_launches < d0.stats.kernel_launches
+        # the fused solve is modeled strictly faster (saved overhead)
+        assert d1.clock < d0.clock
+
+    def test_exception_inside_section_ends_capture(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        with pytest.raises(RuntimeError):
+            with plan.section("s"):
+                raise RuntimeError("boom")
+        assert dev._capture is None
+
+    def test_timed_attribution(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        x = dev.to_device(np.ones(64), np.float32)
+        with plan.section("s", timed="spmv"):
+            blas.scal(2.0, x)
+            blas.scal(0.5, x)
+        assert dev.stats.sections.get("spmv", 0.0) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# emit
+# ---------------------------------------------------------------------------
+
+
+class TestEmit:
+    def test_emit_outside_section_launches(self):
+        dev = make_device()
+        x = dev.to_device(np.zeros(4), np.float32)
+
+        def body():
+            x.data[:] = 7.0
+
+        gpu_plan.emit(
+            dev, "custom.fill", body, OpCost(bytes_written=16),
+            dtype=x.dtype, fusable=True, writes=(x,),
+        )
+        assert np.all(x.copy_to_host() == 7.0)
+
+    def test_emit_inside_fused_section_is_captured(self):
+        dev = make_device()
+        plan = gpu_plan.LaunchPlan(dev, fusion=True)
+        x = dev.to_device(np.zeros(4), np.float32)
+
+        def body():
+            x.data[:] = 7.0
+
+        with plan.section("s"):
+            gpu_plan.emit(
+                dev, "custom.fill", body, OpCost(bytes_written=16),
+                dtype=x.dtype, fusable=True, writes=(x,),
+            )
+            # deferred: the body has not executed during capture
+            assert np.all(x.data == 0.0)
+        assert np.all(x.copy_to_host() == 7.0)
+
+
+# ---------------------------------------------------------------------------
+# blas.cast and the strict dtype rule
+# ---------------------------------------------------------------------------
+
+
+class TestCast:
+    def test_cast_roundtrip(self):
+        dev = make_device()
+        x64 = dev.to_device(np.linspace(-3, 3, 17), np.float64)
+        x32 = dev.alloc(17, np.float32)
+        blas.cast(x64, x32)
+        assert x32.copy_to_host().dtype == np.float32
+        np.testing.assert_array_equal(
+            x32.copy_to_host(),
+            np.linspace(-3, 3, 17).astype(np.float32),
+        )
+
+    def test_cast_same_dtype_rejected(self):
+        dev = make_device()
+        a = dev.to_device(np.ones(4), np.float32)
+        b = dev.alloc(4, np.float32)
+        with pytest.raises(DeviceArrayError):
+            blas.cast(a, b)
+
+    def test_mixed_dtype_axpy_still_raises(self):
+        # regression: the cast kernel must not have loosened _prep
+        dev = make_device()
+        x = dev.to_device(np.ones(4), np.float32)
+        y = dev.to_device(np.ones(4), np.float64)
+        with pytest.raises(DeviceArrayError):
+            blas.axpy(1.0, x, y)
+
+    def test_cast_charges_traffic(self):
+        dev = make_device()
+        x = dev.to_device(np.ones(1024), np.float64)
+        out = dev.alloc(1024, np.float32)
+        before = dev.clock
+        blas.cast(x, out)
+        assert dev.clock > before
+        assert "blas.cast" in dev.stats.by_kernel
+
+
+# ---------------------------------------------------------------------------
+# RATIO_INF dtype preservation
+# ---------------------------------------------------------------------------
+
+
+class TestRatioInfDtype:
+    def test_ratio_kernel_keeps_fp32(self):
+        from repro.core import gpu_kernels as K
+
+        dev = make_device()
+        beta = dev.to_device(np.array([1.0, 2.0, 3.0]), np.float32)
+        alpha = dev.to_device(np.array([0.5, -1.0, 1e-9]), np.float32)
+        ratios = dev.zeros(3, np.float32)
+        K.ratio_kernel(dev, beta, alpha, ratios, 1e-7)
+        out = ratios.copy_to_host()
+        assert out.dtype == np.float32
+        assert out[0] == np.float32(2.0)
+        assert np.isinf(out[1]) and np.isinf(out[2])
+
+
+# ---------------------------------------------------------------------------
+# property: fused == unfused, bit for bit, across the GPU backends
+# ---------------------------------------------------------------------------
+
+
+def _bounded_lp(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return LPProblem.minimize(
+        c=rng.normal(size=n),
+        a_ub=np.abs(rng.normal(size=(n // 2, n))),
+        b_ub=np.full(n // 2, 5.0),
+        bounds=[(0.0, 3.0)] * n,
+    )
+
+
+FUSION_CASES = [
+    ("gpu-revised", lambda s: random_dense_lp(16, 24, seed=s)),
+    ("gpu-revised", lambda s: random_dense_lp(24, 24, seed=s)),
+    ("gpu-revised", lambda s: random_sparse_lp(24, 32, density=0.2, seed=s)),
+    ("gpu-tableau", lambda s: random_dense_lp(12, 18, seed=s)),
+    ("gpu-revised-bounded", lambda s: _bounded_lp(8, seed=s)),
+    ("gpu-revised-sparse",
+     lambda s: random_sparse_lp(32, 48, density=0.12, seed=s)),
+    ("gpu-pdlp", lambda s: random_sparse_lp(24, 36, density=0.15, seed=s)),
+]
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("method,gen", FUSION_CASES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fused_solve_bit_identical_fp64(self, method, gen, seed):
+        lp = gen(seed)
+
+        def run(**kw):
+            dev = make_device()
+            dev.record_timeline()
+            r = solve(lp, method=method, device=dev, dtype=np.float64, **kw)
+            launches = sum(
+                1 for ev in dev.timeline if ev.kind == "kernel"
+            )
+            return r, launches
+
+        r0, n0 = run()
+        r1, n1 = run(fusion=True)
+        assert r1.status == r0.status
+        assert r1.objective == r0.objective  # bit-identical, not approx
+        if r0.x is not None:
+            assert np.array_equal(r1.x, r0.x)
+        assert r1.iterations.total_iterations == r0.iterations.total_iterations
+        assert n1 < n0
+        assert r1.extra["fused_launches"] > 0
+        assert r1.extra["fused_ops"] > r1.extra["fused_launches"]
+        assert r1.extra["fusion_saved_seconds"] > 0.0
+        assert r1.timing.modeled_seconds < r0.timing.modeled_seconds
+
+
+# ---------------------------------------------------------------------------
+# precision policies
+# ---------------------------------------------------------------------------
+
+
+class TestPrecision:
+    def test_policy_resolution(self):
+        from repro.simplex.options import SolverOptions
+
+        P = gpu_plan.PrecisionPolicy
+        # precision=None defers to options.dtype (fp64 by default)
+        default = P.from_options(SolverOptions())
+        assert default.compute_dtype == np.float64 and not default.refine
+        assert P.from_options(
+            SolverOptions(dtype=np.float32)
+        ).compute_dtype == np.float32
+        p32 = P.from_options(SolverOptions(precision="fp32"))
+        assert p32.compute_dtype == np.float32 and not p32.refine
+        p64 = P.from_options(SolverOptions(precision="fp64"))
+        assert p64.compute_dtype == np.float64 and not p64.refine
+        pmx = P.from_options(SolverOptions(precision="mixed"))
+        assert pmx.compute_dtype == np.float32 and pmx.refine
+
+    @pytest.mark.parametrize("method", ["gpu-revised", "gpu-tableau"])
+    def test_mixed_recovers_fp64_objective(self, method):
+        lp = random_dense_lp(20, 30, seed=3)
+        r64 = solve(lp, method=method, dtype=np.float64)
+        rmx = solve(lp, method=method, precision="mixed")
+        rel = abs(rmx.objective - r64.objective) / max(1.0, abs(r64.objective))
+        assert rel < 1e-9
+        assert rmx.extra["refinement_steps"] <= 3
+        assert rmx.extra["residual_after_refinement"] < 1e-8
+
+    def test_mixed_beats_plain_fp32_accuracy(self):
+        lp = random_dense_lp(48, 64, seed=9)
+        r64 = solve(lp, method="gpu-revised", dtype=np.float64)
+        r32 = solve(lp, method="gpu-revised", dtype=np.float32)
+        rmx = solve(lp, method="gpu-revised", precision="mixed")
+        x64 = r64.x
+
+        def err(r):
+            return float(np.max(np.abs(r.x - x64))) if r.x is not None else 0.0
+
+        assert err(rmx) <= err(r32)
+
+    def test_fp64_precision_equals_dtype_fp64(self):
+        lp = random_dense_lp(16, 24, seed=4)
+        a = solve(lp, method="gpu-revised", dtype=np.float64)
+        b = solve(lp, method="gpu-revised", precision="fp64")
+        assert a.objective == b.objective
+
+    @pytest.mark.parametrize(
+        "method", ["gpu-revised-sparse", "gpu-revised-bounded", "gpu-pdlp"]
+    )
+    def test_unsupported_mixed_raises(self, method):
+        lp = random_sparse_lp(16, 24, density=0.2, seed=0)
+        if method == "gpu-revised-bounded":
+            lp = _bounded_lp(6, seed=0)
+        with pytest.raises(SolverError):
+            solve(lp, method=method, precision="mixed")
+
+
+# ---------------------------------------------------------------------------
+# registry flags and façade validation
+# ---------------------------------------------------------------------------
+
+
+class TestCapabilityFlags:
+    def test_registry_flags(self):
+        from repro.engine.registry import (
+            METHODS,
+            fusion_methods,
+            mixed_precision_methods,
+        )
+
+        assert fusion_methods() == {
+            "gpu-revised", "gpu-revised-sparse", "gpu-revised-bounded",
+            "gpu-tableau", "gpu-pdlp",
+        }
+        assert mixed_precision_methods() == {"gpu-revised", "gpu-tableau"}
+        # fusion-capable methods are exactly the device methods
+        for name in fusion_methods():
+            assert METHODS[name].supports_device
+
+    def test_fusion_on_host_method_raises(self):
+        lp = random_dense_lp(8, 12, seed=0)
+        with pytest.raises(SolverError, match="launch plans"):
+            solve(lp, method="revised", fusion=True)
+
+    def test_precision_on_host_method_raises(self):
+        lp = random_dense_lp(8, 12, seed=0)
+        with pytest.raises(SolverError, match="host"):
+            solve(lp, method="revised", precision="fp32")
+
+    def test_unknown_precision_rejected(self):
+        from repro.simplex.options import SolverOptions
+
+        with pytest.raises(SolverError):
+            SolverOptions(precision="fp16")
+
+
+# ---------------------------------------------------------------------------
+# batch: cross-LP GEMV batching
+# ---------------------------------------------------------------------------
+
+
+class TestBatchGemv:
+    def test_timeline_counts_batchable(self):
+        from repro.batch.scheduler import BATCHABLE_KERNELS, LPTimeline
+
+        dev = make_device()
+        dev.record_timeline()
+        solve(random_dense_lp(12, 18, seed=0), method="gpu-revised",
+              device=dev)
+        tl = LPTimeline.from_events(0, list(dev.timeline), dev.params)
+        want = sum(
+            1 for ev in dev.timeline
+            if ev.kind == "kernel" and ev.name in BATCHABLE_KERNELS
+        )
+        assert tl.batchable_launches == want > 0
+        assert tl.batchable_launches <= tl.kernel_launches
+
+    def test_batching_shrinks_launch_bound_only(self):
+        from repro.batch import solve_batch
+
+        lps = [random_dense_lp(10, 16, seed=s) for s in range(6)]
+        base = solve_batch(
+            lps, method="gpu-revised", schedule="concurrent", n_streams=3
+        )
+        bat = solve_batch(
+            lps, method="gpu-revised", schedule="concurrent", n_streams=3,
+            batch_gemv=True,
+        )
+        for a, b in zip(base.items, bat.items):
+            assert a.result.objective == b.result.objective
+        assert bat.outcome.batched_launches_saved > 0
+        assert bat.outcome.batching_saved_seconds == pytest.approx(
+            bat.outcome.batched_launches_saved
+            * GTX280_PARAMS.launch_overhead
+        )
+        assert (
+            bat.outcome.bounds["launch-serialization"]
+            < base.outcome.bounds["launch-serialization"]
+        )
+        # the other bounds are untouched
+        for k in ("copy-engine", "compute-capacity", "stream-critical-path"):
+            assert bat.outcome.bounds[k] == base.outcome.bounds[k]
+        assert bat.outcome.makespan_seconds <= base.outcome.makespan_seconds
+
+    def test_single_stream_saves_nothing(self):
+        from repro.batch import solve_batch
+
+        lps = [random_dense_lp(10, 16, seed=s) for s in range(3)]
+        out = solve_batch(
+            lps, method="gpu-revised", schedule="concurrent", n_streams=1,
+            batch_gemv=True,
+        )
+        assert out.outcome.batched_launches_saved == 0
+
+    def test_rounds_equal_busiest_stream(self):
+        from repro.batch.scheduler import ConcurrentSchedule, LPTimeline
+
+        # two streams: batchable counts 10 and 4 -> 10 rounds, 4 saved
+        tls = [
+            LPTimeline(0, 20, 0.0, 1.0, 1.0, 1.0, batchable_launches=10),
+            LPTimeline(1, 12, 0.0, 1.0, 1.0, 1.0, batchable_launches=4),
+        ]
+        out = ConcurrentSchedule(n_streams=2, batch_gemv=True).plan(
+            tls, params=GTX280_PARAMS
+        )
+        assert out.batched_launches_saved == 4
+        assert out.bounds["launch-serialization"] == pytest.approx(
+            (20 + 12 - 4) * GTX280_PARAMS.launch_overhead
+        )
+
+    def test_serve_config_plumbs_fusion(self):
+        from repro.serve import LPServer, ServeConfig
+
+        cfg = ServeConfig(
+            n_devices=1, n_streams=2, method="gpu-revised",
+            fusion=True, batch_gemv=True,
+        )
+        server = LPServer(cfg)
+        for s in range(4):
+            server.submit(random_dense_lp(10, 14, seed=s))
+        report = server.run()
+        assert len(report.completed) == 4
+        plain = LPServer(ServeConfig(n_devices=1, n_streams=2,
+                                     method="gpu-revised"))
+        for s in range(4):
+            plain.submit(random_dense_lp(10, 14, seed=s))
+        rep2 = plain.run()
+        objs = sorted(j.result.objective for j in report.completed)
+        objs2 = sorted(j.result.objective for j in rep2.completed)
+        assert objs == objs2

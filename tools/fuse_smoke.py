@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Smoke check for the launch-plan layer (``make fuse-smoke``).
+
+Solves the same LPs with ``fusion`` off and on across the GPU backends and
+asserts the two contracts the plan layer promises:
+
+- **bit-identity**: in fp64 the fused solve returns exactly the same
+  status, objective and solution vector (fused launches replay the captured
+  kernel bodies in capture order, so this is byte-for-byte, not approximate);
+- **fewer launches**: lowering actually fused something — the fused run's
+  kernel-launch count is strictly below the unfused run's.
+
+A final check runs ``precision="mixed"`` (fp32 compute + fp64 iterative
+refinement) and asserts the refined objective matches the all-fp64 solve to
+near machine precision.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.gpu.device import Device
+from repro.lp.generators import random_dense_lp, random_sparse_lp
+from repro.perfmodel.presets import GTX280_PARAMS
+from repro.solve import solve
+
+
+def run(lp, method, **kw):
+    dev = Device(GTX280_PARAMS)
+    dev.record_timeline()
+    result = solve(lp, method=method, device=dev, **kw)
+    launches = sum(1 for ev in dev.timeline if ev.kind == "kernel")
+    return result, launches
+
+
+def main() -> int:
+    cases = [
+        ("gpu-revised", random_dense_lp(32, 48, seed=5)),
+        ("gpu-tableau", random_dense_lp(16, 24, seed=5)),
+        ("gpu-revised-sparse", random_sparse_lp(48, 64, density=0.1, seed=6)),
+        ("gpu-pdlp", random_sparse_lp(40, 60, density=0.1, seed=7)),
+    ]
+    deltas = []
+    for method, lp in cases:
+        r0, n0 = run(lp, method, dtype=np.float64)
+        r1, n1 = run(lp, method, dtype=np.float64, fusion=True)
+        assert r0.status == r1.status, (method, r0.status, r1.status)
+        assert r0.objective == r1.objective, (method, r0.objective, r1.objective)
+        assert np.array_equal(r0.x, r1.x), f"{method}: fused x drifted"
+        assert n1 < n0, (method, n0, n1)
+        deltas.append(f"{method} {n0}->{n1}")
+
+    lp = random_dense_lp(32, 48, seed=5)
+    r64, _ = run(lp, "gpu-revised", dtype=np.float64)
+    rmx, _ = run(lp, "gpu-revised", precision="mixed")
+    err = abs(rmx.objective - r64.objective) / max(1.0, abs(r64.objective))
+    assert err < 1e-8, err
+
+    print("fuse-smoke ok:", ", ".join(deltas), "| mixed relerr %.2e" % err)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,13 @@ Checked trees: ``src/repro/simplex/*.py`` (CPU methods),
 ``src/repro/core/*.py`` (GPU methods) and ``src/repro/firstorder/*.py``
 (the PDHG backends).
 
+**Launch rule.**  The GPU solver backends must issue device work through
+the launch-plan layer — :mod:`repro.gpu.blas`, the shared kernel modules,
+or :func:`repro.gpu.plan.emit` for backend-owned kernels — never by
+calling ``Device.launch`` directly.  A direct launch would be invisible to
+the planner (no capture, no fusion, no plan-level accounting), silently
+splitting the execution path the launch-plan refactor unified.
+
 **Serve rule.**  Serving modules (``src/repro/serve/*.py``) may not import
 ``repro.trace`` or ``repro.obs``, and may touch the metrics (and span)
 layer only through the instrumentation façade ``repro.metrics.instrument``
@@ -49,6 +56,17 @@ BACKEND_DIRS = ("src/repro/simplex", "src/repro/core", "src/repro/firstorder")
 
 #: Directories holding serving modules (metrics via the façade only).
 SERVE_DIRS = ("src/repro/serve",)
+
+#: GPU solver backend modules: all device work goes through the plan layer
+#: (repro.gpu.blas / shared kernels / repro.gpu.plan.emit), never
+#: Device.launch directly.
+GPU_BACKENDS = (
+    "src/repro/core/gpu_revised_simplex.py",
+    "src/repro/core/gpu_tableau_simplex.py",
+    "src/repro/core/gpu_bounded_simplex.py",
+    "src/repro/core/gpu_sparse_simplex.py",
+    "src/repro/firstorder/gpu.py",
+)
 
 #: The one metrics module serve code may import from.
 SERVE_ALLOWED = "repro.metrics.instrument"
@@ -100,6 +118,28 @@ def check_file(path: Path, *, serve: bool = False) -> list[str]:
     return violations
 
 
+def check_launches(path: Path) -> list[str]:
+    """Return one violation per direct ``*.launch(...)`` call in ``path``."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    try:
+        shown = path.relative_to(REPO)
+    except ValueError:
+        shown = path
+    violations = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "launch"
+        ):
+            violations.append(
+                f"{shown}:{node.lineno}: GPU backend calls Device.launch "
+                "directly (emit through repro.gpu.plan.emit or the shared "
+                "kernel modules so the planner sees it)"
+            )
+    return violations
+
+
 def run() -> list[str]:
     violations: list[str] = []
     for dirname in BACKEND_DIRS:
@@ -108,6 +148,8 @@ def run() -> list[str]:
     for dirname in SERVE_DIRS:
         for path in sorted((REPO / dirname).glob("*.py")):
             violations.extend(check_file(path, serve=True))
+    for filename in GPU_BACKENDS:
+        violations.extend(check_launches(REPO / filename))
     return violations
 
 
